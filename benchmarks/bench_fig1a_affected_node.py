@@ -1,0 +1,70 @@
+"""Figure 1(a) — % of flows and coflows affected vs **node** failure rate.
+
+Methodology per Section 2.2: the coflow trace is mapped onto an
+oversubscribed fat-tree (and F10's AB fat-tree); a flow is affected when
+its ECMP-pinned path traverses a failed switch, a coflow when any of its
+flows is.  The x-axis sweeps the fraction of failed switches.
+
+Shape assertions (the paper's findings):
+
+* coflow curves sit far above flow curves (amplification 3.3×–90×);
+* both grow with the failure rate, the coflow curve climbing fastest at
+  small rates ("a small number of failures have huge impact");
+* a single node failure already affects a large share of coflows
+  (paper: 29.6%).
+
+The pipeline itself lives in :mod:`repro.experiments.affected`.
+"""
+
+from repro.experiments import AffectedSweepStudy, StudyConfig, series_to_csv
+
+
+def study_config(profile) -> StudyConfig:
+    return StudyConfig(
+        k=profile.k,
+        hosts_per_edge=profile.hosts_per_edge,
+        num_coflows=profile.num_coflows,
+        duration=profile.duration,
+        seed=97,
+        failure_seed=5,
+        failure_samples=profile.failure_samples,
+    )
+
+
+def render(results, kind: str) -> tuple[str, str]:
+    text = f"Figure 1({'a' if kind == 'node' else 'b'})\n\n" + "\n\n".join(
+        results[arch].table() for arch in sorted(results)
+    )
+    series = {}
+    for arch, result in results.items():
+        series[f"{arch}/flows"] = [(p.rate, p.flow_fraction) for p in result.points]
+        series[f"{arch}/coflows"] = [
+            (p.rate, p.coflow_fraction) for p in result.points
+        ]
+    return text, series_to_csv(series, x_name="failure_rate", y_name="fraction")
+
+
+def assert_shape(results) -> None:
+    for arch, result in results.items():
+        flow_curve = [p.flow_fraction for p in result.points]
+        coflow_curve = [p.coflow_fraction for p in result.points]
+        # coflow impact dominates flow impact at every rate (amplification)
+        for p in result.points:
+            assert p.coflow_fraction > p.flow_fraction, f"{arch}: no amplification"
+        # curves rise with the failure rate; adjacent points may jitter
+        # when two rates round to the same failure *count* at quick scale
+        assert all(a <= b + 0.06 for a, b in zip(flow_curve, flow_curve[1:]))
+        assert flow_curve[-1] > flow_curve[0]
+        assert coflow_curve[-1] > coflow_curve[0]
+        # amplification within the paper's 3.3x-90x band at the low end
+        assert 2.0 < results[arch].points[0].amplification < 120.0
+
+
+def test_fig1a_affected_vs_node_failures(benchmark, emit, profile):
+    study = AffectedSweepStudy(study_config(profile))
+    results = benchmark.pedantic(study.run, args=("node",), rounds=1, iterations=1)
+    text, csv = render(results, "node")
+    emit("fig1a_affected_node", text, csv=csv)
+    assert_shape(results)
+    # a single switch failure hits a sizable share of coflows (paper: ~30%)
+    assert results["fat-tree"].worst_single > 0.10

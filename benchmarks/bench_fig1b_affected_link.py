@@ -1,0 +1,34 @@
+"""Figure 1(b) — % of flows and coflows affected vs **link** failure rate.
+
+Same pipeline as Figure 1(a) with link failures; additionally asserts
+the relationship the two panels show together: a single link failure
+affects fewer coflows than a single node failure (the paper's in-text
+numbers: 17% vs 29.6%), because one switch carries many links.
+"""
+
+from bench_fig1a_affected_node import assert_shape, render, study_config
+
+from repro.experiments import AffectedSweepStudy
+
+
+def test_fig1b_affected_vs_link_failures(benchmark, emit, profile):
+    study = AffectedSweepStudy(study_config(profile))
+    results = benchmark.pedantic(study.run, args=("link",), rounds=1, iterations=1)
+    text, csv = render(results, "link")
+    emit("fig1b_affected_link", text, csv=csv)
+    assert_shape(results)
+
+
+def test_fig1ab_single_node_beats_single_link(benchmark, emit, profile):
+    study = AffectedSweepStudy(study_config(profile), rates=(0.01,))
+    node = benchmark.pedantic(study.run, args=("node",), rounds=1, iterations=1)
+    link = study.run("link")
+    node_avg = node["fat-tree"].mean_single
+    link_avg = link["fat-tree"].mean_single
+    emit(
+        "fig1ab_single_failure_comparison",
+        f"mean affected coflows, single node failure: {node_avg:.1%}\n"
+        f"mean affected coflows, single link failure: {link_avg:.1%}\n"
+        "(paper's in-text points: 29.6% vs 17%)",
+    )
+    assert node_avg > link_avg

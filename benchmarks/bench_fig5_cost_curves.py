@@ -1,0 +1,62 @@
+"""Figure 5 — additional cost relative to fat-tree vs network scale.
+
+Regenerates both panels (E-DC copper, O-DC optics): ShareBackup at
+n ∈ {1, 2, 4}, Aspen Tree, and 1:1 backup, for k = 8..64.  Asserts the
+figure's shape: 1:1 backup flat at 300%, Aspen flat and multi-fold above
+ShareBackup, ShareBackup decreasing in k, and the paper's flexibility
+caveat (ShareBackup n=4 can out-cost Aspen at small k on optics but is
+cheaper at deployment scale).
+"""
+
+import pytest
+
+from repro.cost import E_DC, O_DC, figure5_series
+
+KS = (8, 16, 24, 32, 40, 48, 56, 64)
+
+
+def render(prices) -> tuple[str, dict]:
+    series = figure5_series(ks=KS, ns=(1, 2, 4), prices=prices)
+    lines = [f"Figure 5 ({prices.name}): extra cost / fat-tree cost"]
+    lines.append("k:            " + "".join(f"{k:>9d}" for k in KS))
+    for name in sorted(series):
+        lines.append(
+            f"{name:<14}" + "".join(f"{y:>9.1%}" for _, y in series[name])
+        )
+    return "\n".join(lines), series
+
+
+def test_fig5_edc(benchmark, emit):
+    text, series = benchmark.pedantic(render, args=(E_DC,), rounds=1, iterations=1)
+    emit("fig5_cost_curves_edc", text)
+    _assert_shape(series, prices=E_DC)
+
+
+def test_fig5_odc(benchmark, emit):
+    text, series = benchmark.pedantic(render, args=(O_DC,), rounds=1, iterations=1)
+    emit("fig5_cost_curves_odc", text)
+    _assert_shape(series, prices=O_DC)
+
+
+def _assert_shape(series, prices) -> None:
+    # 1:1 backup: flat 300% (4x total cost).
+    assert all(y == pytest.approx(3.0) for _, y in series["1:1-backup"])
+    # Aspen: flat in k (same k^3 scaling as fat-tree).
+    aspen = [y for _, y in series["aspen"]]
+    assert max(aspen) - min(aspen) < 1e-9
+    # ShareBackup: strictly decreasing with scale for every n.
+    for n in (1, 2, 4):
+        ys = [y for _, y in series[f"sharebackup(n={n})"]]
+        assert all(a > b for a, b in zip(ys, ys[1:]))
+    # Multi-fold cheaper than the alternatives at deployment scale
+    # (the gap is widest on copper: 6.5x at k=48 E-DC, 3.2x O-DC).
+    for k, y in series["sharebackup(n=1)"]:
+        aspen_y = dict(series["aspen"])[k]
+        if k >= 24:
+            assert aspen_y / y > 2.0
+        if k >= 48:
+            assert aspen_y / y > 3.0
+    # The paper's caveat: even n=4 stays below Aspen at k=48.
+    sb4 = dict(series["sharebackup(n=4)"])
+    aspen_y = dict(series["aspen"])[48]
+    assert sb4[48] < aspen_y

@@ -1,0 +1,105 @@
+"""Library micro-benchmarks (wall-clock performance of the hot primitives).
+
+Unlike the experiment benches (one-shot pedantic runs that regenerate the
+paper's artifacts), these exercise pytest-benchmark properly — many
+rounds, statistics — over the primitives that dominate reproduction
+runtime: the max-min allocator, ECMP selection, circuit failover, path
+enumeration, and combined-table lookup.  They guard against performance
+regressions (the allocator once cost 2.6× end-to-end before its segment
+hash was fixed; see docs/simulator.md).
+"""
+
+import numpy as np
+
+from repro.core import ImpersonationTables, ShareBackupNetwork
+from repro.routing import EcmpSelector, Packet
+from repro.routing.paths import enumerate_edge_paths
+from repro.simulation import max_min_rates
+from repro.topology import FatTree
+
+
+def _allocation_problem(num_flows: int, seed: int = 7):
+    """A fat-tree-shaped random allocation instance."""
+    rng = np.random.default_rng(seed)
+    num_segments = max(8, num_flows // 2)
+    capacities = {s: 10e9 for s in range(num_segments)}
+    flow_segments = {
+        f: tuple(
+            int(x) for x in rng.choice(num_segments, size=6, replace=False)
+        )
+        for f in range(num_flows)
+    }
+    return flow_segments, capacities
+
+
+def test_perf_maxmin_small(benchmark):
+    flow_segments, capacities = _allocation_problem(100)
+    rates = benchmark(max_min_rates, flow_segments, capacities)
+    assert len(rates) == 100
+
+
+def test_perf_maxmin_large(benchmark):
+    flow_segments, capacities = _allocation_problem(2000)
+    rates = benchmark(max_min_rates, flow_segments, capacities)
+    assert len(rates) == 2000
+
+
+def test_perf_ecmp_selection(benchmark):
+    tree = FatTree(16)
+    selector = EcmpSelector(tree)
+    hosts = tree.all_host_names()
+
+    counter = iter(range(10**9))
+
+    def select():
+        label = next(counter)
+        return selector.select(hosts[0], hosts[-1], label)
+
+    path = benchmark(select)
+    assert path is not None and path.hops == 6
+
+
+def test_perf_path_enumeration_k16(benchmark):
+    tree = FatTree(16)
+    middles = benchmark(enumerate_edge_paths, tree, "E.0.0", "E.15.7")
+    assert len(middles) == 64
+
+
+def test_perf_failover(benchmark):
+    """One full circuit failover, including group bookkeeping.
+
+    Rounds each build their own victim rotation by repairing afterwards,
+    so the benchmark can iterate.
+    """
+    net = ShareBackupNetwork(8, n=1)
+    group = net.group_of("A.0.0")
+
+    def failover_and_recycle():
+        spare = group.allocate_spare()
+        touched, _latency = net.failover("A.0.0", spare)
+        # recycle: the displaced switch becomes the spare again
+        displaced = sorted(group.offline)[0]
+        group.reinstate(displaced)
+        return touched
+
+    touched = benchmark(failover_and_recycle)
+    assert touched == 8
+
+
+def test_perf_combined_table_lookup(benchmark):
+    tree = FatTree(16)
+    table = ImpersonationTables(tree).combined_edge_table(0)
+    plan = tree.plan
+    pkt = Packet(
+        plan.host_address(0, 0, 0),
+        plan.host_address(7, 3, 2),
+        vlan=100,  # edge 0's VLAN
+    )
+    port = benchmark(table.lookup, pkt)
+    assert port.startswith("up")
+
+
+def test_perf_network_build(benchmark):
+    """Full k=8 ShareBackup build (all cabling + circuits)."""
+    net = benchmark(ShareBackupNetwork, 8, 1)
+    assert net.num_circuit_switches == 96

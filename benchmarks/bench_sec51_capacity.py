@@ -1,0 +1,135 @@
+"""Section 5.1 — capacity to handle failures (in-text numbers).
+
+Regenerates the capacity analysis: n concurrent switch failures per
+failure group, up to k·n link failures, backup ratio vs device failure
+rate, and binomial residual risk; then *exercises* the guarantee on a
+live network: every failure group absorbs exactly n concurrent switch
+failures, the (n+1)-th is refused, and concurrent link failures consume
+one spare per faulty end after diagnosis.
+"""
+
+import pytest
+
+from repro.core import ShareBackupController, ShareBackupNetwork
+from repro.failures import DEFAULT_FAILURE_MODEL
+
+
+def render_capacity_table() -> str:
+    model = DEFAULT_FAILURE_MODEL
+    lines = [
+        "Section 5.1 capacity analysis",
+        f"{'k':>4}{'n':>3}{'group':>7}{'backup ratio':>14}"
+        f"{'ratio/failure-rate':>20}{'P(>n concurrent)':>18}",
+    ]
+    for k, n in ((16, 1), (48, 1), (48, 4), (58, 1), (64, 2)):
+        group = k // 2
+        ratio = n / group
+        over = ratio / model.unavailability
+        risk = model.concurrent_failure_probability(group, n)
+        lines.append(
+            f"{k:>4}{n:>3}{group:>7}{ratio:>13.2%}{over:>19.0f}x{risk:>18.2e}"
+        )
+    return "\n".join(lines)
+
+
+def exercise_guarantee(k: int, n: int) -> dict[str, int]:
+    """Push every failure group to its spare limit on a real network."""
+    net = ShareBackupNetwork(k, n=n)
+    ctrl = ShareBackupController(net)
+    absorbed = refused = 0
+    for group_id in sorted(net.groups):
+        group = net.groups[group_id]
+        for i in range(n):
+            report = ctrl.handle_node_failure(group.logical_slots[i])
+            assert report.fully_recovered
+            absorbed += 1
+        overflow = ctrl.handle_node_failure(group.logical_slots[n])
+        assert not overflow.fully_recovered
+        refused += 1
+    net.verify_fattree_equivalence()  # everything recovered stays consistent
+    return {"absorbed": absorbed, "refused": refused, "groups": len(net.groups)}
+
+
+def test_sec51_capacity(benchmark, emit):
+    table = render_capacity_table()
+
+    outcome = benchmark.pedantic(
+        exercise_guarantee, args=(6, 2), rounds=1, iterations=1
+    )
+    emit(
+        "sec51_capacity",
+        table
+        + "\n\nlive guarantee exercise (k=6, n=2): "
+        + f"{outcome['absorbed']} failures absorbed "
+        f"({outcome['groups']} groups x n), "
+        f"{outcome['refused']} overflow failures correctly refused",
+    )
+
+    # paper checkpoint: k=48, n=1 -> 4.17% backup ratio, >400x failure rate
+    ratio = 1 / 24
+    assert ratio == pytest.approx(0.0417, abs=1e-4)
+    assert ratio / DEFAULT_FAILURE_MODEL.unavailability > 400
+    assert outcome["absorbed"] == outcome["groups"] * 2
+    assert outcome["refused"] == outcome["groups"]
+
+
+def test_sec51_time_domain_availability(benchmark, emit):
+    """§5.1 made temporal: a 200-simulated-year Monte Carlo of one k=48
+    failure group with repair dynamics (MTBF from 99.99% availability,
+    log-normal minutes-scale repairs).  The time-domain exposure
+    probability must reproduce the snapshot binomial."""
+    from repro.experiments import simulate_group_availability
+
+    result = benchmark.pedantic(
+        simulate_group_availability,
+        args=(24, 1),
+        kwargs={"years": 200, "seed": 4},
+        rounds=1,
+        iterations=1,
+    )
+    analytic = DEFAULT_FAILURE_MODEL.concurrent_failure_probability(24, 1)
+    mean_episode = (
+        result.exposed_time / result.exposure_episodes
+        if result.exposure_episodes
+        else 0.0
+    )
+    emit(
+        "sec51_time_domain",
+        f"200-year Monte Carlo, group of 24, n=1:\n"
+        f"  switch failures simulated:   {result.failures:,}\n"
+        f"  exposure episodes:           {result.exposure_episodes} "
+        f"({result.episodes_per_year:.2f}/year, mean {mean_episode:.0f}s each)\n"
+        f"  exposure probability:        {result.exposure_probability:.2e}\n"
+        f"  binomial snapshot (paper):   {analytic:.2e}",
+    )
+    assert result.exposure_probability == pytest.approx(analytic, rel=0.5)
+
+
+def test_sec51_link_failure_capacity(benchmark, emit):
+    """kn link failures rooted at n switches per group: replace-both then
+    exonerate-one leaves the group able to absorb repeated link failures."""
+    net = benchmark.pedantic(ShareBackupNetwork, args=(6,), kwargs={"n": 1}, rounds=1, iterations=1)
+    ctrl = ShareBackupController(net)
+    # Three successive link failures on different uplinks of pod 0, each
+    # with the *aggregation* side at fault; the edge side is exonerated
+    # each time, so the edge group never runs out.
+    for j, (edge, agg) in enumerate(
+        (("E.0.0", "A.0.0"), ("E.0.1", "A.0.1"), ("E.0.2", "A.0.2"))
+    ):
+        report = ctrl.handle_link_failure(
+            (edge, ("up", 0)),
+            (agg, ("down", 0)),
+            now=float(j),
+            true_faulty_interfaces=(((agg, ("down", 0))),),
+        )
+        if j == 0:
+            assert report.fully_recovered
+        ctrl.run_pending_diagnoses()
+        net.verify_fattree_equivalence()
+    edge_group = net.group_of("E.0.0")
+    assert edge_group.available_spares == 1  # exoneration kept it stocked
+    emit(
+        "sec51_link_capacity",
+        "three successive link failures in one pod handled with n=1:\n"
+        + "\n".join(ctrl.log),
+    )

@@ -1,0 +1,58 @@
+"""Table 2 — cost equations and device prices.
+
+Regenerates the cost table for the compared architectures under both
+price books and asserts every numeric claim Section 5.2 makes about it.
+"""
+
+import pytest
+
+from repro.cost import (
+    E_DC,
+    O_DC,
+    aspen_extra_cost,
+    fattree_cost,
+    one_to_one_extra_cost,
+    relative_extra_cost,
+    sharebackup_extra_cost,
+)
+
+
+def render_table(k: int, n: int) -> str:
+    lines = [
+        f"Table 2 regeneration — k={k}, n={n}",
+        f"{'architecture':<22}{'E-DC total ($)':>16}{'O-DC total ($)':>16}",
+    ]
+    base_e, base_o = fattree_cost(k, E_DC), fattree_cost(k, O_DC)
+    lines.append(f"{'fat-tree':<22}{base_e:>16,.0f}{base_o:>16,.0f}")
+    rows = [
+        ("sharebackup extra", sharebackup_extra_cost(k, n, E_DC).total,
+         sharebackup_extra_cost(k, n, O_DC).total),
+        ("aspen extra", aspen_extra_cost(k, E_DC).total, aspen_extra_cost(k, O_DC).total),
+        ("1:1 backup extra", one_to_one_extra_cost(k, E_DC).total,
+         one_to_one_extra_cost(k, O_DC).total),
+    ]
+    for name, e, o in rows:
+        lines.append(f"{name:<22}{e:>16,.0f}{o:>16,.0f}")
+    lines.append("")
+    lines.append(f"prices: a=${E_DC.circuit_port}/{O_DC.circuit_port} per circuit port, "
+                 f"b=${E_DC.switch_port} per switch port, "
+                 f"c=${E_DC.cable}/{O_DC.cable} per cable")
+    return "\n".join(lines)
+
+
+def test_table2(benchmark, emit):
+    k, n = 48, 1
+    table = benchmark.pedantic(render_table, args=(k, n), rounds=1, iterations=1)
+    emit("table2_cost", table)
+
+    # --- the paper's checkpoints, asserted -----------------------------
+    sb_e = sharebackup_extra_cost(k, n, E_DC)
+    sb_o = sharebackup_extra_cost(k, n, O_DC)
+    assert relative_extra_cost(sb_e, k, E_DC) == pytest.approx(0.067, abs=0.001)
+    assert relative_extra_cost(sb_o, k, O_DC) == pytest.approx(0.133, abs=0.001)
+    assert aspen_extra_cost(k, E_DC).total / sb_e.total == pytest.approx(6.5, abs=0.1)
+    assert aspen_extra_cost(k, O_DC).total / sb_o.total == pytest.approx(3.2, abs=0.1)
+    for prices in (E_DC, O_DC):
+        assert relative_extra_cost(
+            one_to_one_extra_cost(k, prices), k, prices
+        ) == pytest.approx(3.0)

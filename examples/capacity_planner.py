@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Capacity planner: Section 5.1/5.3 engineering trade-offs, interactive.
+
+Given a circuit-switch port budget (32 for today's 2D MEMS optics, 256
+for electrical crosspoints), explores the (k, n) design space:
+
+* the largest fat-tree each n supports under ``k/2 + n + 2 <= ports``;
+* the backup ratio vs the measured ~0.01% switch failure rate;
+* the probability a failure group ever exceeds its spares (binomial);
+* recovery-time expectations for both circuit technologies.
+
+Run:  python examples/capacity_planner.py [ports]
+"""
+
+import sys
+
+from repro.core import RecoveryTimeModel
+from repro.failures import DEFAULT_FAILURE_MODEL
+
+
+def main() -> None:
+    ports = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    print(f"=== circuit switches with {ports} ports per side "
+          f"(k/2 + n + 2 <= {ports}) ===\n")
+
+    model = DEFAULT_FAILURE_MODEL
+    print(f"device availability: {model.availability:.2%} "
+          f"(failure rate {model.unavailability:.2%}), "
+          f"median downtime {model.median_downtime:.0f}s\n")
+
+    print(f"{'n':>3} {'max k':>6} {'hosts':>8} {'backup ratio':>13} "
+          f"{'P(group exceeds spares)':>24}")
+    for n in range(1, 9):
+        max_half = ports - n - 2
+        k = 2 * max_half
+        if k < 4:
+            break
+        hosts = k**3 // 4
+        ratio = n / max_half
+        risk = model.concurrent_failure_probability(max_half, n)
+        print(f"{n:>3} {k:>6} {hosts:>8,} {ratio:>12.2%} {risk:>24.3e}")
+
+    print("\npaper checkpoints (32-port MEMS):")
+    print("  n=1 -> k=58, 48k+ hosts, 3.45% backup ratio")
+    print("  k=48 -> n can reach 6, 25% backup ratio")
+
+    print("\n=== recovery-time budget (Section 5.3) ===\n")
+    timing = RecoveryTimeModel()
+    print(f"{'scheme':<24} {'detection':>10} {'control':>10} "
+          f"{'reconfig':>12} {'total':>10}")
+    for row in timing.comparison():
+        print(f"{row.scheme:<24} {row.detection*1e3:>8.2f}ms "
+              f"{row.control*1e3:>8.2f}ms {row.reconfiguration*1e6:>10.2f}us "
+              f"{row.total*1e3:>8.2f}ms")
+    print("\nShareBackup recovers in the same band as F10/Aspen local "
+          "rerouting\nand no slower than one SDN rule update.")
+
+
+if __name__ == "__main__":
+    main()

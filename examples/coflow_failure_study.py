@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's Section 2.2 failure study, plus ShareBackup.
+
+Replays the same synthetic coflow trace on three architectures and
+injects the same single failure into each:
+
+* fat-tree with global optimal rerouting,
+* F10 with local (3-hop) rerouting,
+* ShareBackup (failed switch replaced by a shared backup).
+
+Prints the affected flow/coflow fractions (the Figure 1(a)/(b) metric)
+and the CCT slowdown distribution (the Figure 1(c) metric).  The full
+paper-scale sweep lives in ``benchmarks/``; this example is sized to run
+in under a minute.
+
+Run:  python examples/coflow_failure_study.py
+"""
+
+import math
+
+from repro.analysis import affected_by_scenario, cct_slowdowns, percentile
+from repro.core import ShareBackupNetwork, ShareBackupSimulation
+from repro.failures import FailureInjector
+from repro.routing import F10LocalRerouteRouter, GlobalOptimalRerouteRouter
+from repro.simulation import FluidSimulation
+from repro.topology import F10Tree, FatTree, NodeKind
+from repro.workload import CoflowTraceGenerator, WorkloadConfig, materialize_hosts
+
+K = 8
+HOSTS_PER_EDGE = 12  # 3:1 oversubscription at the edge (12 hosts, 4 uplinks)
+COFLOWS = 100
+SEED = 23
+
+
+def make_specs(tree):
+    cfg = WorkloadConfig(
+        num_racks=tree.num_racks, num_coflows=COFLOWS, duration=40.0, seed=SEED
+    )
+    return materialize_hosts(CoflowTraceGenerator(cfg).generate(), tree)
+
+
+def slowdown_digest(report) -> str:
+    values = report.affected_slowdowns() or report.all_slowdowns()
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return "n/a"
+    return (
+        f"median {percentile(finite, 50):6.2f}x   "
+        f"p90 {percentile(finite, 90):6.2f}x   "
+        f"max {max(finite):7.2f}x   "
+        f"never-finished {len(values) - len(finite)}"
+    )
+
+
+def main() -> None:
+    reference = FatTree(K, hosts_per_edge=HOSTS_PER_EDGE)
+    specs = make_specs(reference)
+    total_flows = sum(c.width for c in specs)
+    print(f"trace: {len(specs)} coflows / {total_flows} flows on a k={K} "
+          f"fat-tree ({reference.num_racks} racks, "
+          f"{reference.oversubscription:.0f}:1 oversubscribed)")
+
+    # One aggregation-switch failure, the same for every architecture.
+    injector = FailureInjector(
+        reference, seed=3, switch_kinds=(NodeKind.AGGREGATION, NodeKind.CORE)
+    )
+    scenario = injector.single_node_failure()
+    victim = scenario.nodes[0]
+    counts = affected_by_scenario(reference, specs, scenario)
+    print(f"\ninjected failure: {victim}")
+    print(f"  affected flows:   {counts.flow_fraction:6.1%}")
+    print(f"  affected coflows: {counts.coflow_fraction:6.1%}  "
+          f"(amplification {counts.amplification:.1f}x — the coflow effect)")
+    def affected_ids_for(tree) -> list[int]:
+        """Coflows whose pre-failure ECMP pins cross the victim, per
+        architecture (pin sets differ between fat-tree and F10 wiring)."""
+        from repro.routing import EcmpSelector
+
+        selector = EcmpSelector(tree)
+        out = []
+        for coflow in specs:
+            for spec in coflow.flows:
+                path = selector.select(spec.src, spec.dst, spec.flow_id)
+                if path is not None and victim in path.nodes:
+                    out.append(coflow.coflow_id)
+                    break
+        return out
+
+    print("\nCCT slowdown of affected coflows under that single failure")
+    print("(each architecture is compared against its *own* no-failure run):")
+
+    # fat-tree, global optimal rerouting
+    b1 = FluidSimulation(
+        FatTree(K, hosts_per_edge=HOSTS_PER_EDGE),
+        GlobalOptimalRerouteRouter(FatTree(K, hosts_per_edge=HOSTS_PER_EDGE)),
+        specs,
+        horizon=3600.0,
+    ).run()
+    t1 = FatTree(K, hosts_per_edge=HOSTS_PER_EDGE)
+    sim1 = FluidSimulation(
+        t1, GlobalOptimalRerouteRouter(t1), specs, horizon=3600.0
+    )
+    sim1.fail_node_at(0.0, victim)
+    r1 = cct_slowdowns(b1, sim1.run(), affected_ids_for(FatTree(K, hosts_per_edge=HOSTS_PER_EDGE)))
+    print(f"  fat-tree/global-reroute : {slowdown_digest(r1)}")
+
+    # F10, local rerouting
+    b2 = FluidSimulation(
+        F10Tree(K, hosts_per_edge=HOSTS_PER_EDGE),
+        F10LocalRerouteRouter(F10Tree(K, hosts_per_edge=HOSTS_PER_EDGE)),
+        specs,
+        horizon=3600.0,
+    ).run()
+    t2 = F10Tree(K, hosts_per_edge=HOSTS_PER_EDGE)
+    sim2 = FluidSimulation(t2, F10LocalRerouteRouter(t2), specs, horizon=3600.0)
+    sim2.fail_node_at(0.0, victim)
+    r2 = cct_slowdowns(b2, sim2.run(), affected_ids_for(F10Tree(K, hosts_per_edge=HOSTS_PER_EDGE)))
+    print(f"  f10/local-reroute       : {slowdown_digest(r2)}")
+
+    # ShareBackup
+    net = ShareBackupNetwork(K, n=1)
+    sb_specs = make_specs(net.logical)  # canonical hosts (k/2 per rack)
+    sb_base = FluidSimulation(
+        FatTree(K), GlobalOptimalRerouteRouter(FatTree(K)), sb_specs, horizon=3600.0
+    ).run()
+    sbs = ShareBackupSimulation(net, sb_specs, horizon=3600.0)
+    sbs.inject_switch_failure(0.0, victim)
+    r3 = cct_slowdowns(sb_base, sbs.run())
+    print(f"  sharebackup             : {slowdown_digest(r3)}")
+
+    print("\nreading: rerouting keeps coflows alive but the slowdown tail is "
+          "real; F10's")
+    print("detours dilate paths and congest siblings; ShareBackup restores "
+          "the exact")
+    print("pre-failure network, so its slowdowns sit at ~1.0x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Cost explorer: Table 2 and Figure 5 for any (k, n) you care about.
+
+Prints the dollar cost of a fat-tree and the *additional* cost of making
+it failure-resilient three different ways — ShareBackup, Aspen Tree, and
+1:1 backup — under both price books (copper E-DC, optical O-DC).
+
+Run:  python examples/cost_explorer.py [k] [n]
+"""
+
+import sys
+
+from repro.cost import (
+    E_DC,
+    O_DC,
+    aspen_extra_cost,
+    fattree_cost,
+    figure5_series,
+    one_to_one_extra_cost,
+    relative_extra_cost,
+    sharebackup_extra_cost,
+    sharebackup_inventory,
+)
+
+
+def dollars(x: float) -> str:
+    return f"${x:,.0f}"
+
+
+def main() -> None:
+    k = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    hosts = k**3 // 4
+    print(f"=== k={k} fat-tree ({hosts:,} hosts), ShareBackup n={n} ===\n")
+
+    inv = sharebackup_inventory(k, n)
+    print("what ShareBackup adds to the fat-tree:")
+    print(f"  backup switches:       {inv['backup_switches']:,.0f} "
+          f"(backup ratio {n / (k / 2):.2%} vs ~0.01% switch failure rate)")
+    print(f"  circuit switches:      {inv['circuit_switches']:,.0f} "
+          f"({k // 2 + n + 2} ports per side)")
+    print(f"  extra cable equivalents: {inv['extra_cable_equivalents']:,.0f}")
+
+    for prices in (E_DC, O_DC):
+        base = fattree_cost(k, prices)
+        sb = sharebackup_extra_cost(k, n, prices)
+        aspen = aspen_extra_cost(k, prices)
+        oto = one_to_one_extra_cost(k, prices)
+        print(f"\n--- {prices.name} (a=${prices.circuit_port}/port, "
+              f"b=${prices.switch_port}/port, c=${prices.cable}/cable) ---")
+        print(f"  fat-tree baseline:      {dollars(base)}")
+        rows = [
+            (f"ShareBackup (n={n})", sb),
+            ("Aspen Tree", aspen),
+            ("1:1 backup", oto),
+        ]
+        for name, extra in rows:
+            rel = relative_extra_cost(extra, k, prices)
+            print(f"  + {name:18s} {dollars(extra.total):>14s}  "
+                  f"({rel:7.1%} of fat-tree; switches {dollars(extra.switch_ports)}, "
+                  f"cables {dollars(extra.cables)}, circuits "
+                  f"{dollars(extra.circuit_ports)})")
+
+    print("\n=== Figure 5: relative additional cost vs network scale (E-DC) ===")
+    series = figure5_series(prices=E_DC, ns=(1, 2, 4))
+    ks = [k_ for k_, _ in series["aspen"]]
+    header = "k:          " + "".join(f"{k_:>9d}" for k_ in ks)
+    print(header)
+    for name in ("sharebackup(n=1)", "sharebackup(n=2)", "sharebackup(n=4)",
+                 "aspen", "1:1-backup"):
+        row = "".join(f"{y:>9.1%}" for _, y in series[name])
+        print(f"{name:12s}{row}")
+
+
+if __name__ == "__main__":
+    main()

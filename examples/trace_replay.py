@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Replaying a coflow-benchmark trace file through the failure study.
+
+The paper replays the (publicly formatted, privately distributed)
+Facebook coflow-benchmark trace.  If you have that file, point this
+script at it; otherwise it writes a small synthetic trace in the same
+text format first, then replays it — demonstrating the full path
+`trace file → rack coflows → host flows → fluid simulation → CCT
+comparison` that the real trace would take.
+
+Run:  python examples/trace_replay.py [path/to/FB-trace.txt]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis import cct_slowdowns, percentile
+from repro.core import ShareBackupNetwork, ShareBackupSimulation
+from repro.routing import GlobalOptimalRerouteRouter
+from repro.simulation import FluidSimulation
+from repro.topology import FatTree
+from repro.workload import (
+    CoflowTraceGenerator,
+    WorkloadConfig,
+    load_coflow_benchmark,
+    materialize_hosts,
+    partition_trace,
+    save_coflow_benchmark,
+)
+
+
+def demo_trace_file() -> Path:
+    """A synthetic trace written in the coflow-benchmark text format."""
+    cfg = WorkloadConfig(num_racks=16, num_coflows=60, duration=30.0, seed=11)
+    trace = CoflowTraceGenerator(cfg).generate()
+    path = Path(tempfile.gettempdir()) / "synthetic-coflow-benchmark.txt"
+    save_coflow_benchmark(path, 16, trace)
+    print(f"(no trace file given — wrote a synthetic one to {path})")
+    return path
+
+
+def main() -> None:
+    trace_path = Path(sys.argv[1]) if len(sys.argv) > 1 else demo_trace_file()
+    num_racks, trace = load_coflow_benchmark(trace_path)
+    flows = sum(c.width for c in trace)
+    print(f"loaded {len(trace)} coflows / {flows} flows over {num_racks} racks "
+          f"from {trace_path}")
+
+    # Pick a fat-tree big enough for the trace's racks (paper: 150 racks
+    # onto k=16 / 128 racks; rack ids beyond the fabric are folded).
+    k = 4
+    while (k * k) // 2 < num_racks and k < 16:
+        k += 2
+    tree = FatTree(k, hosts_per_edge=5 * (k // 2))  # 5:1 oversubscription
+    if tree.num_racks < num_racks:
+        from repro.workload import RackCoflow, RackFlow
+
+        folded = []
+        for coflow in trace:
+            flows_folded = tuple(
+                RackFlow(
+                    f.flow_id,
+                    f.coflow_id,
+                    f.src_rack % tree.num_racks,
+                    f.dst_rack % tree.num_racks,
+                    f.size_bytes,
+                )
+                for f in coflow.flows
+                if f.src_rack % tree.num_racks != f.dst_rack % tree.num_racks
+            )
+            if flows_folded:
+                folded.append(
+                    RackCoflow(coflow.coflow_id, coflow.arrival, coflow.category,
+                               flows_folded)
+                )
+        trace = folded
+        print(f"(folded {num_racks} trace racks onto the k={k} fabric's "
+              f"{tree.num_racks})")
+
+    partitions = partition_trace(trace, 30.0)
+    partition = partitions[0]
+    specs = [
+        s
+        for s in materialize_hosts(partition, tree)
+    ]
+    print(f"replaying partition 0: {len(specs)} coflows on k={k} "
+          f"({tree.num_racks} racks, {tree.oversubscription:.0f}:1)")
+
+    baseline = FluidSimulation(
+        tree, GlobalOptimalRerouteRouter(tree), specs, horizon=100_000.0
+    ).run()
+    ccts = [c.cct for c in baseline.completed_coflows()]
+    print(f"no-failure CCTs: median {percentile(ccts, 50) * 1e3:.1f} ms, "
+          f"p99 {percentile(ccts, 99):.2f} s")
+
+    net = ShareBackupNetwork(k, n=1)
+    sb_specs = materialize_hosts(partition, net.logical)
+    sb_base = FluidSimulation(
+        FatTree(k),
+        GlobalOptimalRerouteRouter(FatTree(k)),
+        sb_specs,
+        horizon=100_000.0,
+    ).run()
+    sbs = ShareBackupSimulation(net, sb_specs, horizon=100_000.0)
+    sbs.inject_switch_failure(0.5, "A.0.0")
+    report = cct_slowdowns(sb_base, sbs.run())
+    worst = report.max_slowdown()
+    print(f"ShareBackup under an aggregation failure: worst coflow slowdown "
+          f"{worst:.3f}x across {len(report.slowdowns)} coflows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Watchdog demo: failure detection through keep-alive probing, in the loop.
+
+The other examples *tell* the controller about failures.  Here a switch
+dies silently mid-transfer and the only thing that saves the flow is the
+keep-alive watchdog: heartbeats stop, the controller notices at a probe
+boundary, recovery runs, and the flow resumes — all inside the fluid
+simulation, so the application-visible stall is exactly
+detection + control + circuit reconfiguration.
+
+Run:  python examples/watchdog_demo.py
+"""
+
+from repro.core import ShareBackupNetwork
+from repro.core.watchdog import WatchdogSimulation
+from repro.simulation import CoflowSpec, FlowSpec
+
+GBIT = 1.25e8
+
+
+def main() -> None:
+    net = ShareBackupNetwork(k=8, n=1)
+    flow = FlowSpec(1, 1, "H.0.0.0", "H.7.0.0", 100 * GBIT)  # 10 s at line rate
+    sim = WatchdogSimulation(net, [CoflowSpec(1, 0.0, (flow,))])
+
+    path = sim.router.initial_path("H.0.0.0", "H.7.0.0", 1)
+    victim = path.nodes[3]  # the core switch on the flow's path
+    death = 4.0002  # dies just after a probe boundary (worst case-ish)
+    sim.inject_silent_switch_failure(death, victim)
+
+    interval = sim.probe_interval()
+    print(f"probe interval: {interval * 1e3:.1f} ms, "
+          f"miss threshold: {sim.controller.miss_threshold} intervals")
+    print(f"flow path: {' > '.join(path.nodes)}")
+    print(f"{victim} dies silently at t={death}s ...")
+
+    result = sim.run()
+    record = result.flows[1]
+    physical, died, detected = sim.detections[0]
+
+    print(f"\ndetected: {physical} declared dead at t={detected:.6f}s "
+          f"({(detected - died) * 1e3:.2f} ms after death)")
+    report = sim.reports[0]
+    print(f"recovered: {dict(report.replaced)} "
+          f"({report.circuit_switches_touched} circuit switches, "
+          f"+{(report.breakdown.control + report.breakdown.reconfiguration) * 1e3:.2f} ms)")
+    print(f"\nflow outcome: finished at t={record.finish:.6f}s")
+    print(f"  total stall: {record.stalled_time * 1e3:.2f} ms "
+          "(detection dominates; reconfiguration is nanoseconds)")
+    print(f"  reroutes: {record.reroutes}  <- the path never changed")
+    net.verify_fattree_equivalence()
+    print("  logical topology: still a perfect fat-tree")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The environment has setuptools 65 without the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build the editable wheel.
+This shim lets ``python setup.py develop`` / legacy editable installs work
+offline; all metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

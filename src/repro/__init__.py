@@ -1,0 +1,43 @@
+"""repro — a full reproduction of *Stop Rerouting! Enabling ShareBackup for
+Failure Recovery in Data Center Networks* (Xia, Huang, Ng — HotNets'17).
+
+Package map:
+
+* :mod:`repro.core` — **ShareBackup itself**: the circuit-switched
+  backup-sharing architecture, its controller, offline failure
+  diagnosis, live impersonation, and recovery-latency model.
+* :mod:`repro.topology` — fat-tree, F10's AB fat-tree, Aspen-style
+  duplicated tree, 1:1 backup tree.
+* :mod:`repro.routing` — two-level fat-tree routing, ECMP, and the
+  rerouting baselines (global-optimal, F10 local).
+* :mod:`repro.simulation` — flow-level max-min-fair discrete-event
+  simulator.
+* :mod:`repro.workload` — synthetic coflow traces in the image of the
+  Facebook coflow benchmark.
+* :mod:`repro.failures` — failure statistics and scenario injection.
+* :mod:`repro.cost` — Table 2 cost equations and Figure 5 curves.
+* :mod:`repro.analysis` — affected-flow/coflow metrics, CCT slowdown,
+  and the measured Table 3 characteristics probe.
+
+Quick taste (see ``examples/quickstart.py`` for the narrated version)::
+
+    from repro.core import ShareBackupNetwork, ShareBackupController
+
+    net = ShareBackupNetwork(k=8, n=1)
+    controller = ShareBackupController(net)
+    report = controller.handle_node_failure("A.0.1")
+    print(report.replaced, report.recovery_time)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "cost",
+    "failures",
+    "routing",
+    "simulation",
+    "topology",
+    "workload",
+]

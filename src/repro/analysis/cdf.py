@@ -1,0 +1,65 @@
+"""Small empirical-distribution helpers shared by experiments.
+
+Figure 1 of the paper is built from empirical CDFs (fraction of
+flows/coflows affected; CCT-slowdown distribution), so these utilities
+are the reproduction's plotting backend — they produce the (x, P(X ≤ x))
+series the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = ["empirical_cdf", "percentile", "cdf_at", "summarize"]
+
+
+def empirical_cdf(values: Iterable[float]) -> tuple[list[float], list[float]]:
+    """Sorted values and their cumulative probabilities (right-continuous).
+
+    Infinite values (e.g. coflows that never finish under a failure) are
+    kept: they appear at the top of the CDF, which is exactly how a
+    "never completes" coflow should read on a slowdown plot.
+    """
+    data = sorted(values)
+    if not data:
+        return [], []
+    n = len(data)
+    return data, [(i + 1) / n for i in range(n)]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) by nearest-rank on sorted data."""
+    if not values:
+        raise ValueError("percentile of empty data")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0,100], got {q}")
+    data = sorted(values)
+    if q == 0:
+        return data[0]
+    rank = max(1, math.ceil(q / 100.0 * len(data)))
+    return data[rank - 1]
+
+
+def cdf_at(values: Sequence[float], x: float) -> float:
+    """P(X ≤ x) under the empirical distribution."""
+    if not values:
+        raise ValueError("cdf of empty data")
+    return sum(1 for v in values if v <= x) / len(values)
+
+
+def summarize(values: Sequence[float], label: str = "") -> dict[str, float]:
+    """Median / p90 / p99 / max digest used in experiment reports."""
+    finite = [v for v in values if math.isfinite(v)]
+    out = {
+        "count": float(len(values)),
+        "infinite": float(len(values) - len(finite)),
+    }
+    if finite:
+        out.update(
+            median=percentile(finite, 50),
+            p90=percentile(finite, 90),
+            p99=percentile(finite, 99),
+            max=max(finite),
+        )
+    return out

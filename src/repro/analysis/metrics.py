@@ -1,0 +1,151 @@
+"""Experiment metrics: affected flows/coflows and CCT slowdown.
+
+These implement the paper's definitions verbatim (Section 2.2):
+
+* "A flow is considered affected if it traverses a failed node or link,
+  and a coflow is affected if at least one flow in its set gets
+  affected."  Traversal is judged on the flow's *pre-failure* ECMP pin.
+* "CCT slowdown, which is the CCT with failure divided by the CCT
+  without failure."  Coflows that never finish under the failure map to
+  ``inf`` — they sit at the top of the slowdown CDF.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..failures.injector import FailureScenario
+from ..routing.ecmp import EcmpSelector
+from ..simulation.engine import SimulationResult
+from ..simulation.flow import CoflowSpec
+from ..topology.fattree import FatTree
+
+__all__ = [
+    "AffectedCounts",
+    "affected_by_scenario",
+    "cct_slowdowns",
+    "SlowdownReport",
+]
+
+
+@dataclass(frozen=True)
+class AffectedCounts:
+    """Result of one affected-fraction measurement (one Figure 1(a)/(b) point)."""
+
+    flows_total: int
+    flows_affected: int
+    coflows_total: int
+    coflows_affected: int
+
+    @property
+    def flow_fraction(self) -> float:
+        return self.flows_affected / self.flows_total if self.flows_total else 0.0
+
+    @property
+    def coflow_fraction(self) -> float:
+        return (
+            self.coflows_affected / self.coflows_total if self.coflows_total else 0.0
+        )
+
+    @property
+    def amplification(self) -> float:
+        """Coflow-level impact over flow-level impact (the paper: 3.3×–90×)."""
+        if self.flow_fraction == 0:
+            return math.inf if self.coflow_fraction > 0 else 1.0
+        return self.coflow_fraction / self.flow_fraction
+
+
+def affected_by_scenario(
+    tree: FatTree,
+    trace: Sequence[CoflowSpec],
+    scenario: FailureScenario,
+    selector: EcmpSelector | None = None,
+) -> AffectedCounts:
+    """Count flows/coflows whose ECMP-pinned path crosses the scenario.
+
+    The topology must be in the *pre-failure* state when called: pins and
+    their segments are computed on the healthy network, then intersected
+    with the scenario's element sets.
+    """
+    if tree.failed_nodes() or tree.failed_links():
+        raise ValueError("affected_by_scenario needs the pre-failure topology")
+    selector = selector or EcmpSelector(tree)
+    failed_nodes = set(scenario.nodes)
+    failed_links = set(scenario.links)
+
+    flows_total = flows_affected = 0
+    coflows_affected = 0
+    for coflow in trace:
+        coflow_hit = False
+        for spec in coflow.flows:
+            flows_total += 1
+            path = selector.select(spec.src, spec.dst, spec.flow_id)
+            if path is None:
+                continue
+            hit = bool(failed_nodes.intersection(path.nodes))
+            if not hit and failed_links:
+                hit = any(
+                    seg.link_id in failed_links
+                    for seg in path.segments(tree, spec.flow_id)
+                )
+            if hit:
+                flows_affected += 1
+                coflow_hit = True
+        if coflow_hit:
+            coflows_affected += 1
+    return AffectedCounts(
+        flows_total=flows_total,
+        flows_affected=flows_affected,
+        coflows_total=len(trace),
+        coflows_affected=coflows_affected,
+    )
+
+
+@dataclass(frozen=True)
+class SlowdownReport:
+    """CCT slowdowns of one failed run against its baseline."""
+
+    #: coflow id → CCT(failure) / CCT(baseline); inf if unfinished under failure.
+    slowdowns: dict[int, float]
+    #: ids of coflows the failure actually touched (path intersection).
+    affected: frozenset[int]
+
+    def affected_slowdowns(self) -> list[float]:
+        """Slowdowns of affected coflows — what Figure 1(c) plots."""
+        return [self.slowdowns[c] for c in sorted(self.affected) if c in self.slowdowns]
+
+    def all_slowdowns(self) -> list[float]:
+        return [self.slowdowns[c] for c in sorted(self.slowdowns)]
+
+    def max_slowdown(self) -> float:
+        values = self.all_slowdowns()
+        return max(values) if values else 1.0
+
+
+def cct_slowdowns(
+    baseline: SimulationResult,
+    failed: SimulationResult,
+    affected_coflows: Sequence[int] = (),
+) -> SlowdownReport:
+    """Per-coflow CCT slowdown between a baseline and a failure run.
+
+    Coflows missing a baseline CCT (did not finish even without failure —
+    trace truncated by the horizon) are excluded rather than guessed.
+    """
+    slowdowns: dict[int, float] = {}
+    for cid, base_record in baseline.coflows.items():
+        base_cct = base_record.cct
+        if base_cct is None or base_cct <= 0:
+            continue
+        failed_record = failed.coflows.get(cid)
+        if failed_record is None:
+            continue
+        failed_cct = failed_record.cct
+        slowdowns[cid] = (
+            math.inf if failed_cct is None else failed_cct / base_cct
+        )
+    return SlowdownReport(
+        slowdowns=slowdowns, affected=frozenset(affected_coflows)
+    )

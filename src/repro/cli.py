@@ -1,0 +1,289 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map onto the library's main entry points:
+
+* ``info``      — build a ShareBackup network and print its inventory;
+* ``cost``      — Table 2 / Figure 5 cost figures for (k, n);
+* ``capacity``  — §5.1/§5.3 design space under a circuit-port budget;
+* ``failover``  — run a live failover (and optional link diagnosis) on a
+  freshly built network and print the controller's report;
+* ``trace``     — generate synthetic coflow traces and convert between
+  the JSON form and the coflow-benchmark text format;
+* ``study``     — a small end-to-end failure study (affected fractions +
+  recovery comparison) suitable for a quick demo.
+
+The CLI is deliberately a thin shell over the public API — each command
+body doubles as usage documentation for the corresponding library calls.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ShareBackup (HotNets'17) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="build a network and print its inventory")
+    p_info.add_argument("--k", type=int, default=8, help="fat-tree arity (even)")
+    p_info.add_argument("--n", type=int, default=1, help="backups per failure group")
+
+    p_cost = sub.add_parser("cost", help="Table 2 / Figure 5 cost figures")
+    p_cost.add_argument("--k", type=int, default=48)
+    p_cost.add_argument("--n", type=int, default=1)
+
+    p_cap = sub.add_parser("capacity", help="design space under a port budget")
+    p_cap.add_argument("--ports", type=int, default=32,
+                       help="circuit-switch ports per side")
+
+    p_fail = sub.add_parser("failover", help="run a live failover")
+    p_fail.add_argument("--k", type=int, default=8)
+    p_fail.add_argument("--n", type=int, default=1)
+    p_fail.add_argument("--victim", default="A.0.1",
+                        help="logical switch to fail (e.g. A.0.1, E.2.0, C.3)")
+    p_fail.add_argument("--link", action="store_true",
+                        help="fail the victim's first uplink instead (runs diagnosis)")
+
+    p_trace = sub.add_parser("trace", help="generate/convert coflow traces")
+    p_trace.add_argument("action", choices=("generate", "convert"))
+    p_trace.add_argument("--racks", type=int, default=32)
+    p_trace.add_argument("--coflows", type=int, default=100)
+    p_trace.add_argument("--duration", type=float, default=60.0)
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.add_argument("--in", dest="input", help="input file (convert)")
+    p_trace.add_argument("--out", required=True, help="output file")
+    p_trace.add_argument("--format", choices=("json", "benchmark"), default="json")
+
+    p_study = sub.add_parser("study", help="small end-to-end failure study")
+    p_study.add_argument("--k", type=int, default=6)
+    p_study.add_argument("--coflows", type=int, default=60)
+    p_study.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# command bodies
+# ----------------------------------------------------------------------
+
+
+def cmd_info(args) -> int:
+    from repro.core import ImpersonationTables, ShareBackupNetwork
+
+    net = ShareBackupNetwork(args.k, n=args.n)
+    net.verify_fattree_equivalence()
+    logical = net.logical
+    print(f"ShareBackup network  k={args.k}  n={args.n}")
+    print(f"  hosts:                 {logical.num_hosts}")
+    print(f"  racks:                 {logical.num_racks}")
+    print(f"  packet switches:       {len(logical.packet_switches())}")
+    print(f"  backup switches:       {net.num_backup_switches}")
+    print(f"  failure groups:        {len(net.groups)}")
+    print(f"  circuit switches:      {net.num_circuit_switches} "
+          f"({net.circuit_ports_per_side} ports/side)")
+    report = ImpersonationTables(logical).tcam_report()
+    print(f"  combined edge table:   {report['edge_group_entries']} entries "
+          f"(TCAM fit: {report['fits']})")
+    print("  logical topology:      verified == canonical fat-tree")
+    return 0
+
+
+def cmd_cost(args) -> int:
+    from repro.cost import (
+        E_DC,
+        O_DC,
+        aspen_extra_cost,
+        fattree_cost,
+        one_to_one_extra_cost,
+        relative_extra_cost,
+        sharebackup_extra_cost,
+    )
+
+    print(f"cost figures for k={args.k}, n={args.n} "
+          f"({args.k ** 3 // 4:,} hosts)")
+    for prices in (E_DC, O_DC):
+        base = fattree_cost(args.k, prices)
+        print(f"\n[{prices.name}] fat-tree baseline ${base:,.0f}")
+        for name, extra in (
+            ("sharebackup", sharebackup_extra_cost(args.k, args.n, prices)),
+            ("aspen", aspen_extra_cost(args.k, prices)),
+            ("1:1 backup", one_to_one_extra_cost(args.k, prices)),
+        ):
+            rel = relative_extra_cost(extra, args.k, prices)
+            print(f"  +{name:<12} ${extra.total:>14,.0f}  ({rel:7.1%})")
+    return 0
+
+
+def cmd_capacity(args) -> int:
+    from repro.failures import DEFAULT_FAILURE_MODEL
+
+    model = DEFAULT_FAILURE_MODEL
+    print(f"design space: circuit switches with {args.ports} ports/side "
+          f"(k/2 + n + 2 <= {args.ports})")
+    print(f"{'n':>3}{'max k':>7}{'hosts':>14}{'backup ratio':>14}{'group risk':>13}")
+    for n in range(1, 9):
+        half = args.ports - n - 2
+        if half < 2:
+            break
+        k = 2 * half
+        risk = model.concurrent_failure_probability(half, n)
+        print(f"{n:>3}{k:>7}{k ** 3 // 4:>14,}{n / half:>13.2%}{risk:>13.2e}")
+    return 0
+
+
+def cmd_failover(args) -> int:
+    from repro.core import ShareBackupController, ShareBackupNetwork
+
+    net = ShareBackupNetwork(args.k, n=args.n)
+    controller = ShareBackupController(net)
+    if not net.logical.has_node(args.victim):
+        print(f"error: {args.victim!r} is not a switch of the k={args.k} "
+              "fat-tree", file=sys.stderr)
+        return 2
+
+    if args.link:
+        neighbor = next(
+            other
+            for other in net.logical.neighbors(args.victim)
+            if not other.startswith("H.")
+        )
+        end_a = _interface_toward(net, args.victim, neighbor)
+        end_b = _interface_toward(net, neighbor, args.victim)
+        report = controller.handle_link_failure(
+            end_a, end_b, true_faulty_interfaces=(end_a,)
+        )
+        print(f"link failure {args.victim} -- {neighbor}")
+        print(f"  replaced: {dict(report.replaced)}")
+        for diag in controller.run_pending_diagnoses():
+            print(f"  diagnosis: exonerated {diag.exonerated_devices()}, "
+                  f"condemned {diag.condemned_devices()}")
+    else:
+        report = controller.handle_node_failure(args.victim)
+        print(f"node failure {args.victim}")
+        print(f"  replaced: {dict(report.replaced)}")
+    print(f"  circuit switches reconfigured: {report.circuit_switches_touched}")
+    print(f"  recovery time: {report.recovery_time * 1e3:.3f} ms")
+    net.verify_fattree_equivalence()
+    print("  logical topology: verified == canonical fat-tree")
+    return 0
+
+
+def _interface_toward(net, device: str, far: str):
+    """(device, physical interface) of the link device--far, via the wiring."""
+    from repro.core import ShareBackupSimulation
+
+    shim = ShareBackupSimulation.__new__(ShareBackupSimulation)
+    shim.net = net
+    return shim._interface_end(device, far)
+
+
+def cmd_trace(args) -> int:
+    from repro.workload import (
+        CoflowTraceGenerator,
+        WorkloadConfig,
+        load_coflow_benchmark,
+        load_trace,
+        save_coflow_benchmark,
+        save_trace,
+    )
+
+    if args.action == "generate":
+        cfg = WorkloadConfig(
+            num_racks=args.racks,
+            num_coflows=args.coflows,
+            duration=args.duration,
+            seed=args.seed,
+        )
+        trace = CoflowTraceGenerator(cfg).generate()
+        if args.format == "json":
+            save_trace(args.out, trace)
+        else:
+            save_coflow_benchmark(args.out, args.racks, trace)
+        flows = sum(c.width for c in trace)
+        print(f"wrote {len(trace)} coflows / {flows} flows to {args.out} "
+              f"({args.format})")
+        return 0
+
+    if not args.input:
+        print("error: convert needs --in", file=sys.stderr)
+        return 2
+    if args.format == "benchmark":
+        trace = load_trace(args.input)
+        save_coflow_benchmark(args.out, args.racks, trace)
+    else:
+        _racks, trace = load_coflow_benchmark(args.input)
+        save_trace(args.out, trace)
+    print(f"converted {len(trace)} coflows -> {args.out} ({args.format})")
+    return 0
+
+
+def cmd_study(args) -> int:
+    from repro.analysis import affected_by_scenario
+    from repro.core import ShareBackupNetwork, ShareBackupSimulation
+    from repro.failures import FailureInjector
+    from repro.topology import NodeKind
+    from repro.workload import (
+        CoflowTraceGenerator,
+        WorkloadConfig,
+        materialize_hosts,
+    )
+
+    net = ShareBackupNetwork(args.k, n=1)
+    tree = net.logical
+    cfg = WorkloadConfig(
+        num_racks=tree.num_racks,
+        num_coflows=args.coflows,
+        duration=20.0,
+        seed=args.seed,
+    )
+    specs = materialize_hosts(CoflowTraceGenerator(cfg).generate(), tree)
+    injector = FailureInjector(
+        tree, seed=args.seed, switch_kinds=(NodeKind.AGGREGATION, NodeKind.CORE)
+    )
+    scenario = injector.single_node_failure()
+    counts = affected_by_scenario(tree, specs, scenario)
+    victim = scenario.nodes[0]
+    print(f"k={args.k} ShareBackup, {len(specs)} coflows, single failure: {victim}")
+    print(f"  affected flows:   {counts.flow_fraction:6.1%}")
+    print(f"  affected coflows: {counts.coflow_fraction:6.1%} "
+          f"(amplification {counts.amplification:.1f}x)")
+
+    sbs = ShareBackupSimulation(net, specs, horizon=100_000.0)
+    sbs.inject_switch_failure(1.0, victim)
+    result = sbs.run()
+    stalls = [f.stalled_time for f in result.flows.values() if f.stalled_time > 0]
+    reroutes = sum(f.reroutes for f in result.flows.values())
+    print(f"  ShareBackup recovery: {len(result.completed_coflows())}/"
+          f"{len(result.coflows)} coflows completed, {reroutes} reroutes, "
+          f"worst stall {max(stalls) * 1e3:.2f} ms"
+          if stalls
+          else f"  ShareBackup recovery: all {len(result.coflows)} coflows "
+               "completed; no flow even stalled")
+    return 0
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "cost": cmd_cost,
+    "capacity": cmd_capacity,
+    "failover": cmd_failover,
+    "trace": cmd_trace,
+    "study": cmd_study,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+"""ShareBackup — the paper's contribution.
+
+The pieces, mapped to the paper's sections:
+
+* :mod:`~repro.core.sharebackup` — the architecture (§3): fat-tree +
+  circuit-switch layers + shared backup switches + failure groups.
+* :mod:`~repro.core.circuit_switch` — the configurable crossbar model.
+* :mod:`~repro.core.failure_group` — backup-sharing bookkeeping (§3, §5.1).
+* :mod:`~repro.core.controller` — detection & recovery control plane (§4.1),
+  circuit-switch failure policy and controller replication (§5.1).
+* :mod:`~repro.core.diagnosis` — offline failure diagnosis (§4.2).
+* :mod:`~repro.core.impersonation` — combined VLAN routing tables (§4.3).
+* :mod:`~repro.core.switchmodel` — the forwarding plane over the physical
+  wiring; proves impersonation end to end.
+* :mod:`~repro.core.recovery` — recovery-latency model (§5.3).
+* :mod:`~repro.core.simadapter` — ShareBackup inside the fluid simulator.
+"""
+
+from .circuit_switch import (
+    CROSSPOINT_RECONFIG_SECONDS,
+    MEMS_RECONFIG_SECONDS,
+    CircuitSwitch,
+    CircuitSwitchError,
+)
+from .controller import (
+    ControllerCluster,
+    HumanInterventionRequired,
+    RecoveryReport,
+    ShareBackupController,
+)
+from .diagnosis import FailureDiagnosis, InterfaceVerdict, LinkDiagnosis, ProbeOutcome
+from .failure_group import FailureGroup, GroupLayer, NoBackupAvailable
+from .impersonation import (
+    DEFAULT_TCAM_CAPACITY,
+    ImpersonationTables,
+    agg_downlink_interface,
+    combined_edge_entry_count,
+    edge_uplink_interface,
+)
+from .recovery import RecoveryBreakdown, RecoveryTimeModel
+from .sharebackup_ab import ShareBackupABNetwork
+from .sharebackup import (
+    ShareBackupNetwork,
+    backup_agg_name,
+    backup_core_name,
+    backup_edge_name,
+    cs_name,
+)
+from .simadapter import ShareBackupSimulation
+from .watchdog import WatchdogSimulation
+from .switchmodel import ForwardingError, PacketSwitchModel, PhysicalForwarder
+
+__all__ = [
+    "CROSSPOINT_RECONFIG_SECONDS",
+    "CircuitSwitch",
+    "CircuitSwitchError",
+    "ControllerCluster",
+    "DEFAULT_TCAM_CAPACITY",
+    "FailureDiagnosis",
+    "FailureGroup",
+    "ForwardingError",
+    "GroupLayer",
+    "HumanInterventionRequired",
+    "ImpersonationTables",
+    "InterfaceVerdict",
+    "LinkDiagnosis",
+    "MEMS_RECONFIG_SECONDS",
+    "NoBackupAvailable",
+    "PacketSwitchModel",
+    "PhysicalForwarder",
+    "ProbeOutcome",
+    "RecoveryBreakdown",
+    "RecoveryReport",
+    "RecoveryTimeModel",
+    "ShareBackupController",
+    "ShareBackupABNetwork",
+    "ShareBackupNetwork",
+    "ShareBackupSimulation",
+    "WatchdogSimulation",
+    "agg_downlink_interface",
+    "backup_agg_name",
+    "backup_core_name",
+    "backup_edge_name",
+    "combined_edge_entry_count",
+    "cs_name",
+    "edge_uplink_interface",
+]

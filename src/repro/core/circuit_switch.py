@@ -1,0 +1,205 @@
+"""Software model of the small circuit switches ShareBackup is built from.
+
+A circuit switch here is a ``(k/2+n+2) × (k/2+n+2)`` two-sided crossbar
+(electrical crosspoint or 2D-MEMS optical — Table 2): physical-layer
+device, no packet inspection, any *down-side* port can be internally
+connected to any *up-side* port, and reconfiguration is near-instant
+(70 ns crosspoint / 40 µs MEMS, Section 5.3).
+
+Port naming:
+
+* ``("d", i)`` — down-side device ports (hosts below a layer-1 switch,
+  edge switches below a layer-2 switch, aggregation below layer-3);
+  indices ``0..k/2-1`` carry regular devices, ``k/2..k/2+n-1`` backups.
+* ``("u", i)`` — up-side device ports, same convention.
+* ``("ds", s)`` / ``("us", s)``, ``s ∈ {0, 1}`` — the two side ports per
+  side that chain the circuit switches of a layer into a ring for
+  offline failure diagnosis (Figure 4).
+
+The model tracks the *external* cabling (which device interface each
+port is spliced to) separately from the *internal* configuration (which
+port pairs are connected), because recovery only ever touches the
+internal configuration — the paper's central trick is that no cable
+moves when a backup switch comes online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "CSPort",
+    "Endpoint",
+    "CircuitSwitch",
+    "CircuitSwitchError",
+    "CROSSPOINT_RECONFIG_SECONDS",
+    "MEMS_RECONFIG_SECONDS",
+]
+
+#: Reconfiguration latencies from the paper (Section 5.3).
+CROSSPOINT_RECONFIG_SECONDS: float = 70e-9
+MEMS_RECONFIG_SECONDS: float = 40e-6
+
+#: A port is a (kind, index) pair; see module docstring.
+CSPort = tuple[str, int]
+
+#: What a port's cable is spliced to: a device interface (device name +
+#: interface key) or another circuit switch's side port.
+Endpoint = tuple[str, tuple]
+
+
+class CircuitSwitchError(Exception):
+    """Illegal circuit operations (unknown port, double-connected port)."""
+
+
+@dataclass
+class CircuitSwitch:
+    """One configurable crossbar.
+
+    ``radix`` is the down-side device-port count (``k/2 + n``); two side
+    ports per side are added on top, matching the paper's
+    ``(k/2 + n + 2)``-port sizing.  ``up_radix`` lets the two sides
+    differ, which the non-uniform failure-group extension (paper §6:
+    "more backup on critical devices and less backup on unimportant
+    ones") uses when adjacent layers carry different spare counts.
+    """
+
+    name: str
+    radix: int
+    reconfig_latency: float = CROSSPOINT_RECONFIG_SECONDS
+    up: bool = True
+    up_radix: Optional[int] = None
+
+    _cables: dict[CSPort, Endpoint] = field(default_factory=dict, repr=False)
+    _mapping: dict[CSPort, CSPort] = field(default_factory=dict, repr=False)
+    reconfigurations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.up_radix is None:
+            self.up_radix = self.radix
+
+    # ------------------------------------------------------------------
+    # port inventory
+    # ------------------------------------------------------------------
+
+    def ports(self) -> list[CSPort]:
+        device = [("d", i) for i in range(self.radix)] + [
+            ("u", i) for i in range(self.up_radix)
+        ]
+        side = [("ds", 0), ("ds", 1), ("us", 0), ("us", 1)]
+        return device + side
+
+    def _check_port(self, port: CSPort) -> None:
+        kind, index = port
+        if kind == "d":
+            if not 0 <= index < self.radix:
+                raise CircuitSwitchError(f"{self.name}: no port {port}")
+        elif kind == "u":
+            if not 0 <= index < self.up_radix:
+                raise CircuitSwitchError(f"{self.name}: no port {port}")
+        elif kind in ("ds", "us"):
+            if index not in (0, 1):
+                raise CircuitSwitchError(f"{self.name}: no side port {port}")
+        else:
+            raise CircuitSwitchError(f"{self.name}: bad port kind {port}")
+
+    @property
+    def ports_per_side(self) -> int:
+        """The paper's headline port count: ``k/2 + n + 2`` (larger side)."""
+        return max(self.radix, self.up_radix) + 2
+
+    # ------------------------------------------------------------------
+    # external cabling (set once at build time)
+    # ------------------------------------------------------------------
+
+    def splice(self, port: CSPort, endpoint: Endpoint) -> None:
+        """Attach the cable on ``port`` to ``endpoint`` (build-time only)."""
+        self._check_port(port)
+        if port in self._cables:
+            raise CircuitSwitchError(f"{self.name}: port {port} already cabled")
+        self._cables[port] = endpoint
+
+    def cable(self, port: CSPort) -> Optional[Endpoint]:
+        return self._cables.get(port)
+
+    def port_of_endpoint(self, endpoint: Endpoint) -> Optional[CSPort]:
+        for port, cabled in self._cables.items():
+            if cabled == endpoint:
+                return port
+        return None
+
+    # ------------------------------------------------------------------
+    # internal configuration
+    # ------------------------------------------------------------------
+
+    def connect(self, a: CSPort, b: CSPort) -> None:
+        """Create the internal circuit ``a ↔ b`` (both must be free)."""
+        self._check_port(a)
+        self._check_port(b)
+        if a == b:
+            raise CircuitSwitchError(f"{self.name}: cannot loop port {a} to itself")
+        for port in (a, b):
+            if port in self._mapping:
+                raise CircuitSwitchError(
+                    f"{self.name}: port {port} already connected to "
+                    f"{self._mapping[port]}"
+                )
+        self._mapping[a] = b
+        self._mapping[b] = a
+
+    def disconnect(self, port: CSPort) -> None:
+        """Tear down the circuit on ``port`` (idempotent)."""
+        peer = self._mapping.pop(port, None)
+        if peer is not None:
+            self._mapping.pop(peer, None)
+
+    def peer(self, port: CSPort) -> Optional[CSPort]:
+        """The port internally connected to ``port``, if any."""
+        self._check_port(port)
+        return self._mapping.get(port)
+
+    def reconfigure(self, changes: dict[CSPort, Optional[CSPort]]) -> float:
+        """Apply a batch of circuit changes atomically; returns latency.
+
+        ``{port: new_peer}`` — ``None`` tears the port's circuit down.
+        Every mentioned port is first disconnected, then the new pairs are
+        made, so swaps need no careful ordering by the caller.
+        """
+        if not self.up:
+            raise CircuitSwitchError(f"{self.name} is down; cannot reconfigure")
+        for port in list(changes):
+            self._check_port(port)
+            self.disconnect(port)
+            peer = changes[port]
+            if peer is not None:
+                self.disconnect(peer)
+        for port, peer in changes.items():
+            if peer is not None and self._mapping.get(port) != peer:
+                self.connect(port, peer)
+        self.reconfigurations += 1
+        return self.reconfig_latency
+
+    def mapping(self) -> dict[CSPort, CSPort]:
+        """A copy of the current internal configuration."""
+        return dict(self._mapping)
+
+    # ------------------------------------------------------------------
+
+    def traverse(self, port: CSPort) -> Optional[Endpoint]:
+        """Follow a signal entering at ``port``: internal circuit, then the
+        cable on the far port.  ``None`` when the port is unconnected or
+        the far port uncabled (light stops here)."""
+        if not self.up:
+            return None
+        peer = self.peer(port)
+        if peer is None:
+            return None
+        return self._cables.get(peer)
+
+    def __repr__(self) -> str:
+        state = "" if self.up else " DOWN"
+        return (
+            f"<CircuitSwitch {self.name} radix={self.radix} "
+            f"circuits={len(self._mapping) // 2}{state}>"
+        )

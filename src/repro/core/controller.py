@@ -1,0 +1,419 @@
+"""The logically centralized ShareBackup controller (paper Section 4).
+
+Responsibilities, mirroring the paper:
+
+* **Failure detection** (§4.1): switches send keep-alive messages
+  continuously; a switch that misses ``miss_threshold`` consecutive
+  probe intervals is declared dead.  Link failures are detected by the
+  endpoints (F10-style rapid probing) and *reported* to the controller.
+* **Node-failure recovery** (§4.1): allocate a free backup switch from
+  the failed switch's failure group and reconfigure that group's circuit
+  switches so the backup inherits the failed switch's connectivity.
+* **Link-failure recovery** (§4.1): "for the purpose of fast recovery,
+  the switches on both sides of the failed link are replaced", each from
+  its own failure group; host-attached links replace only the switch
+  side ("we assume switches are at fault for link failures to hosts").
+* **Offline diagnosis** (§4.2): afterwards, the suspect interfaces are
+  tested through the circuit-switch rings; exonerated switches return to
+  their group's spare pool (the paper's no-switch-back policy — the
+  backup keeps serving, the old switch becomes the new spare).
+* **Circuit-switch failure policy** (§5.1): a burst of link-failure
+  reports that all map to one circuit switch trips a threshold; the
+  controller halts automatic recovery and requests human intervention;
+  a rebooted circuit switch gets its intended configuration re-pushed.
+* **Controller replication** (§5.1): a small cluster with primary
+  election is modelled by :class:`ControllerCluster`.
+
+Every recovery returns a :class:`RecoveryReport` carrying the latency
+breakdown from :mod:`repro.core.recovery`, so control-plane behaviour
+and the paper's timing claims are tested against the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .diagnosis import FailureDiagnosis, LinkDiagnosis
+from .failure_group import NoBackupAvailable
+from .recovery import RecoveryBreakdown, RecoveryTimeModel
+from .sharebackup import ShareBackupNetwork
+
+__all__ = [
+    "RecoveryReport",
+    "HumanInterventionRequired",
+    "ShareBackupController",
+    "ControllerCluster",
+]
+
+
+class HumanInterventionRequired(Exception):
+    """Automatic recovery halted (suspected circuit-switch failure)."""
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Outcome of one recovery operation."""
+
+    kind: str  # "node" | "link"
+    replaced: tuple[tuple[str, str], ...]  # (logical slot, new physical switch)
+    circuit_switches_touched: int
+    breakdown: RecoveryBreakdown
+    unrecoverable: tuple[str, ...] = ()  # slots with no spare left
+
+    @property
+    def recovery_time(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def fully_recovered(self) -> bool:
+        return not self.unrecoverable
+
+
+@dataclass
+class _PendingDiagnosis:
+    end_a: tuple[str, tuple]
+    end_b: Optional[tuple[str, tuple]]
+    #: physical switches taken offline for this failure, per logical slot
+    offline: dict[str, str]
+
+
+class ShareBackupController:
+    """Control-plane state machine over one :class:`ShareBackupNetwork`."""
+
+    def __init__(
+        self,
+        net: ShareBackupNetwork,
+        timing: RecoveryTimeModel | None = None,
+        technology: str = "crosspoint",
+        miss_threshold: int = 3,
+        cs_report_threshold: int = 4,
+        cs_report_window: float = 1.0,
+    ) -> None:
+        self.net = net
+        self.timing = timing or RecoveryTimeModel()
+        self.technology = technology
+        self.miss_threshold = miss_threshold
+        self.cs_report_threshold = cs_report_threshold
+        self.cs_report_window = cs_report_window
+
+        self.halted = False
+        self.diagnosis = FailureDiagnosis(net)
+        self.pending_diagnoses: list[_PendingDiagnosis] = []
+        self.log: list[str] = []
+        self._last_heartbeat: dict[str, float] = {
+            switch: 0.0 for switch in net.physical_health
+        }
+        self._cs_reports: dict[str, list[float]] = {}
+        #: Intended circuit configuration, for re-pushing after CS reboot.
+        self._intended_config: dict[str, dict] = {}
+
+    # ==================================================================
+    # keep-alive failure detection (§4.1)
+    # ==================================================================
+
+    def heartbeat(self, physical_switch: str, now: float) -> None:
+        """A keep-alive arrived from ``physical_switch``."""
+        if physical_switch not in self._last_heartbeat:
+            raise KeyError(f"unknown switch {physical_switch!r}")
+        self._last_heartbeat[physical_switch] = now
+
+    def detect_silent_switches(self, now: float) -> list[str]:
+        """Physical switches silent beyond ``miss_threshold`` intervals.
+
+        Only in-service switches are watched: a free spare going silent
+        matters for maintenance, not for recovery, and offline switches
+        are expected to be silent.
+        """
+        deadline = self.miss_threshold * self.timing.probe_interval
+        silent = []
+        for group in self.net.groups.values():
+            for slot in group.logical_slots:
+                physical = group.physical_of(slot)
+                if now - self._last_heartbeat.get(physical, 0.0) > deadline:
+                    silent.append(physical)
+        return sorted(set(silent))
+
+    # ==================================================================
+    # node-failure recovery (§4.1)
+    # ==================================================================
+
+    def handle_node_failure(self, logical_switch: str, now: float = 0.0) -> RecoveryReport:
+        """Replace a dead switch with a backup from its failure group."""
+        self._check_not_halted()
+        group = self.net.group_of(logical_switch)
+        failed_physical = group.physical_of(logical_switch)
+        self.net.physical_health[failed_physical] = False
+
+        try:
+            spare = group.allocate_spare()
+        except NoBackupAvailable:
+            self.log.append(
+                f"[{now:.6f}] node failure {logical_switch} "
+                f"({failed_physical}): NO SPARE in {group.group_id}"
+            )
+            return RecoveryReport(
+                kind="node",
+                replaced=(),
+                circuit_switches_touched=0,
+                breakdown=self.timing.sharebackup(self.technology),
+                unrecoverable=(logical_switch,),
+            )
+
+        touched, _latency = self.net.failover(logical_switch, spare)
+        self.log.append(
+            f"[{now:.6f}] node failure {logical_switch}: {failed_physical} -> "
+            f"{spare} ({touched} circuit switches reconfigured)"
+        )
+        return RecoveryReport(
+            kind="node",
+            replaced=((logical_switch, spare),),
+            circuit_switches_touched=touched,
+            breakdown=self.timing.sharebackup(self.technology),
+        )
+
+    # ==================================================================
+    # link-failure recovery (§4.1) + deferred diagnosis (§4.2)
+    # ==================================================================
+
+    def handle_link_failure(
+        self,
+        end_a: tuple[str, tuple],
+        end_b: tuple[str, tuple],
+        now: float = 0.0,
+        true_faulty_interfaces: tuple[tuple[str, tuple], ...] = (),
+    ) -> RecoveryReport:
+        """Both endpoints reported a dead link; replace both switch sides.
+
+        ``end_a``/``end_b`` name the *logical* devices and interfaces of
+        the failed link; host ends are recognised by name and never
+        replaced.  ``true_faulty_interfaces`` is the injected ground
+        truth, expressed against the *physical* switches, consumed later
+        by diagnosis.
+        """
+        self._check_not_halted()
+        self._register_cs_report(end_a, now)
+
+        for faulty in true_faulty_interfaces:
+            self.net.interface_faults.add(faulty)
+
+        replaced: list[tuple[str, str]] = []
+        unrecoverable: list[str] = []
+        offline: dict[str, str] = {}
+        touched_total = 0
+        physical_ends: list[Optional[tuple[str, tuple]]] = []
+
+        for device, iface in (end_a, end_b):
+            if device.startswith("H."):
+                physical_ends.append(None)  # hosts are never suspects
+                continue
+            group = self.net.group_of(device)
+            old_physical = group.physical_of(device)
+            physical_ends.append((old_physical, iface))
+            try:
+                spare = group.allocate_spare()
+            except NoBackupAvailable:
+                unrecoverable.append(device)
+                continue
+            touched, _lat = self.net.failover(device, spare)
+            touched_total += touched
+            replaced.append((device, spare))
+            offline[device] = old_physical
+
+        suspects = [end for end in physical_ends if end is not None]
+        if suspects:
+            self.pending_diagnoses.append(
+                _PendingDiagnosis(
+                    end_a=suspects[0],
+                    end_b=suspects[1] if len(suspects) > 1 else None,
+                    offline=offline,
+                )
+            )
+
+        self.log.append(
+            f"[{now:.6f}] link failure {end_a[0]}--{end_b[0]}: replaced "
+            f"{[r[0] for r in replaced]} ({touched_total} circuit switches)"
+        )
+        return RecoveryReport(
+            kind="link",
+            replaced=tuple(replaced),
+            circuit_switches_touched=touched_total,
+            breakdown=self.timing.sharebackup(self.technology),
+            unrecoverable=tuple(unrecoverable),
+        )
+
+    def run_pending_diagnoses(self) -> list[LinkDiagnosis]:
+        """Run every deferred offline diagnosis (the §4.2 background task).
+
+        Exonerated switches rejoin their group's spare pool; condemned
+        switches stay offline awaiting :meth:`repair`.  When *no* suspect
+        interface is condemned (a pure cable fault), the paper's
+        assumption "switches are at fault" has been falsified for both
+        sides — both switches return to the pools and the cable is left
+        for manual replacement.
+        """
+        idle = self._idle_devices()
+        results = []
+        for pending in self.pending_diagnoses:
+            result = self.diagnosis.diagnose_link(pending.end_a, pending.end_b, idle)
+            results.append(result)
+            for verdict in (result.end_a, result.end_b):
+                if verdict is None or not verdict.healthy:
+                    continue
+                self._reinstate_physical(verdict.device)
+            self.log.append(
+                f"diagnosis: exonerated {result.exonerated_devices()}, "
+                f"condemned {result.condemned_devices()}"
+            )
+        self.pending_diagnoses = []
+        return results
+
+    def repair(self, physical_switch: str) -> None:
+        """A condemned switch came back from repair: rejoin as a spare.
+
+        Per the paper there is no switch-back: the repaired switch
+        becomes a backup for future failures.
+        """
+        self.net.physical_health[physical_switch] = True
+        self._reinstate_physical(physical_switch)
+        self.log.append(f"repair: {physical_switch} reinstated as spare")
+
+    def _reinstate_physical(self, physical: str) -> None:
+        for group in self.net.groups.values():
+            if physical in group.offline:
+                self.net.physical_health[physical] = True
+                group.reinstate(physical)
+                # Clear any fault annotations: repair/exoneration makes the
+                # interfaces trustworthy again.
+                self.net.interface_faults = {
+                    (dev, iface)
+                    for dev, iface in self.net.interface_faults
+                    if dev != physical
+                }
+                return
+
+    def _idle_devices(self) -> set[str]:
+        """Offline suspects + every free spare: legal diagnosis partners."""
+        idle: set[str] = set()
+        for group in self.net.groups.values():
+            idle.update(group.offline)
+            idle.update(group.spares)
+        return idle
+
+    # ==================================================================
+    # circuit-switch failure policy (§5.1)
+    # ==================================================================
+
+    def _register_cs_report(self, end: tuple[str, tuple], now: float) -> None:
+        device, iface = end
+        # Reports arrive about logical elements; the cable map is keyed by
+        # the physical switch currently serving the slot.
+        if not device.startswith("H."):
+            device = self.net.group_of(device).physical_of(device)
+        cable = self.net._device_cable.get((device, iface))
+        if cable is None:
+            return
+        reports = self._cs_reports.setdefault(cable.cs, [])
+        reports.append(now)
+        fresh = [t for t in reports if now - t <= self.cs_report_window]
+        self._cs_reports[cable.cs] = fresh
+        if len(fresh) >= self.cs_report_threshold:
+            self.halted = True
+            self.log.append(
+                f"[{now:.6f}] {len(fresh)} link reports via {cable.cs} within "
+                f"{self.cs_report_window}s — suspected circuit switch failure, "
+                "halting automatic recovery"
+            )
+
+    def circuit_switch_rebooted(self, cs_name: str, now: float = 0.0) -> None:
+        """Re-push the intended circuit configuration and resume recovery.
+
+        "A rebooted circuit switch can get up-to-date circuit
+        configurations from the controller" — the controller snapshots
+        intended configs on demand, so a wiped switch is restored here.
+        """
+        cs = self.net.circuit_switches[cs_name]
+        cs.up = True
+        intended = self._intended_config.get(cs_name)
+        if intended is not None:
+            current = cs.mapping()
+            for port in current:
+                cs.disconnect(port)
+            seen = set()
+            for a, b in intended.items():
+                if a in seen or b in seen:
+                    continue
+                cs.connect(a, b)
+                seen.update((a, b))
+        self.halted = False
+        self._cs_reports.pop(cs_name, None)
+        self.log.append(f"[{now:.6f}] circuit switch {cs_name} rebooted; resumed")
+
+    def snapshot_intended_configs(self) -> None:
+        """Record every circuit switch's current mapping as the intent."""
+        for name, cs in self.net.circuit_switches.items():
+            self._intended_config[name] = cs.mapping()
+
+    def _check_not_halted(self) -> None:
+        if self.halted:
+            raise HumanInterventionRequired(
+                "recovery halted pending circuit-switch inspection"
+            )
+
+    # ==================================================================
+    # capacity accounting (§5.1)
+    # ==================================================================
+
+    def capacity_summary(self) -> dict[str, float]:
+        """Section 5.1's headline numbers for this network."""
+        k, n = self.net.k, self.net.n
+        return {
+            "k": k,
+            "n": n,
+            "failure_groups": len(self.net.groups),
+            "backup_ratio": n / (k / 2),
+            "switch_failures_per_group": n,
+            "link_failures_per_group_max": k * n,
+            "circuit_ports_per_side": self.net.circuit_ports_per_side,
+        }
+
+
+class ControllerCluster:
+    """The controller replica set with primary election (§5.1).
+
+    "A primary controller is elected to react to failures.  When the
+    primary controller fails, another controller will be elected to take
+    its place."  Election here is deterministic lowest-id-alive, which is
+    what a lease-based election converges to with ordered candidates.
+    """
+
+    def __init__(self, replica_ids: tuple[str, ...] = ("ctrl-0", "ctrl-1", "ctrl-2")) -> None:
+        if not replica_ids:
+            raise ValueError("need at least one controller replica")
+        self.replicas: dict[str, bool] = {r: True for r in replica_ids}
+        self.elections = 0
+        self._primary: Optional[str] = None
+        self._elect()
+
+    def _elect(self) -> None:
+        alive = sorted(r for r, up in self.replicas.items() if up)
+        new_primary = alive[0] if alive else None
+        if new_primary != self._primary:
+            self.elections += 1
+            self._primary = new_primary
+
+    @property
+    def primary(self) -> Optional[str]:
+        return self._primary
+
+    @property
+    def available(self) -> bool:
+        return self._primary is not None
+
+    def fail_replica(self, replica_id: str) -> None:
+        self.replicas[replica_id] = False
+        self._elect()
+
+    def restore_replica(self, replica_id: str) -> None:
+        self.replicas[replica_id] = True
+        self._elect()

@@ -1,0 +1,154 @@
+"""Failure groups: the unit of backup sharing (paper Section 3).
+
+A failure group clusters the ``k/2`` same-role switches that share a set
+of circuit switches — the edge switches of a pod, the aggregation
+switches of a pod, or the ``k/2`` core switches whose global indices are
+congruent modulo ``k/2`` — plus the ``n`` backup switches wired
+identically.  ShareBackup's capacity guarantee (Section 5.1) is per
+group: ``n`` concurrent switch failures per group are recoverable.
+
+The group tracks the *role assignment*: which physical switch currently
+serves each logical slot.  After a recovery the roles rotate — the
+paper keeps the backup online and turns the repaired switch into the
+new spare ("it is unnecessary to switch back"), so assignment is a
+bijection logical-slot → physical-switch that drifts over time, with the
+left-over physical switches forming the free-spare pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["GroupLayer", "FailureGroup", "NoBackupAvailable"]
+
+
+class NoBackupAvailable(Exception):
+    """The group's spare pool is exhausted (more than ``n`` failures)."""
+
+
+class GroupLayer(Enum):
+    EDGE = "edge"
+    AGGREGATION = "aggregation"
+    CORE = "core"
+
+
+@dataclass
+class FailureGroup:
+    """One failure group and its role bookkeeping.
+
+    Attributes:
+        group_id: e.g. ``"FG.edge.3"`` (pod 3's edge group) or
+            ``"FG.core.1"`` (cores ≡ 1 mod k/2).
+        layer: which switch layer the group covers.
+        logical_slots: the logical switch names, e.g. ``["E.3.0", ...]``;
+            these are what routing and the rest of the network see.
+        physical_backups: names of the dedicated spare switches built into
+            the group, e.g. ``["BE.3.0"]``.
+    """
+
+    group_id: str
+    layer: GroupLayer
+    logical_slots: tuple[str, ...]
+    physical_backups: tuple[str, ...]
+    assignment: dict[str, str] = field(default_factory=dict)
+    spares: list[str] = field(default_factory=list)
+    #: Physical switches taken out of service (awaiting repair/diagnosis).
+    offline: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.assignment:
+            self.assignment = {slot: slot for slot in self.logical_slots}
+        if not self.spares and not self.offline:
+            self.spares = list(self.physical_backups)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """The group's spare provisioning (the paper's ``n``)."""
+        return len(self.physical_backups)
+
+    @property
+    def backup_ratio(self) -> float:
+        """Section 5.1's robustness figure: ``n / (k/2)``."""
+        return self.n / len(self.logical_slots)
+
+    def physical_of(self, logical: str) -> str:
+        """The physical switch currently serving ``logical``."""
+        return self.assignment[logical]
+
+    def logical_of(self, physical: str) -> str | None:
+        """Which logical slot ``physical`` serves, if any."""
+        for logical, phys in self.assignment.items():
+            if phys == physical:
+                return logical
+        return None
+
+    def all_physical(self) -> list[str]:
+        """Every physical switch belonging to the group."""
+        return sorted(set(self.logical_slots) | set(self.physical_backups))
+
+    @property
+    def available_spares(self) -> int:
+        return len(self.spares)
+
+    # ------------------------------------------------------------------
+    # recovery-time transitions
+    # ------------------------------------------------------------------
+
+    def allocate_spare(self) -> str:
+        """Take a free spare for a failover (FIFO for determinism)."""
+        if not self.spares:
+            raise NoBackupAvailable(
+                f"{self.group_id}: no backup switch available "
+                f"({len(self.offline)} offline, n={self.n})"
+            )
+        return self.spares.pop(0)
+
+    def failover(self, logical: str, spare: str) -> str:
+        """Record that ``spare`` now serves ``logical``; returns the
+        physical switch that was serving it (now offline)."""
+        if logical not in self.assignment:
+            raise KeyError(f"{logical} is not a slot of {self.group_id}")
+        old = self.assignment[logical]
+        self.assignment[logical] = spare
+        self.offline.add(old)
+        return old
+
+    def reinstate(self, physical: str) -> None:
+        """A repaired/exonerated switch rejoins the spare pool.
+
+        Implements the paper's no-switch-back policy: the switch returns
+        as a *backup*, the replacement keeps serving the logical slot.
+        """
+        if physical not in self.offline:
+            raise ValueError(f"{physical} is not offline in {self.group_id}")
+        self.offline.discard(physical)
+        self.spares.append(physical)
+
+    def validate(self) -> None:
+        """Internal-consistency check (used by property tests).
+
+        The serving switches, spares, and offline set must partition the
+        group's physical inventory.
+        """
+        serving = set(self.assignment.values())
+        spare_set = set(self.spares)
+        if len(self.spares) != len(spare_set):
+            raise AssertionError(f"{self.group_id}: duplicate spares {self.spares}")
+        if len(serving) != len(self.logical_slots):
+            raise AssertionError(f"{self.group_id}: two slots share a switch")
+        pools = [serving, spare_set, self.offline]
+        for i, a in enumerate(pools):
+            for b in pools[i + 1 :]:
+                if a & b:
+                    raise AssertionError(
+                        f"{self.group_id}: pools overlap: {a & b}"
+                    )
+        everything = serving | spare_set | self.offline
+        if everything != set(self.all_physical()):
+            raise AssertionError(
+                f"{self.group_id}: inventory mismatch "
+                f"{everything ^ set(self.all_physical())}"
+            )

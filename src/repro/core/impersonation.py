@@ -1,0 +1,137 @@
+"""Live impersonation of failed switches (paper Section 4.3).
+
+A backup switch that physically replaces a failed switch must also
+*behave* like it — same forwarding — with zero table-installation delay.
+ShareBackup therefore preloads, on every switch of a failure group, the
+**combined routing table** of the whole group:
+
+* **core groups** — all core switches share one table (``10.p/16 →
+  pod-facing port``), so the combined table *is* that table;
+* **aggregation groups** — all aggregation switches of a pod share one
+  table, same story;
+* **edge groups** — edge switches differ in their out-bound entries, so
+  each edge's out-bound entries are tagged with a per-edge VLAN id and
+  the union is stored.  Hosts tag out-going packets with their edge
+  switch's VLAN id, so whichever physical switch serves the slot,
+  matching the VLAN selects the correct per-edge entries.  The combined
+  edge table has ``k/2`` in-bound + ``(k/2)²`` out-bound entries —
+  **1056 for k = 64**, comfortably within commodity TCAM (the paper's
+  §4.3 sizing claim, asserted in the tests).
+
+Two conventions make the single-TCAM realisation work (documented at
+:mod:`repro.routing.twolevel`): hosts only tag packets leaving their own
+rack subnet, and aggregation switches strip the tag when forwarding
+downward.
+
+**Port-map subtlety** (a detail the paper leaves implicit): layer-2
+circuit switches use rotational internal wiring, so the *physical*
+interface that reaches "aggregation switch x" depends on which edge
+slot a switch is serving (and symmetrically for aggregation-to-edge).
+The backup inherits the *failed switch's* positional semantics exactly —
+circuits re-point, cables don't move — so the preloaded table entries
+remain valid verbatim; the switch only needs to know *which identity it
+serves* to map logical ports ("up2") to physical interfaces, which is a
+single register write, not a TCAM update.  :func:`edge_uplink_interface`
+and :func:`agg_downlink_interface` are that port map, and the tests
+verify them against actual circuit traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..routing.base import RoutingTable
+from ..routing.twolevel import TwoLevelRouting
+from ..topology.fattree import FatTree
+
+__all__ = [
+    "ImpersonationTables",
+    "edge_uplink_interface",
+    "agg_downlink_interface",
+    "combined_edge_entry_count",
+    "DEFAULT_TCAM_CAPACITY",
+]
+
+#: Conservative commodity TCAM size (entries); real devices hold 2k–32k.
+DEFAULT_TCAM_CAPACITY = 2048
+
+
+def edge_uplink_interface(edge_index: int, agg_index: int, half: int) -> int:
+    """Physical up-interface of edge slot ``edge_index`` that reaches
+    aggregation switch ``agg_index``.
+
+    Layer-2 circuit switch ``j`` connects edge ``m`` to aggregation
+    ``(m + j) mod k/2``, so reaching aggregation ``x`` from edge ``m``
+    uses interface ``(x − m) mod k/2``.
+    """
+    return (agg_index - edge_index) % half
+
+
+def agg_downlink_interface(agg_index: int, edge_index: int, half: int) -> int:
+    """Physical down-interface of aggregation slot ``agg_index`` that
+    reaches edge switch ``edge_index`` (inverse rotation)."""
+    return (agg_index - edge_index) % half
+
+
+def combined_edge_entry_count(k: int) -> int:
+    """Size of the combined edge-group table: ``k/2 + (k/2)²``.
+
+    The paper: "This combined routing table from k/2 edge switches has
+    k/2 in-bound entries and k²/4 out-bound entries ... 1056 entries for
+    a k = 64 fat-tree".
+    """
+    half = k // 2
+    return half + half * half
+
+
+@dataclass
+class ImpersonationTables:
+    """Builds and audits the preloaded group tables for one fat-tree."""
+
+    tree: FatTree
+
+    def __post_init__(self) -> None:
+        self.routing = TwoLevelRouting(self.tree)
+
+    # ------------------------------------------------------------------
+    # the three combined tables
+    # ------------------------------------------------------------------
+
+    def combined_edge_table(self, pod: int) -> RoutingTable:
+        """Union of the pod's (VLAN-tagged) edge tables.
+
+        The in-bound host entries are identical across edges and
+        deduplicate in the merge; the VLAN-tagged out-bound entries stay
+        distinct per edge.
+        """
+        combined = RoutingTable(owner=f"FG.edge.{pod}")
+        for e in range(self.tree.half):
+            combined.merge(self.routing.edge_table(pod, e, tagged=True))
+        return combined
+
+    def agg_group_table(self, pod: int) -> RoutingTable:
+        """Aggregation switches of a pod already share one table."""
+        return self.routing.agg_table(pod)
+
+    def core_group_table(self) -> RoutingTable:
+        """All core switches share one table."""
+        return self.routing.core_table()
+
+    # ------------------------------------------------------------------
+    # TCAM accounting (§4.3)
+    # ------------------------------------------------------------------
+
+    def tcam_report(self, capacity: int = DEFAULT_TCAM_CAPACITY) -> dict[str, object]:
+        """Entry counts per group table and whether they fit ``capacity``."""
+        edge = self.combined_edge_table(0).size
+        agg = self.agg_group_table(0).size
+        core = self.core_group_table().size
+        return {
+            "k": self.tree.k,
+            "edge_group_entries": edge,
+            "edge_group_formula": combined_edge_entry_count(self.tree.k),
+            "agg_group_entries": agg,
+            "core_group_entries": core,
+            "tcam_capacity": capacity,
+            "fits": max(edge, agg, core) <= capacity,
+        }

@@ -1,0 +1,187 @@
+"""Forwarding-plane model of a physical packet switch in ShareBackup.
+
+This is the piece that closes the loop between the control plane and the
+data plane: a :class:`PacketSwitchModel` is a *physical* switch serving a
+*logical* identity, holding the preloaded combined table of its failure
+group, and forwarding packets over the *actual circuit-switch wiring*
+(not the logical topology).  Walking a packet host-to-host through these
+models — before and after arbitrary failovers — is the reproduction's
+end-to-end proof that live impersonation works: same tables, same VLAN
+tags, new physical switch, identical forwarding.
+
+The pipeline per packet:
+
+1. look up the egress *logical* port in the combined table (VLAN-aware);
+2. map the logical port to a physical interface via the identity's port
+   map (the rotation of :mod:`repro.core.impersonation` at layer 2;
+   identity everywhere else);
+3. hand the packet to whatever device the circuit layer currently
+   connects that interface to;
+4. aggregation switches strip the VLAN tag when forwarding downward
+   (the tag's job — selecting the per-edge out-bound entries — is done).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..routing.base import LookupMiss, Packet, RoutingTable
+from ..topology.fattree import host_name
+from .impersonation import agg_downlink_interface, edge_uplink_interface
+from .sharebackup import ShareBackupNetwork
+
+__all__ = ["PacketSwitchModel", "ForwardingError", "PhysicalForwarder"]
+
+
+class ForwardingError(Exception):
+    """A packet could not be forwarded (miss, dead wire, loop)."""
+
+
+@dataclass
+class PacketSwitchModel:
+    """A physical switch bound to a logical identity with a preloaded table."""
+
+    physical_name: str
+    identity: str  # logical slot currently served, e.g. "E.2.1"
+    table: RoutingTable
+    net: ShareBackupNetwork
+
+    @property
+    def _role(self) -> str:
+        return {"E": "edge", "A": "aggregation", "C": "core"}[self.identity[0]]
+
+    @property
+    def _identity_index(self) -> int:
+        return int(self.identity.split(".")[-1])
+
+    # ------------------------------------------------------------------
+
+    def physical_interface(self, logical_port: str) -> tuple:
+        """The identity-dependent logical-port → physical-interface map."""
+        half = self.net.half
+        idx = self._identity_index
+        role = self._role
+        if role == "edge":
+            if logical_port.startswith("host"):
+                return ("host", int(logical_port[4:]))
+            if logical_port.startswith("up"):
+                agg = int(logical_port[2:])
+                return ("up", edge_uplink_interface(idx, agg, half))
+        elif role == "aggregation":
+            if logical_port.startswith("down"):
+                edge = int(logical_port[4:])
+                return ("down", agg_downlink_interface(idx, edge, half))
+            if logical_port.startswith("up"):
+                return ("up", int(logical_port[2:]))
+        elif role == "core":
+            if logical_port.startswith("pod"):
+                return ("pod", int(logical_port[3:]))
+        raise ForwardingError(
+            f"{self.identity}: cannot map logical port {logical_port!r}"
+        )
+
+    def forward(self, packet: Packet) -> tuple[str, tuple]:
+        """One forwarding step: table lookup, port map, circuit traversal.
+
+        Returns the next device and the interface it receives the packet
+        on.  Mutates ``packet.vlan`` for the agg-strips-downward rule.
+        """
+        if not self.net.physical_health.get(self.physical_name, False):
+            raise ForwardingError(f"{self.physical_name} is dead")
+        try:
+            logical_port = self.table.lookup(packet)
+        except LookupMiss as exc:
+            raise ForwardingError(str(exc)) from exc
+        iface = self.physical_interface(logical_port)
+        far = self.net.physical_neighbor(self.physical_name, iface)
+        if far is None:
+            raise ForwardingError(
+                f"{self.physical_name}{iface}: circuit is dark "
+                f"(logical port {logical_port})"
+            )
+        if self._role == "aggregation" and logical_port.startswith("down"):
+            packet.vlan = None  # VLAN terminates at the top of the pod tree
+        return far
+
+
+class PhysicalForwarder:
+    """Walks packets through the physical ShareBackup network end to end."""
+
+    def __init__(
+        self,
+        net: ShareBackupNetwork,
+        tables: dict[str, RoutingTable],
+        max_hops: int = 12,
+    ) -> None:
+        """``tables`` maps *group ids* to the group's preloaded combined
+        table — the same object is deliberately shared by every switch of
+        the group, as in the real design."""
+        self.net = net
+        self.tables = tables
+        self.max_hops = max_hops
+
+    def model_for(self, logical: str) -> PacketSwitchModel:
+        group = self.net.group_of(logical)
+        return PacketSwitchModel(
+            physical_name=group.physical_of(logical),
+            identity=logical,
+            table=self.tables[group.group_id],
+            net=self.net,
+        )
+
+    def send(
+        self, src_host: str, dst_host: str, vlan_tagging: bool = True
+    ) -> list[str]:
+        """Deliver one packet; returns the device trail (logical names).
+
+        The host-side stack: build the packet from the topology's address
+        plan and tag it with the source edge's VLAN iff the destination
+        is outside the source rack (the tagging convention of §4.3).
+        """
+        tree = self.net.logical
+        src_addr = tree.nodes[src_host].attrs["address"]
+        dst_addr = tree.nodes[dst_host].attrs["address"]
+        _, sp, se, _ = src_host.split(".")
+        _, dp, de, _ = dst_host.split(".")
+        same_rack = (sp, se) == (dp, de)
+        routing = None
+        vlan = None
+        if vlan_tagging and not same_rack:
+            from ..routing.twolevel import TwoLevelRouting
+
+            routing = TwoLevelRouting(tree)
+            vlan = routing.vlan_of_edge(int(sp), int(se))
+        packet = Packet(src_addr, dst_addr, vlan=vlan)
+
+        # The host's NIC wire leads (through layer-1 circuits) to whatever
+        # physically serves its edge slot.
+        current = self.net.physical_neighbor(src_host, ("nic", 0))
+        if current is None:
+            raise ForwardingError(f"{src_host}: access circuit is dark")
+        trail = [src_host]
+        for _hop in range(self.max_hops):
+            device, iface = current
+            if device.startswith("H."):
+                trail.append(device)
+                if device != dst_host:
+                    raise ForwardingError(
+                        f"delivered to {device}, expected {dst_host} (trail {trail})"
+                    )
+                return trail
+            logical = self._identity_of(device)
+            trail.append(logical)
+            model = PacketSwitchModel(
+                physical_name=device,
+                identity=logical,
+                table=self.tables[self.net.group_of(logical).group_id],
+                net=self.net,
+            )
+            current = model.forward(packet)
+        raise ForwardingError(f"forwarding loop: {trail}")
+
+    def _identity_of(self, physical: str) -> str:
+        for group in self.net.groups.values():
+            logical = group.logical_of(physical)
+            if logical is not None:
+                return logical
+        raise ForwardingError(f"{physical} serves no logical slot")

@@ -1,0 +1,125 @@
+"""Watchdog simulation: failure *detection* in the loop (paper §4.1).
+
+:mod:`repro.core.simadapter` charges detection as a constant (the probe
+interval) inside the recovery latency.  This module closes the loop
+properly: switches die *silently*; the controller only learns about it
+because keep-alive messages stop arriving.  Detection latency then
+*emerges* from the probe schedule — a switch that dies right after a
+probe boundary is detected ``miss_threshold`` intervals later, one that
+dies right before is detected almost a full interval sooner — and the
+distribution of application-visible stalls follows.
+
+Mechanically: a silent failure takes the logical element down and stops
+its heartbeats; at the next probe boundary where the switch has been
+silent longer than ``miss_threshold`` intervals, the controller's real
+:meth:`detect_silent_switches` (fed with the heartbeats every healthy
+switch would have sent) flags it, recovery runs, and only the *control +
+reconfiguration* remainder is charged before the element returns.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..simulation.engine import FluidSimulation
+from ..simulation.flow import CoflowSpec
+from .controller import ShareBackupController
+from .sharebackup import ShareBackupNetwork
+from .simadapter import ShareBackupSimulation
+
+__all__ = ["WatchdogSimulation"]
+
+
+class WatchdogSimulation(ShareBackupSimulation):
+    """ShareBackup simulation where failures must be *detected*, not told."""
+
+    def __init__(
+        self,
+        net: ShareBackupNetwork,
+        trace: list[CoflowSpec],
+        controller: ShareBackupController | None = None,
+        horizon: float | None = None,
+    ) -> None:
+        super().__init__(net, trace, controller=controller, horizon=horizon)
+        #: physical switch → time it went silent (pending detection)
+        self._silent_since: dict[str, float] = {}
+        self.detections: list[tuple[str, float, float]] = []  # (switch, died, detected)
+
+    # ------------------------------------------------------------------
+
+    def probe_interval(self) -> float:
+        return self.controller.timing.probe_interval
+
+    def detection_deadline(self, death_time: float) -> float:
+        """First probe boundary at which the silence exceeds the threshold.
+
+        Boundaries are at integer multiples of the probe interval; the
+        controller declares a switch dead once ``now - last_heartbeat``
+        exceeds ``miss_threshold × interval``.
+        """
+        interval = self.probe_interval()
+        threshold = self.controller.miss_threshold * interval
+        first = death_time + threshold
+        return math.ceil(first / interval - 1e-12) * interval
+
+    def inject_silent_switch_failure(self, time: float, logical_switch: str) -> None:
+        """The switch dies at ``time`` without telling anyone."""
+
+        def die(sim: FluidSimulation) -> None:
+            sim._mutate(lambda: sim.topo.fail_node(logical_switch))
+            physical = self.net.serving_switch(logical_switch)
+            self._silent_since[physical] = time
+
+        self.sim.schedule_action(time, die, label=f"silent-fail:{logical_switch}")
+        self.sim.schedule_action(
+            self.detection_deadline(time),
+            self._probe_tick,
+            label=f"probe-tick:{logical_switch}",
+        )
+
+    # ------------------------------------------------------------------
+
+    def _probe_tick(self, sim: FluidSimulation) -> None:
+        """One controller probe round at the current instant."""
+        now = sim.clock.now
+        # Every switch that is still alive has been heartbeating all along.
+        for physical, healthy in self.net.physical_health.items():
+            if healthy and physical not in self._silent_since:
+                self.controller.heartbeat(physical, now)
+        for physical in self.controller.detect_silent_switches(now):
+            died = self._silent_since.pop(physical, None)
+            if died is None:
+                continue  # already handled (or a spare going quiet)
+            logical = self._logical_of_physical(physical)
+            if logical is None:
+                continue
+            self.detections.append((physical, died, now))
+            report = self.controller.handle_node_failure(logical, now=now)
+            self.reports.append(report)
+            if report.fully_recovered:
+                # Detection already elapsed in simulated time; pay only the
+                # control-plane + circuit-reconfiguration remainder.
+                remainder = report.breakdown.control + report.breakdown.reconfiguration
+                sim.schedule_action(
+                    now + remainder,
+                    lambda s, name=logical: s._mutate(
+                        lambda: s.topo.restore_node(name)
+                    ),
+                    label=f"watchdog-recovered:{logical}",
+                )
+
+    def _logical_of_physical(self, physical: str) -> str | None:
+        for group in self.net.groups.values():
+            logical = group.logical_of(physical)
+            if logical is not None:
+                return logical
+        return None
+
+    # ------------------------------------------------------------------
+
+    def detection_latency(self, physical: str) -> float | None:
+        """Measured death→detection delay for a handled failure."""
+        for name, died, detected in self.detections:
+            if name == physical:
+                return detected - died
+        return None

@@ -1,0 +1,30 @@
+"""Cost analysis (paper Section 5.2): Table 2 equations and Figure 5 curves."""
+
+from .models import (
+    sharebackup_nonuniform_extra_cost,
+    CostBreakdown,
+    aspen_extra_cost,
+    fattree_cost,
+    figure5_series,
+    one_to_one_extra_cost,
+    relative_extra_cost,
+    sharebackup_extra_cost,
+    sharebackup_inventory,
+)
+from .prices import E_DC, O_DC, PRICE_BOOKS, PriceBook
+
+__all__ = [
+    "CostBreakdown",
+    "E_DC",
+    "O_DC",
+    "PRICE_BOOKS",
+    "PriceBook",
+    "aspen_extra_cost",
+    "fattree_cost",
+    "figure5_series",
+    "one_to_one_extra_cost",
+    "relative_extra_cost",
+    "sharebackup_extra_cost",
+    "sharebackup_nonuniform_extra_cost",
+    "sharebackup_inventory",
+]

@@ -1,0 +1,188 @@
+"""Cost equations of Table 2 and the Figure 5 comparison curves.
+
+Equations (per the paper, with ``a`` = circuit-switch port price, ``b`` =
+packet-switch port price, ``c`` = cable price):
+
+===============  ============================================================
+architecture     cost
+===============  ============================================================
+fat-tree         ``(5/4)k³·b + (k³/2)·c``
+ShareBackup      ``(3/2)k²(k/2+n+2)·a + (5/2)k²n·b + (5/4)k²n·c`` + fat-tree
+Aspen Tree       ``(k³/2)·b + (k³/4)·c`` + fat-tree
+1:1 backup       ``(15/4)k³·b + (3/2)k³·c`` + fat-tree  (total = 4× fat-tree)
+===============  ============================================================
+
+Where the terms come from (all verifiable against the builders — the
+tests cross-check):
+
+* a fat-tree has ``5k²/4`` switches × ``k`` ports and ``k³/2`` cables;
+* ShareBackup adds ``5k/2`` failure groups × ``n`` backups = ``(5/2)kn``
+  switches (× ``k`` ports), ``(5/4)k²n`` cable-equivalents (each backup
+  port adds *half* a cable — the other half of the spliced cable already
+  exists), and ``(3/2)k²`` circuit switches of ``k/2+n+2`` ports;
+* Aspen adds one reconnection layer: ``k²/2`` switches and ``k³/4`` cables;
+* 1:1 backup doubles switches and needs the 4-mesh on every switch link,
+  quadrupling cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .prices import PriceBook
+
+__all__ = [
+    "CostBreakdown",
+    "fattree_cost",
+    "sharebackup_extra_cost",
+    "aspen_extra_cost",
+    "one_to_one_extra_cost",
+    "relative_extra_cost",
+    "figure5_series",
+    "sharebackup_inventory",
+]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """One architecture's additional cost over fat-tree, decomposed (USD)."""
+
+    architecture: str
+    circuit_ports: float
+    switch_ports: float
+    cables: float
+
+    @property
+    def total(self) -> float:
+        return self.circuit_ports + self.switch_ports + self.cables
+
+
+def _check_k(k: int) -> None:
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree parameter k must be even and >= 2, got {k}")
+
+
+def fattree_cost(k: int, prices: PriceBook) -> float:
+    """Baseline fat-tree cost: ``(5/4)k³b + (k³/2)c``."""
+    _check_k(k)
+    return 1.25 * k**3 * prices.switch_port + 0.5 * k**3 * prices.cable
+
+
+def sharebackup_inventory(k: int, n: int) -> dict[str, float]:
+    """Physical quantities ShareBackup adds (unit counts, not dollars)."""
+    _check_k(k)
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return {
+        "backup_switches": 2.5 * k * n,
+        "backup_switch_ports": 2.5 * k**2 * n,
+        "extra_cable_equivalents": 1.25 * k**2 * n,
+        "circuit_switches": 1.5 * k**2,
+        "circuit_switch_ports": 1.5 * k**2 * (k / 2 + n + 2),
+    }
+
+
+def sharebackup_extra_cost(k: int, n: int, prices: PriceBook) -> CostBreakdown:
+    """ShareBackup's additional cost over fat-tree (Table 2, row 2)."""
+    inv = sharebackup_inventory(k, n)
+    return CostBreakdown(
+        architecture=f"sharebackup(n={n})",
+        circuit_ports=inv["circuit_switch_ports"] * prices.circuit_port,
+        switch_ports=inv["backup_switch_ports"] * prices.switch_port,
+        cables=inv["extra_cable_equivalents"] * prices.cable,
+    )
+
+
+def sharebackup_nonuniform_extra_cost(
+    k: int, n_edge: int, n_agg: int, n_core: int, prices: PriceBook
+) -> CostBreakdown:
+    """Additional cost with per-layer spare counts (the §6 extension).
+
+    Derivation mirrors the uniform case per layer: the edge and
+    aggregation layers contribute ``k`` pods × ``n`` backups each, the
+    core layer ``k/2`` groups × ``n``; every backup switch has ``k``
+    ports and ``k/2`` half-cable pairs on each of its two circuit layers;
+    layer-ℓ circuit switches (``k²/2`` of them per layer) are sized
+    ``k/2 + max(adjacent spare counts) + 2`` per side (asymmetric sides
+    are priced at the larger side, matching square-crossbar parts).
+    """
+    _check_k(k)
+    for label, value in (("n_edge", n_edge), ("n_agg", n_agg), ("n_core", n_core)):
+        if value < 0:
+            raise ValueError(f"{label} must be non-negative")
+    half = k / 2
+    backup_switches = k * n_edge + k * n_agg + half * n_core
+    switch_ports = backup_switches * k
+    cable_equivalents = switch_ports / 2  # each port adds half a cable
+    per_layer_cs = k * half  # k pods x k/2 circuit switches per layer
+    circuit_ports = per_layer_cs * (
+        (half + max(n_edge, n_edge) + 2)  # layer 1: hosts | edges
+        + (half + max(n_edge, n_agg) + 2)  # layer 2: edges | aggs
+        + (half + max(n_agg, n_core) + 2)  # layer 3: aggs | cores
+    )
+    return CostBreakdown(
+        architecture=f"sharebackup(e={n_edge},a={n_agg},c={n_core})",
+        circuit_ports=circuit_ports * prices.circuit_port,
+        switch_ports=switch_ports * prices.switch_port,
+        cables=cable_equivalents * prices.cable,
+    )
+
+
+def aspen_extra_cost(k: int, prices: PriceBook) -> CostBreakdown:
+    """Aspen Tree's additional cost over fat-tree (Table 2, row 3)."""
+    _check_k(k)
+    return CostBreakdown(
+        architecture="aspen",
+        circuit_ports=0.0,
+        switch_ports=0.5 * k**3 * prices.switch_port,
+        cables=0.25 * k**3 * prices.cable,
+    )
+
+
+def one_to_one_extra_cost(k: int, prices: PriceBook) -> CostBreakdown:
+    """1:1 backup's additional cost over fat-tree (Table 2, row 4).
+
+    Doubling every switch and meshing every inter-switch link makes the
+    total exactly ``4×`` fat-tree, so the *extra* is ``3×``.
+    """
+    _check_k(k)
+    return CostBreakdown(
+        architecture="1:1-backup",
+        circuit_ports=0.0,
+        switch_ports=3.75 * k**3 * prices.switch_port,
+        cables=1.5 * k**3 * prices.cable,
+    )
+
+
+def relative_extra_cost(extra: CostBreakdown, k: int, prices: PriceBook) -> float:
+    """Additional cost as a fraction of the fat-tree baseline (Figure 5's y-axis)."""
+    return extra.total / fattree_cost(k, prices)
+
+
+def figure5_series(
+    ks: tuple[int, ...] = (8, 16, 24, 32, 40, 48, 56, 64),
+    ns: tuple[int, ...] = (1, 2, 4),
+    prices: PriceBook | None = None,
+) -> dict[str, list[tuple[int, float]]]:
+    """The Figure 5 curves: relative additional cost vs network scale.
+
+    Returns ``{series name: [(k, relative extra cost), ...]}`` for
+    ShareBackup at each ``n``, Aspen Tree, and 1:1 backup.
+    """
+    from .prices import E_DC
+
+    prices = prices or E_DC
+    series: dict[str, list[tuple[int, float]]] = {}
+    for n in ns:
+        series[f"sharebackup(n={n})"] = [
+            (k, relative_extra_cost(sharebackup_extra_cost(k, n, prices), k, prices))
+            for k in ks
+        ]
+    series["aspen"] = [
+        (k, relative_extra_cost(aspen_extra_cost(k, prices), k, prices)) for k in ks
+    ]
+    series["1:1-backup"] = [
+        (k, relative_extra_cost(one_to_one_extra_cost(k, prices), k, prices))
+        for k in ks
+    ]
+    return series

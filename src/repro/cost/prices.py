@@ -1,0 +1,47 @@
+"""Market prices from Table 2 of the paper.
+
+Two deployment flavours:
+
+* **E-DC** — electrical data center: copper DAC cables, electrical
+  crosspoint circuit switches (XFabric-class, $3/port), $81 per 10 m
+  10 Gbps DAC;
+* **O-DC** — optical data center: fibers + transceivers, 2D MEMS circuit
+  switches ($10/port), $40 per link (two $16 transceivers + $8 fiber).
+
+``b`` (packet-switch port) is $60 in both: $3000 for a 48-port 10 Gbps
+bare-metal switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PriceBook", "E_DC", "O_DC", "PRICE_BOOKS"]
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """Per-unit device prices (USD), Table 2's ``a``, ``b``, ``c``."""
+
+    name: str
+    circuit_port: float  # a — per-port cost of circuit switches
+    switch_port: float  # b — per-port cost of packet switches
+    cable: float  # c — cost per link
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("circuit_port", self.circuit_port),
+            ("switch_port", self.switch_port),
+            ("cable", self.cable),
+        ):
+            if value <= 0:
+                raise ValueError(f"{self.name}: {label} price must be positive")
+
+
+#: Electrical data center: crosspoint switches [XFabric], copper DAC [FS.COM].
+E_DC = PriceBook(name="E-DC", circuit_port=3.0, switch_port=60.0, cable=81.0)
+
+#: Optical data center: 2D MEMS [Wu et al.], transceivers+fiber [FS.COM].
+O_DC = PriceBook(name="O-DC", circuit_port=10.0, switch_port=60.0, cable=40.0)
+
+PRICE_BOOKS: dict[str, PriceBook] = {"E-DC": E_DC, "O-DC": O_DC}

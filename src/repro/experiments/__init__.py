@@ -1,0 +1,29 @@
+"""Experiment pipelines: the paper's evaluation as reusable library code.
+
+The benchmark harness under ``benchmarks/`` is a thin shell over these —
+each study can equally be driven from a notebook or the CLI, including
+against the real coflow-benchmark trace loaded via
+:func:`repro.workload.load_coflow_benchmark`.
+"""
+
+from .affected import AffectedSweepResult, AffectedSweepStudy, SweepPoint
+from .availability import AvailabilityResult, simulate_group_availability
+from .config import StudyConfig
+from .report import cdf_text, cdf_to_csv, csv_table, series_to_csv
+from .slowdown import SlowdownDigest, SlowdownStudy, hottest_pod
+
+__all__ = [
+    "AffectedSweepResult",
+    "AffectedSweepStudy",
+    "AvailabilityResult",
+    "simulate_group_availability",
+    "SlowdownDigest",
+    "SlowdownStudy",
+    "StudyConfig",
+    "SweepPoint",
+    "cdf_text",
+    "cdf_to_csv",
+    "csv_table",
+    "hottest_pod",
+    "series_to_csv",
+]

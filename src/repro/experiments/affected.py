@@ -1,0 +1,134 @@
+"""The Figure 1(a)/(b) pipeline: affected fractions vs failure rate.
+
+Pure library form of the sweep the benchmarks print: for each
+architecture and each failure rate, sample scenarios, compute the
+affected flow/coflow fractions on the pre-failure ECMP pins, and
+aggregate.  Single-failure statistics (the paper's in-text 29.6% / 17%
+points) are produced alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.metrics import affected_by_scenario
+from ..failures.injector import FailureInjector
+from ..routing.ecmp import EcmpSelector
+from ..topology.f10 import F10Tree
+from ..topology.fattree import FatTree
+from .config import StudyConfig
+
+__all__ = ["SweepPoint", "AffectedSweepResult", "AffectedSweepStudy"]
+
+DEFAULT_RATES = (0.005, 0.01, 0.02, 0.03, 0.05)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (rate, fractions) point, averaged over the scenario samples."""
+
+    rate: float
+    flow_fraction: float
+    coflow_fraction: float
+
+    @property
+    def amplification(self) -> float:
+        if self.flow_fraction == 0:
+            return float("inf") if self.coflow_fraction else 1.0
+        return self.coflow_fraction / self.flow_fraction
+
+
+@dataclass(frozen=True)
+class AffectedSweepResult:
+    """One architecture's sweep plus its single-failure statistics."""
+
+    architecture: str
+    kind: str  # "node" | "link"
+    points: tuple[SweepPoint, ...]
+    single_failure_fractions: tuple[float, ...]  # coflow fractions
+
+    @property
+    def worst_single(self) -> float:
+        return max(self.single_failure_fractions, default=0.0)
+
+    @property
+    def mean_single(self) -> float:
+        if not self.single_failure_fractions:
+            return 0.0
+        return sum(self.single_failure_fractions) / len(self.single_failure_fractions)
+
+    def table(self) -> str:
+        lines = [
+            f"[{self.architecture}] affected vs {self.kind} failure rate",
+            f"{'rate':>8}{'flows':>10}{'coflows':>10}{'amplify':>10}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.rate:>8.3f}{p.flow_fraction:>10.3%}"
+                f"{p.coflow_fraction:>10.3%}{p.amplification:>9.1f}x"
+            )
+        lines.append(
+            f"single-{self.kind} failures: mean {self.mean_single:.1%}, "
+            f"worst {self.worst_single:.1%} of coflows affected"
+        )
+        return "\n".join(lines)
+
+
+class AffectedSweepStudy:
+    """Runs the affected-fraction sweep for fat-tree and F10."""
+
+    ARCHITECTURES = (("fat-tree", FatTree), ("f10", F10Tree))
+
+    def __init__(self, config: StudyConfig, rates: tuple[float, ...] = DEFAULT_RATES):
+        if any(not 0 < r <= 1 for r in rates):
+            raise ValueError(f"rates must be in (0,1]: {rates}")
+        self.config = config
+        self.rates = rates
+
+    def run(self, kind: str) -> dict[str, AffectedSweepResult]:
+        """``kind`` is ``"node"`` (Fig 1a) or ``"link"`` (Fig 1b)."""
+        if kind not in ("node", "link"):
+            raise ValueError(f"kind must be node|link, got {kind!r}")
+        cfg = self.config
+        results: dict[str, AffectedSweepResult] = {}
+        for arch, tree_cls in self.ARCHITECTURES:
+            tree = cfg.build_tree(tree_cls)
+            specs = cfg.build_specs(tree)
+            selector = EcmpSelector(tree)
+            injector = FailureInjector(tree, seed=cfg.failure_seed)
+            points = []
+            for rate in self.rates:
+                flow_sum = coflow_sum = 0.0
+                for _ in range(cfg.failure_samples):
+                    scenario = (
+                        injector.node_failures_at_rate(rate)
+                        if kind == "node"
+                        else injector.link_failures_at_rate(rate)
+                    )
+                    counts = affected_by_scenario(tree, specs, scenario, selector)
+                    flow_sum += counts.flow_fraction
+                    coflow_sum += counts.coflow_fraction
+                points.append(
+                    SweepPoint(
+                        rate,
+                        flow_sum / cfg.failure_samples,
+                        coflow_sum / cfg.failure_samples,
+                    )
+                )
+            singles = []
+            for _ in range(max(6, cfg.failure_samples)):
+                scenario = (
+                    injector.single_node_failure()
+                    if kind == "node"
+                    else injector.single_link_failure()
+                )
+                singles.append(
+                    affected_by_scenario(tree, specs, scenario, selector).coflow_fraction
+                )
+            results[arch] = AffectedSweepResult(
+                architecture=arch,
+                kind=kind,
+                points=tuple(points),
+                single_failure_fractions=tuple(singles),
+            )
+        return results

@@ -1,0 +1,65 @@
+"""Experiment configuration shared by the failure-study pipelines.
+
+One :class:`StudyConfig` describes everything a Figure 1 style experiment
+needs: the fabric (k, oversubscription), the trace (coflow count, window,
+size distribution), and the failure sampling plan.  The benchmark
+harness instantiates it from its quick/full profiles; library users can
+build their own (e.g. to replay the real coflow-benchmark trace loaded
+via :mod:`repro.workload.traceio`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..topology.fattree import FatTree
+from ..workload.coflow_trace import CoflowTraceGenerator, WorkloadConfig, materialize_hosts
+
+__all__ = ["StudyConfig"]
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Parameters of one failure-study run."""
+
+    k: int = 8
+    hosts_per_edge: int = 40  # 10:1 oversubscription at k=8
+    num_coflows: int = 100
+    duration: float = 15.0
+    seed: int = 13
+    failure_seed: int = 5
+    failure_samples: int = 3
+    #: Size-distribution overrides passed through to WorkloadConfig.
+    long_flow_low: float = 2e8
+    long_flow_high: float = 2e10
+    long_flow_alpha: float = 1.1
+    horizon: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        if self.k < 4 or self.k % 2:
+            raise ValueError(f"k must be even and >= 4, got {self.k}")
+        if self.failure_samples < 1:
+            raise ValueError("need at least one failure sample")
+
+    @property
+    def oversubscription(self) -> float:
+        return self.hosts_per_edge / (self.k / 2)
+
+    def build_tree(self, tree_cls=FatTree):
+        return tree_cls(self.k, hosts_per_edge=self.hosts_per_edge)
+
+    def workload_config(self, num_racks: int) -> WorkloadConfig:
+        return WorkloadConfig(
+            num_racks=num_racks,
+            num_coflows=self.num_coflows,
+            duration=self.duration,
+            seed=self.seed,
+            long_flow_low=self.long_flow_low,
+            long_flow_high=self.long_flow_high,
+            long_flow_alpha=self.long_flow_alpha,
+        )
+
+    def build_specs(self, tree):
+        """The materialised coflow trace for ``tree`` (deterministic)."""
+        cfg = self.workload_config(tree.num_racks)
+        return materialize_hosts(CoflowTraceGenerator(cfg).generate(), tree)

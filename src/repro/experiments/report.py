@@ -1,0 +1,59 @@
+"""Rendering helpers for experiment outputs: text tables and CSV series.
+
+The benchmark harness writes both a human-readable ``.txt`` (what the
+paper's figure shows) and a machine-readable ``.csv`` per artifact, so
+downstream plotting (matplotlib, gnuplot, spreadsheets) needs no parsing
+of the pretty tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+from ..analysis.cdf import empirical_cdf
+
+__all__ = ["csv_table", "series_to_csv", "cdf_to_csv", "cdf_text"]
+
+
+def csv_table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A CSV document from a header and row iterable."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def series_to_csv(series: Mapping[str, Sequence[tuple[float, float]]],
+                  x_name: str = "x", y_name: str = "y") -> str:
+    """Long-form CSV (``series,x,y``) from named (x, y) series."""
+    rows = [
+        (name, x, y)
+        for name in sorted(series)
+        for x, y in series[name]
+    ]
+    return csv_table(["series", x_name, y_name], rows)
+
+
+def cdf_to_csv(values: Sequence[float], label: str = "value") -> str:
+    """Empirical CDF as CSV; infinities are emitted as the string ``inf``."""
+    xs, ps = empirical_cdf(values)
+    rows = [("inf" if math.isinf(x) else x, p) for x, p in zip(xs, ps)]
+    return csv_table([label, "cumulative_probability"], rows)
+
+
+def cdf_text(values: Sequence[float], points: int = 12, unit: str = "x") -> str:
+    """A terminal-friendly CDF sampling (used in the .txt artifacts)."""
+    finite = sorted(v for v in values if math.isfinite(v))
+    if not finite:
+        return "  (no finite samples)"
+    xs, ps = empirical_cdf(finite)
+    step = max(1, len(xs) // points)
+    sampled = list(zip(xs, ps))[::step]
+    if sampled[-1] != (xs[-1], ps[-1]):
+        sampled.append((xs[-1], ps[-1]))
+    return "\n".join(f"    {x:9.3f}{unit}  P<= {p:6.1%}" for x, p in sampled)

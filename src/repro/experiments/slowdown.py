@@ -1,0 +1,172 @@
+"""The Figure 1(c) pipeline: CCT slowdown distributions under single failures.
+
+Library form of the heavy benchmark: per architecture, one clean
+baseline replay plus one replay per failure scenario, each compared
+coflow-by-coflow.  ShareBackup runs through its control-plane adapter
+(so recovery latency, spare exhaustion etc. are in the loop); the
+rerouting architectures run their routers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..analysis.cdf import percentile
+from ..analysis.metrics import cct_slowdowns
+from ..core.sharebackup import ShareBackupNetwork
+from ..core.simadapter import ShareBackupSimulation
+from ..failures.injector import FailureInjector, FailureScenario
+from ..routing.ecmp import EcmpSelector
+from ..routing.reroute_f10 import F10LocalRerouteRouter
+from ..routing.reroute_global import GlobalOptimalRerouteRouter
+from ..simulation.engine import FluidSimulation
+from ..topology.base import NodeKind
+from ..topology.f10 import F10Tree
+from ..topology.fattree import FatTree
+from .config import StudyConfig
+
+__all__ = ["SlowdownDigest", "SlowdownStudy", "hottest_pod"]
+
+
+def hottest_pod(specs, tree) -> int:
+    """Pod with the largest outbound (inter-pod) byte demand."""
+    pod_bytes: dict[int, float] = defaultdict(float)
+    for coflow in specs:
+        for flow in coflow.flows:
+            src_pod = int(flow.src.split(".")[1])
+            dst_pod = int(flow.dst.split(".")[1])
+            if src_pod != dst_pod:
+                pod_bytes[src_pod] += flow.size_bytes
+    return max(pod_bytes, key=pod_bytes.get)
+
+
+@dataclass(frozen=True)
+class SlowdownDigest:
+    """Summary of one architecture's slowdown sample."""
+
+    architecture: str
+    slowdowns: tuple[float, ...]
+
+    @property
+    def finite(self) -> tuple[float, ...]:
+        return tuple(v for v in self.slowdowns if math.isfinite(v))
+
+    @property
+    def never_finished(self) -> int:
+        return len(self.slowdowns) - len(self.finite)
+
+    def row(self) -> str:
+        finite = self.finite
+        if not finite:
+            return (
+                f"{self.architecture:<26} n={len(self.slowdowns):<5} "
+                f"(all {self.never_finished} never finished)"
+            )
+        return (
+            f"{self.architecture:<26} n={len(self.slowdowns):<5} "
+            f"median={percentile(finite, 50):6.2f}x  "
+            f"p90={percentile(finite, 90):6.2f}x  "
+            f"p99={percentile(finite, 99):6.2f}x  "
+            f"max={max(finite):7.2f}x  never-finished={self.never_finished}"
+        )
+
+
+class SlowdownStudy:
+    """Runs the CCT-slowdown comparison across the three architectures."""
+
+    def __init__(self, config: StudyConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+
+    def scenarios(self, tree, specs) -> list[FailureScenario]:
+        """Single-failure sample set: the hottest pod's aggregation switch,
+        random agg/core switches, and one agg–core link."""
+        out = [FailureScenario(nodes=(f"A.{hottest_pod(specs, tree)}.1",))]
+        injector = FailureInjector(
+            tree,
+            seed=self.config.failure_seed,
+            switch_kinds=(NodeKind.AGGREGATION, NodeKind.CORE),
+        )
+        for _ in range(max(1, self.config.failure_samples - 1)):
+            out.append(injector.single_node_failure())
+        link = tree.links_between("A.0.0", "C.0")[0]
+        out.append(FailureScenario(links=(link.link_id,)))
+        return out
+
+    def affected_ids(self, tree, specs, scenario) -> list[int]:
+        selector = EcmpSelector(tree)
+        failed_nodes = set(scenario.nodes)
+        failed_links = set(scenario.links)
+        out = []
+        for coflow in specs:
+            for flow in coflow.flows:
+                path = selector.select(flow.src, flow.dst, flow.flow_id)
+                if path is None:
+                    continue
+                hit = bool(failed_nodes.intersection(path.nodes))
+                if not hit and failed_links:
+                    hit = any(
+                        seg.link_id in failed_links
+                        for seg in path.segments(tree, flow.flow_id)
+                    )
+                if hit:
+                    out.append(coflow.coflow_id)
+                    break
+        return out
+
+    # ------------------------------------------------------------------
+
+    def run_rerouting(self, architecture: str) -> SlowdownDigest:
+        tree_cls, router_cls = {
+            "fat-tree": (FatTree, GlobalOptimalRerouteRouter),
+            "f10": (F10Tree, F10LocalRerouteRouter),
+        }[architecture]
+        cfg = self.config
+        baseline_tree = cfg.build_tree(tree_cls)
+        specs = cfg.build_specs(baseline_tree)
+        baseline = FluidSimulation(
+            baseline_tree, router_cls(baseline_tree), specs, horizon=cfg.horizon
+        ).run()
+
+        slowdowns: list[float] = []
+        for scenario in self.scenarios(cfg.build_tree(tree_cls), specs):
+            tree = cfg.build_tree(tree_cls)
+            sim = FluidSimulation(tree, router_cls(tree), specs, horizon=cfg.horizon)
+            for node in scenario.nodes:
+                sim.fail_node_at(0.0, node)
+            for link_id in scenario.links:
+                sim.fail_link_at(0.0, link_id)
+            report = cct_slowdowns(
+                baseline, sim.run(), self.affected_ids(tree, specs, scenario)
+            )
+            slowdowns.extend(report.affected_slowdowns())
+        return SlowdownDigest(architecture, tuple(slowdowns))
+
+    def run_sharebackup(
+        self, victims: tuple[str, ...] = ("A.0.1", "E.0.0")
+    ) -> SlowdownDigest:
+        cfg = self.config
+        net = ShareBackupNetwork(cfg.k, n=1)
+        specs = cfg.build_specs(net.logical)
+        plain = FatTree(cfg.k)
+        baseline = FluidSimulation(
+            plain, GlobalOptimalRerouteRouter(plain), specs, horizon=cfg.horizon
+        ).run()
+        slowdowns: list[float] = []
+        for victim in victims:
+            fresh = ShareBackupNetwork(cfg.k, n=1)
+            sbs = ShareBackupSimulation(fresh, specs, horizon=cfg.horizon)
+            sbs.inject_switch_failure(0.0, victim)
+            report = cct_slowdowns(baseline, sbs.run())
+            slowdowns.extend(report.all_slowdowns())
+        return SlowdownDigest("sharebackup", tuple(slowdowns))
+
+    def run(self) -> dict[str, SlowdownDigest]:
+        return {
+            "fat-tree/global": self.run_rerouting("fat-tree"),
+            "f10/local": self.run_rerouting("f10"),
+            "sharebackup": self.run_sharebackup(),
+        }

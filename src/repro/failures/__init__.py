@@ -1,0 +1,11 @@
+"""Failure substrate: statistics from [Gill'11] and scenario injection."""
+
+from .injector import FailureInjector, FailureScenario
+from .models import DEFAULT_FAILURE_MODEL, FailureModel
+
+__all__ = [
+    "DEFAULT_FAILURE_MODEL",
+    "FailureInjector",
+    "FailureModel",
+    "FailureScenario",
+]

@@ -1,0 +1,158 @@
+"""Failure injection: sampling and applying failure scenarios.
+
+The failure study (Section 2.2) needs two sampling modes:
+
+* **rate sweeps** for Figures 1(a)/(b) — fail a given *fraction* of the
+  switch (or link) population and measure the affected flows/coflows;
+* **single failures** for Figure 1(c) — "we create only one link or node
+  failure at a time", then replay a 5-minute trace partition against it.
+
+A :class:`FailureScenario` is a value object so experiments can apply,
+measure, and cleanly revert it; scenarios compose (concurrent failures
+for the Section 5.1 capacity benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..topology.base import NodeKind, Topology
+
+__all__ = ["FailureScenario", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """An immutable set of elements to fail together."""
+
+    nodes: tuple[str, ...] = ()
+    links: tuple[int, ...] = ()
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes) + len(self.links)
+
+    def apply(self, topo: Topology) -> None:
+        for name in self.nodes:
+            topo.fail_node(name)
+        for link_id in self.links:
+            topo.fail_link(link_id)
+
+    def revert(self, topo: Topology) -> None:
+        for name in self.nodes:
+            topo.restore_node(name)
+        for link_id in self.links:
+            topo.restore_link(link_id)
+
+    def describe(self, topo: Topology) -> str:
+        parts = list(self.nodes)
+        parts += [
+            f"{topo.links[l].a}--{topo.links[l].b}" for l in self.links
+        ]
+        return ", ".join(parts) if parts else "(no failures)"
+
+
+class FailureInjector:
+    """Seeded sampler of failure scenarios over one topology.
+
+    ``switch_kinds`` restricts which switch layers node failures may hit
+    (the CCT study keeps edge switches out: a dead edge switch severs its
+    single-homed rack under *every* rerouting scheme, so including it
+    measures wiring, not recovery policy — see the Figure 1(c) bench).
+    ``link_scope`` is ``"all"`` or ``"switch"`` (exclude host links).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        seed: int = 0,
+        switch_kinds: tuple[NodeKind, ...] = (
+            NodeKind.EDGE,
+            NodeKind.AGGREGATION,
+            NodeKind.CORE,
+        ),
+        link_scope: str = "all",
+    ) -> None:
+        if link_scope not in ("all", "switch"):
+            raise ValueError(f"link_scope must be 'all' or 'switch', got {link_scope}")
+        self.topo = topo
+        self.rng = np.random.default_rng(seed)
+        self._switch_pool = sorted(
+            n.name
+            for n in topo.nodes.values()
+            if n.kind in switch_kinds and not n.is_backup
+        )
+        self._link_pool = sorted(
+            link.link_id
+            for link in topo.links.values()
+            if link_scope == "all" or self._is_switch_link(link)
+        )
+        if not self._switch_pool:
+            raise ValueError("no switches eligible for failure injection")
+
+    def _is_switch_link(self, link) -> bool:
+        return (
+            self.topo.nodes[link.a].kind is not NodeKind.HOST
+            and self.topo.nodes[link.b].kind is not NodeKind.HOST
+        )
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    @property
+    def switch_population(self) -> int:
+        return len(self._switch_pool)
+
+    @property
+    def link_population(self) -> int:
+        return len(self._link_pool)
+
+    def node_failures_at_rate(self, rate: float) -> FailureScenario:
+        """Fail ``round(rate × population)`` distinct switches.
+
+        ``rate`` is the x-axis of Figure 1(a).  A non-zero rate always
+        fails at least one switch, so sweeps starting near zero behave.
+        """
+        count = self._count_for(rate, len(self._switch_pool))
+        picks = self.rng.choice(len(self._switch_pool), size=count, replace=False)
+        return FailureScenario(
+            nodes=tuple(sorted(self._switch_pool[i] for i in picks))
+        )
+
+    def link_failures_at_rate(self, rate: float) -> FailureScenario:
+        """Fail ``round(rate × population)`` distinct links (Figure 1(b))."""
+        count = self._count_for(rate, len(self._link_pool))
+        picks = self.rng.choice(len(self._link_pool), size=count, replace=False)
+        return FailureScenario(links=tuple(sorted(self._link_pool[i] for i in picks)))
+
+    def single_node_failure(self) -> FailureScenario:
+        """One random switch failure (Figure 1(c) node case)."""
+        name = self._switch_pool[int(self.rng.integers(len(self._switch_pool)))]
+        return FailureScenario(nodes=(name,))
+
+    def single_link_failure(self) -> FailureScenario:
+        """One random link failure (Figure 1(c) link case)."""
+        link_id = self._link_pool[int(self.rng.integers(len(self._link_pool)))]
+        return FailureScenario(links=(link_id,))
+
+    def concurrent_node_failures(self, count: int) -> FailureScenario:
+        """``count`` simultaneous switch failures (Section 5.1 capacity)."""
+        if count > len(self._switch_pool):
+            raise ValueError(
+                f"cannot fail {count} of {len(self._switch_pool)} switches"
+            )
+        picks = self.rng.choice(len(self._switch_pool), size=count, replace=False)
+        return FailureScenario(
+            nodes=tuple(sorted(self._switch_pool[i] for i in picks))
+        )
+
+    @staticmethod
+    def _count_for(rate: float, population: int) -> int:
+        if not 0 <= rate <= 1:
+            raise ValueError(f"failure rate must be in [0,1], got {rate}")
+        if rate == 0:
+            return 0
+        return max(1, round(rate * population))

@@ -1,0 +1,83 @@
+"""Failure statistics used across the reproduction.
+
+The paper grounds its argument in the measurement study of Gill et al.
+(SIGCOMM'11) [11], citing three facts repeatedly:
+
+* failures are rare — "most devices have over 99.99% availability" and
+  the switch failure rate is ~0.01%;
+* failures are short — "failures usually last for only a few minutes",
+  "most failures last for less than 5 minutes";
+* failures are independent.
+
+This module turns those facts into samplers and derived quantities (MTBF
+from availability + MTTR, expected concurrent failures per failure group)
+that Section 5.1's capacity analysis and the failure-injection benchmarks
+share.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FailureModel", "DEFAULT_FAILURE_MODEL"]
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Device-level failure statistics.
+
+    ``availability`` is the long-run fraction of time a device is up;
+    ``median_downtime`` parameterises the repair-time distribution
+    (log-normal, matching the "a few minutes, occasionally much longer"
+    shape of [11]).
+    """
+
+    availability: float = 0.9999
+    median_downtime: float = 120.0  # seconds
+    downtime_sigma: float = 0.8  # log-normal spread; P(>5 min) small
+
+    def __post_init__(self) -> None:
+        if not 0 < self.availability < 1:
+            raise ValueError(f"availability must be in (0,1), got {self.availability}")
+        if self.median_downtime <= 0:
+            raise ValueError("median_downtime must be positive")
+
+    @property
+    def unavailability(self) -> float:
+        """The paper's "0.01% switch failure rate" for the default model."""
+        return 1.0 - self.availability
+
+    @property
+    def mean_downtime(self) -> float:
+        """Mean of the log-normal repair time."""
+        return self.median_downtime * math.exp(self.downtime_sigma**2 / 2.0)
+
+    @property
+    def mtbf(self) -> float:
+        """Mean time between failures implied by availability and MTTR."""
+        return self.mean_downtime * self.availability / self.unavailability
+
+    def sample_downtime(self, rng: np.random.Generator) -> float:
+        return float(
+            rng.lognormal(mean=math.log(self.median_downtime), sigma=self.downtime_sigma)
+        )
+
+    def concurrent_failure_probability(self, group_size: int, spares: int) -> float:
+        """Probability that more than ``spares`` of ``group_size`` independent
+        devices are down simultaneously (binomial tail).
+
+        This is the quantity behind Section 5.1's claim that a small ``n``
+        suffices: with p = 1e-4 and group size k/2 = 24, even n = 1 leaves
+        a ~2.6e-6 residual risk per group.
+        """
+        p = self.unavailability
+        tail = 0.0
+        for j in range(spares + 1, group_size + 1):
+            tail += math.comb(group_size, j) * p**j * (1 - p) ** (group_size - j)
+        return tail
+
+
+DEFAULT_FAILURE_MODEL = FailureModel()

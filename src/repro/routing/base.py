@@ -1,0 +1,183 @@
+"""Routing-table primitives: two-level (prefix + suffix) tables and packets.
+
+Fat-tree's Two-Level Routing (Al-Fares et al., SIGCOMM'08) gives every
+switch a small static table:
+
+* *primary* entries match a **prefix** of the destination address and
+  terminate the lookup (downward routing toward a pod/subnet);
+* a prefix entry may instead *fall through* to a secondary table of
+  **suffix** entries that match the host id octet, spreading upward
+  traffic across the redundant parents (this is how fat-tree load
+  balances without per-flow state).
+
+ShareBackup's live impersonation (Section 4.3 of the paper) extends the
+same structure with a VLAN id match so that one physical switch can hold
+the tables of every switch in its failure group simultaneously; the
+:class:`RoutingTable` here therefore supports an optional VLAN dimension,
+and :mod:`repro.core.impersonation` builds the combined tables on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..topology.addressing import Address, Prefix, Suffix
+
+__all__ = [
+    "Packet",
+    "PrefixEntry",
+    "SuffixEntry",
+    "RoutingTable",
+    "LookupMiss",
+]
+
+
+class LookupMiss(Exception):
+    """No routing entry matched the packet."""
+
+
+@dataclass
+class Packet:
+    """The fields routing cares about; payload is irrelevant here.
+
+    ``vlan`` is used by ShareBackup's impersonation: hosts tag outgoing
+    packets with the VLAN id of their edge switch so the combined table on
+    any switch of the failure group selects the right per-switch entries.
+    """
+
+    src: Address
+    dst: Address
+    vlan: Optional[int] = None
+    flow_label: int = 0  # stands in for the transport 5-tuple in ECMP hashing
+
+    def __str__(self) -> str:
+        tag = f" vlan={self.vlan}" if self.vlan is not None else ""
+        return f"[{self.src} -> {self.dst}{tag}]"
+
+
+@dataclass(frozen=True)
+class PrefixEntry:
+    """A primary-table entry.
+
+    ``port`` is the egress port name (we use neighbour node names as port
+    names throughout — each fat-tree link is uniquely identified by its
+    endpoints).  ``terminating`` entries forward immediately; a
+    non-terminating entry (the ``0.0.0.0/0`` catch-all in the original
+    design) defers to the suffix table.  ``vlan`` restricts the entry to
+    packets carrying that tag (``None`` matches untagged and any tag).
+    """
+
+    prefix: Prefix
+    port: Optional[str] = None
+    terminating: bool = True
+    vlan: Optional[int] = None
+
+    def matches(self, packet: Packet) -> bool:
+        if self.vlan is not None and packet.vlan != self.vlan:
+            return False
+        return self.prefix.matches(packet.dst)
+
+
+@dataclass(frozen=True)
+class SuffixEntry:
+    """A secondary-table entry matching the trailing host-id octet."""
+
+    suffix: Suffix
+    port: str
+    vlan: Optional[int] = None
+
+    def matches(self, packet: Packet) -> bool:
+        if self.vlan is not None and packet.vlan != self.vlan:
+            return False
+        return self.suffix.matches(packet.dst)
+
+
+class RoutingTable:
+    """A two-level routing table with longest-prefix-first semantics.
+
+    Lookup order (matching the hardware TCAM model of the original
+    design): the most specific matching prefix entry wins; when it is
+    non-terminating, the suffix table is consulted.  Entries carrying a
+    VLAN id are more specific than untagged ones at equal prefix length —
+    that tie-break is what makes ShareBackup's combined edge tables work,
+    because two edge switches of one pod share their in-bound prefixes but
+    differ in VLAN-tagged out-bound entries.
+    """
+
+    def __init__(self, owner: str = "") -> None:
+        self.owner = owner
+        self.prefix_entries: list[PrefixEntry] = []
+        self.suffix_entries: list[SuffixEntry] = []
+
+    # -- construction ----------------------------------------------------
+
+    def add_prefix(
+        self,
+        prefix: Prefix,
+        port: Optional[str],
+        terminating: bool = True,
+        vlan: Optional[int] = None,
+    ) -> None:
+        entry = PrefixEntry(prefix, port, terminating, vlan)
+        if not terminating and port is not None:
+            raise ValueError("non-terminating entries must not carry a port")
+        if terminating and port is None:
+            raise ValueError("terminating entries need a port")
+        self.prefix_entries.append(entry)
+        # Longest prefix first; VLAN-tagged before untagged at equal length.
+        self.prefix_entries.sort(
+            key=lambda e: (e.prefix.length, e.vlan is not None), reverse=True
+        )
+
+    def add_suffix(self, suffix: Suffix, port: str, vlan: Optional[int] = None) -> None:
+        self.suffix_entries.append(SuffixEntry(suffix, port, vlan))
+        self.suffix_entries.sort(
+            key=lambda e: (e.suffix.length, e.vlan is not None), reverse=True
+        )
+
+    def merge(self, other: "RoutingTable") -> None:
+        """Union this table with ``other`` (duplicates are dropped).
+
+        Used by impersonation to combine the tables of a failure group.
+        """
+        for entry in other.prefix_entries:
+            if entry not in self.prefix_entries:
+                self.prefix_entries.append(entry)
+        for sentry in other.suffix_entries:
+            if sentry not in self.suffix_entries:
+                self.suffix_entries.append(sentry)
+        self.prefix_entries.sort(
+            key=lambda e: (e.prefix.length, e.vlan is not None), reverse=True
+        )
+        self.suffix_entries.sort(
+            key=lambda e: (e.suffix.length, e.vlan is not None), reverse=True
+        )
+
+    # -- lookup ----------------------------------------------------------
+
+    def lookup(self, packet: Packet) -> str:
+        """Return the egress port for ``packet`` or raise :class:`LookupMiss`."""
+        for entry in self.prefix_entries:
+            if entry.matches(packet):
+                if entry.terminating:
+                    assert entry.port is not None
+                    return entry.port
+                break  # fall through to the suffix table
+        for sentry in self.suffix_entries:
+            if sentry.matches(packet):
+                return sentry.port
+        raise LookupMiss(f"{self.owner}: no route for {packet}")
+
+    # -- accounting (TCAM sizing, Section 4.3) ----------------------------
+
+    @property
+    def size(self) -> int:
+        """Total installed entries — what would occupy switch TCAM."""
+        return len(self.prefix_entries) + len(self.suffix_entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RoutingTable {self.owner!r}: {len(self.prefix_entries)} prefix + "
+            f"{len(self.suffix_entries)} suffix entries>"
+        )

@@ -1,0 +1,117 @@
+"""ECMP path selection.
+
+Both networks in the paper's failure study "use ECMP routing": each flow
+is pinned to one of the equal-cost shortest paths by a hash of its
+five-tuple.  We model the five-tuple with a per-flow integer label and
+use CRC32 for the hash — deterministic across runs (unlike ``hash()``,
+which Python salts per process), uniform enough for load spreading, and
+cheap.
+
+``EcmpSelector`` chooses among *enumerated* equal-cost paths, which is
+equivalent to consistent per-hop hashing on a symmetric Clos and keeps
+the flow→path pinning explicit for the simulator.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Sequence
+
+from ..topology.fattree import FatTree
+from .paths import Path, enumerate_edge_paths
+
+__all__ = ["flow_hash", "EcmpSelector"]
+
+
+def flow_hash(*parts: object) -> int:
+    """Deterministic 32-bit hash of heterogeneous flow identifiers."""
+    blob = "|".join(str(p) for p in parts).encode()
+    return zlib.crc32(blob)
+
+
+class EcmpSelector:
+    """Pins flows to equal-cost paths by five-tuple hash.
+
+    The selector caches path enumerations per (src rack, dst rack) pair —
+    path sets in a fat-tree only depend on rack locations, not on the
+    individual host — which keeps large trace replays fast.  Caches are
+    invalidated wholesale on topology failure changes via
+    :meth:`invalidate` (the cache keys include no failure state).
+    """
+
+    def __init__(self, tree: FatTree) -> None:
+        self.tree = tree
+        self._cache: dict[tuple[str, str, bool], list[tuple[str, ...]]] = {}
+
+    def _middles(
+        self, src_edge: str, dst_edge: str, operational_only: bool
+    ) -> list[tuple[str, ...]]:
+        key = (src_edge, dst_edge, operational_only)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = enumerate_edge_paths(
+                self.tree, src_edge, dst_edge, operational_only=operational_only
+            )
+            self._cache[key] = cached
+        return cached
+
+    def paths(
+        self, src_host: str, dst_host: str, operational_only: bool = False
+    ) -> list[Path]:
+        """All equal-cost paths, cached at edge-pair granularity."""
+        src_edge = self.tree.edge_of_host(src_host)
+        dst_edge = self.tree.edge_of_host(dst_host)
+        if operational_only and not self._host_links_ok(
+            src_host, src_edge, dst_host, dst_edge
+        ):
+            return []
+        return [
+            Path((src_host,) + middle + (dst_host,))
+            for middle in self._middles(src_edge, dst_edge, operational_only)
+        ]
+
+    def select(
+        self,
+        src_host: str,
+        dst_host: str,
+        flow_label: int,
+        operational_only: bool = False,
+    ) -> Path | None:
+        """The ECMP choice for one flow, or ``None`` if no path survives.
+
+        Only the selected path object is materialised — candidate sets
+        are shared per edge pair, which is what keeps trace-scale ECMP
+        pinning fast.
+        """
+        src_edge = self.tree.edge_of_host(src_host)
+        dst_edge = self.tree.edge_of_host(dst_host)
+        if operational_only and not self._host_links_ok(
+            src_host, src_edge, dst_host, dst_edge
+        ):
+            return None
+        middles = self._middles(src_edge, dst_edge, operational_only)
+        if not middles:
+            return None
+        index = flow_hash(src_host, dst_host, flow_label) % len(middles)
+        return Path((src_host,) + middles[index] + (dst_host,))
+
+    def _host_links_ok(
+        self, src_host: str, src_edge: str, dst_host: str, dst_edge: str
+    ) -> bool:
+        return bool(
+            self.tree.operational_links_between(src_host, src_edge)
+            and self.tree.operational_links_between(dst_host, dst_edge)
+        )
+
+    @staticmethod
+    def select_from(candidates: Sequence[Path], flow_label: int) -> Path | None:
+        """Hash-pick from an explicit candidate list (used by rerouting)."""
+        if not candidates:
+            return None
+        return candidates[flow_hash("re", flow_label) % len(candidates)]
+
+    def invalidate(self) -> None:
+        """Drop cached operational path sets (call after failure changes)."""
+        self._cache = {
+            key: paths for key, paths in self._cache.items() if not key[2]
+        }

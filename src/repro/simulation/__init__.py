@@ -1,0 +1,34 @@
+"""Flow-level (fluid) discrete-event simulator.
+
+Replays coflow traces on a topology with max-min fair bandwidth sharing;
+the substrate of the paper's failure study (Figure 1) and of the
+ShareBackup-vs-rerouting comparisons.
+"""
+
+from .engine import CoflowRecord, FlowRecord, FluidSimulation, SimulationResult
+from .events import Event, EventQueue, SimClock
+from .fairshare import FairShareError, max_min_rates
+from .flow import CoflowSpec, FlowPhase, FlowSpec, FlowState
+from .monitor import SimMonitor, UtilizationMonitor, UtilizationReport
+from .packetsim import PacketFlow, PacketLevelSimulator
+
+__all__ = [
+    "CoflowRecord",
+    "CoflowSpec",
+    "Event",
+    "EventQueue",
+    "FairShareError",
+    "FlowPhase",
+    "FlowRecord",
+    "FlowSpec",
+    "FlowState",
+    "FluidSimulation",
+    "SimClock",
+    "PacketFlow",
+    "PacketLevelSimulator",
+    "SimMonitor",
+    "UtilizationMonitor",
+    "UtilizationReport",
+    "SimulationResult",
+    "max_min_rates",
+]

@@ -1,0 +1,414 @@
+"""The fluid (flow-level) network simulator.
+
+Methodology matches the paper's failure study (Section 2.2): coflow
+traces are replayed on a topology, flows are pinned to ECMP paths, and
+between events every flow progresses at its max-min fair share of the
+bottleneck bandwidth.  Failures and repairs are scheduled actions that
+mutate the topology; the router policy decides what happens to flows
+whose paths die.  The paper "simulates the final states after failures
+without the transient dynamics" — the engine supports that directly by
+scheduling the failure before the first arrival and never repairing it.
+
+Event processing order at one instant: exogenous events (arrivals,
+failures, control actions) fire in schedule order, then flows are
+re-pathed if the topology changed, then rates are recomputed once, then
+the clock advances to the earlier of the next exogenous event and the
+next flow completion.  Completions are *endogenous*: with
+piecewise-constant rates they are computed, never scheduled, so no stale
+completion events can exist.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..routing.paths import DirectedSegment
+from ..routing.router import Router
+from ..topology.base import Topology
+from .events import EventQueue, SimClock
+from .fairshare import max_min_rates
+from .flow import CoflowSpec, FlowPhase, FlowSpec, FlowState
+
+__all__ = ["FluidSimulation", "SimulationResult", "FlowRecord", "CoflowRecord"]
+
+#: A flow is done when fewer bits than this remain (≈ one-millionth of a bit).
+_COMPLETION_EPS = 1e-6
+#: Ignore time deltas smaller than this (simultaneity tolerance).
+_TIME_EPS = 1e-12
+
+
+@dataclass
+class FlowRecord:
+    """Immutable-ish per-flow outcome exposed in results."""
+
+    spec: FlowSpec
+    start: float
+    finish: Optional[float]
+    initial_hops: Optional[int]
+    final_hops: Optional[int]
+    reroutes: int
+    stalled_time: float
+
+    @property
+    def completed(self) -> bool:
+        return self.finish is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.finish is None else self.finish - self.start
+
+    @property
+    def dilated(self) -> bool:
+        """True if the flow ended on a longer path than it started on."""
+        return (
+            self.initial_hops is not None
+            and self.final_hops is not None
+            and self.final_hops > self.initial_hops
+        )
+
+
+@dataclass
+class CoflowRecord:
+    """Per-coflow outcome; CCT is the paper's application-level metric."""
+
+    spec: CoflowSpec
+    finish: Optional[float]
+
+    @property
+    def completed(self) -> bool:
+        return self.finish is not None
+
+    @property
+    def cct(self) -> Optional[float]:
+        """Coflow completion time: lifetime of the most long-lived flow."""
+        return None if self.finish is None else self.finish - self.spec.arrival
+
+
+@dataclass
+class SimulationResult:
+    """Everything an experiment needs from one run."""
+
+    flows: dict[int, FlowRecord]
+    coflows: dict[int, CoflowRecord]
+    end_time: float
+    horizon: Optional[float]
+    events_processed: int
+    reallocations: int
+
+    def cct(self, coflow_id: int) -> Optional[float]:
+        return self.coflows[coflow_id].cct
+
+    def completed_coflows(self) -> list[CoflowRecord]:
+        return [c for c in self.coflows.values() if c.completed]
+
+    def unfinished_coflows(self) -> list[CoflowRecord]:
+        return [c for c in self.coflows.values() if not c.completed]
+
+    @property
+    def all_completed(self) -> bool:
+        return all(c.completed for c in self.coflows.values())
+
+
+class FluidSimulation:
+    """One end-to-end fluid simulation run.
+
+    Args:
+        topo: the (mutable) topology; failure actions mutate it in place.
+            The engine restores nothing — callers own pre/post state.
+        router: path policy (ECMP pinning + rerouting behaviour).
+        trace: coflows to replay, in any order (arrivals are scheduled).
+        horizon: optional wall-clock cut-off in simulated seconds; flows
+            still running then are reported unfinished.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        router: Router,
+        trace: Sequence[CoflowSpec],
+        horizon: Optional[float] = None,
+        monitor: Optional[object] = None,
+    ) -> None:
+        self.topo = topo
+        self.router = router
+        self.horizon = horizon
+        #: Optional :class:`repro.simulation.monitor.SimMonitor`; called
+        #: with (now, flow_segments, rates) after every reallocation.
+        self.monitor = monitor
+        self.clock = SimClock()
+        self.queue = EventQueue()
+        self.active: dict[int, FlowState] = {}
+        self._records: dict[int, FlowRecord] = {}
+        self._coflow_records: dict[int, CoflowRecord] = {}
+        self._coflow_pending: dict[int, int] = {}
+        self._coflow_spec: dict[int, CoflowSpec] = {}
+        self._initial_hops: dict[int, Optional[int]] = {}
+        self._capacities: dict[DirectedSegment, float] = self._build_capacities()
+        self._topology_dirty = False
+        self._flows_dirty = False
+        self._events_processed = 0
+        self._reallocations = 0
+
+        for coflow in sorted(trace, key=lambda c: (c.arrival, c.coflow_id)):
+            self._coflow_spec[coflow.coflow_id] = coflow
+            self.queue.schedule(
+                coflow.arrival,
+                lambda c=coflow: self._arrive(c),
+                label=f"arrival:{coflow.coflow_id}",
+            )
+
+    # ------------------------------------------------------------------
+    # scheduling API
+    # ------------------------------------------------------------------
+
+    def schedule_action(
+        self, time: float, action: Callable[["FluidSimulation"], None], label: str = ""
+    ) -> None:
+        """Run ``action(self)`` at ``time``; topology mutations inside it
+        should go through the fail/restore helpers so re-pathing triggers."""
+        self.queue.schedule(time, lambda: action(self), label=label or "action")
+
+    def fail_node_at(self, time: float, name: str) -> None:
+        self.schedule_action(
+            time, lambda sim: sim._mutate(lambda: sim.topo.fail_node(name)),
+            label=f"fail-node:{name}",
+        )
+
+    def restore_node_at(self, time: float, name: str) -> None:
+        self.schedule_action(
+            time, lambda sim: sim._mutate(lambda: sim.topo.restore_node(name)),
+            label=f"restore-node:{name}",
+        )
+
+    def fail_link_at(self, time: float, link_id: int) -> None:
+        self.schedule_action(
+            time, lambda sim: sim._mutate(lambda: sim.topo.fail_link(link_id)),
+            label=f"fail-link:{link_id}",
+        )
+
+    def restore_link_at(self, time: float, link_id: int) -> None:
+        self.schedule_action(
+            time, lambda sim: sim._mutate(lambda: sim.topo.restore_link(link_id)),
+            label=f"restore-link:{link_id}",
+        )
+
+    def _mutate(self, mutation: Callable[[], None]) -> None:
+        """Apply a topology mutation and mark the run for re-pathing."""
+        mutation()
+        self._topology_dirty = True
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        while True:
+            now = self.clock.now
+            if self.horizon is not None and now >= self.horizon:
+                break
+
+            fired = self._fire_due_events(now)
+            if fired:
+                self._after_events()
+
+            next_completion = self._next_completion_time()
+            next_event = self.queue.peek_time()
+            candidates = [t for t in (next_completion, next_event) if t is not None]
+            if self.horizon is not None:
+                candidates = [min(t, self.horizon) for t in candidates] or [self.horizon]
+            if not candidates:
+                break  # nothing active, nothing scheduled: simulation done
+            target = min(candidates)
+
+            if target > now + _TIME_EPS:
+                self._advance_flows(target - now)
+                self.clock.advance_to(target)
+            self._complete_finished()
+            if (
+                self.horizon is not None
+                and not self.queue
+                and self.clock.now >= self.horizon
+            ):
+                break
+            if not self.queue and not self.active:
+                break
+
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+    # event handling
+    # ------------------------------------------------------------------
+
+    def _fire_due_events(self, now: float) -> int:
+        due = self.queue.pop_due(now)
+        for event in due:
+            event.action()
+            self._events_processed += 1
+        return len(due)
+
+    def _arrive(self, coflow: CoflowSpec) -> None:
+        now = self.clock.now
+        self._coflow_pending[coflow.coflow_id] = coflow.width
+        for spec in coflow.flows:
+            path = self.router.initial_path(spec.src, spec.dst, spec.flow_id)
+            state = FlowState(spec=spec, start=now, remaining_bits=spec.size_bits)
+            if path is not None:
+                state.assign_path(path, path.segments(self.topo, spec.flow_id))
+                self._initial_hops[spec.flow_id] = path.hops
+                if not path.is_operational(self.topo):
+                    state.begin_stall(now)
+            else:
+                self._initial_hops[spec.flow_id] = None
+                state.begin_stall(now)
+            self.active[spec.flow_id] = state
+        self._flows_dirty = True
+
+    def _after_events(self) -> None:
+        if self._topology_dirty:
+            self.router.on_topology_change()
+            self._repath_flows()
+            self._topology_dirty = False
+            self._flows_dirty = True
+        if self._flows_dirty:
+            self._reallocate()
+            self._flows_dirty = False
+
+    def _repath_flows(self) -> None:
+        """Give every broken or stalled flow a chance at a new path."""
+        now = self.clock.now
+        # Current load per segment from flows whose paths are intact.
+        load: dict[DirectedSegment, int] = {}
+        broken: list[FlowState] = []
+        for fid in sorted(self.active):
+            state = self.active[fid]
+            if state.path is not None and state.path.is_operational(self.topo):
+                # A repair may have brought a stalled flow's pinned path back.
+                state.end_stall(now)
+                for seg in state.segments:
+                    load[seg] = load.get(seg, 0) + 1
+            else:
+                broken.append(state)
+        for state in broken:
+            spec = state.spec
+            new_path = self.router.repath(
+                spec.src, spec.dst, spec.flow_id, state.path, load
+            )
+            if new_path is not None and new_path.is_operational(self.topo):
+                segments = new_path.segments(self.topo, spec.flow_id)
+                if state.last_nodes is not None and new_path.nodes != state.last_nodes:
+                    state.reroutes += 1
+                state.assign_path(new_path, segments)
+                state.end_stall(now)
+                for seg in segments:
+                    load[seg] = load.get(seg, 0) + 1
+            else:
+                state.assign_path(None, ())
+                state.begin_stall(now)
+
+    # ------------------------------------------------------------------
+    # fluid progression
+    # ------------------------------------------------------------------
+
+    def _reallocate(self) -> None:
+        flow_segments = {
+            fid: state.segments
+            for fid, state in self.active.items()
+            if state.phase is FlowPhase.ACTIVE and state.segments
+        }
+        rates = max_min_rates(flow_segments, self._capacities)
+        for fid, state in self.active.items():
+            state.rate = rates.get(fid, 0.0)
+        self._reallocations += 1
+        if self.monitor is not None:
+            self.monitor.on_reallocate(self.clock.now, flow_segments, rates)
+
+    def _next_completion_time(self) -> Optional[float]:
+        best: Optional[float] = None
+        for state in self.active.values():
+            if state.phase is FlowPhase.ACTIVE and state.rate > 0:
+                t = self.clock.now + state.remaining_bits / state.rate
+                if best is None or t < best:
+                    best = t
+        return best
+
+    def _advance_flows(self, dt: float) -> None:
+        for state in self.active.values():
+            if state.phase is FlowPhase.ACTIVE and state.rate > 0:
+                state.remaining_bits = max(
+                    0.0, state.remaining_bits - state.rate * dt
+                )
+
+    def _complete_finished(self) -> None:
+        now = self.clock.now
+        # A flow is done when its residue is negligible in bits, or when the
+        # time to drain it is below the clock's float resolution at `now`
+        # (without the latter, a sub-ulp drain time would stall the loop).
+        time_floor = 4.0 * math.ulp(max(1.0, now))
+        finished = [
+            fid
+            for fid, state in self.active.items()
+            if state.phase is FlowPhase.ACTIVE
+            and (
+                state.remaining_bits <= _COMPLETION_EPS
+                or (state.rate > 0 and state.remaining_bits / state.rate <= time_floor)
+            )
+        ]
+        if not finished:
+            return
+        for fid in sorted(finished):
+            state = self.active.pop(fid)
+            state.complete(now)
+            self._records[fid] = self._record_of(state)
+            coflow_id = state.spec.coflow_id
+            self._coflow_pending[coflow_id] -= 1
+            if self._coflow_pending[coflow_id] == 0:
+                self._coflow_records[coflow_id] = CoflowRecord(
+                    spec=self._coflow_spec[coflow_id], finish=now
+                )
+        self._flows_dirty = True
+        self._after_events()
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def _record_of(self, state: FlowState) -> FlowRecord:
+        stalled = state.stalled_time
+        if state.phase is FlowPhase.STALLED and state._stall_began is not None:
+            stalled += self.clock.now - state._stall_began  # still stalled at cut-off
+        return FlowRecord(
+            spec=state.spec,
+            start=state.start,
+            finish=state.finish,
+            initial_hops=self._initial_hops.get(state.spec.flow_id),
+            final_hops=state.hops if state.path is not None else None,
+            reroutes=state.reroutes,
+            stalled_time=stalled,
+        )
+
+    def _build_result(self) -> SimulationResult:
+        flows = dict(self._records)
+        for fid, state in self.active.items():  # unfinished at horizon
+            flows[fid] = self._record_of(state)
+        coflows = dict(self._coflow_records)
+        for cid, spec in self._coflow_spec.items():
+            if cid not in coflows:
+                coflows[cid] = CoflowRecord(spec=spec, finish=None)
+        return SimulationResult(
+            flows=flows,
+            coflows=coflows,
+            end_time=self.clock.now,
+            horizon=self.horizon,
+            events_processed=self._events_processed,
+            reallocations=self._reallocations,
+        )
+
+    def _build_capacities(self) -> dict[DirectedSegment, float]:
+        caps: dict[DirectedSegment, float] = {}
+        for link in self.topo.links.values():
+            caps[DirectedSegment(link.link_id, True)] = link.capacity
+            caps[DirectedSegment(link.link_id, False)] = link.capacity
+        return caps

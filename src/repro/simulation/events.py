@@ -1,0 +1,100 @@
+"""A small discrete-event kernel (calendar queue over ``heapq``).
+
+The fluid simulator needs exactly two kinds of *exogenous* events —
+coflow arrivals and scheduled topology/control actions — while flow
+completions are *endogenous*: with piecewise-constant rates the next
+completion instant is computed, not scheduled.  The kernel therefore
+stays deliberately small: a priority queue with a monotonic tie-breaking
+sequence number (events at equal times fire in insertion order, which
+keeps whole simulations deterministic), plus cancellation support.
+
+``simpy`` is intentionally not used: the rate-recomputation pattern of
+max-min fluid simulation fits a bare event loop better than a
+process/coroutine model, and the explicit loop is easier to test.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Event", "EventQueue", "SimClock"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering: time, then insertion sequence."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class SimClock:
+    """Monotonic simulation clock; advancing backwards is a bug, not a wrap."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        if t < self._now - 1e-12:
+            raise ValueError(f"clock moving backwards: {self._now} -> {t}")
+        self._now = max(self._now, t)
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+
+    def schedule(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        event = Event(time, next(self._seq), action, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` when empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` when empty."""
+        self._drop_cancelled()
+        return heapq.heappop(self._heap) if self._heap else None
+
+    def pop_due(self, time: float, tolerance: float = 1e-12) -> list[Event]:
+        """All live events scheduled at or before ``time`` (FIFO within ties)."""
+        due: list[Event] = []
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > time + tolerance:
+                break
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                due.append(event)
+        return due
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        self._drop_cancelled()
+        return bool(self._heap)

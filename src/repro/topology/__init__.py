@@ -1,0 +1,50 @@
+"""Topology substrate: graph primitives and the four architectures compared
+in the ShareBackup paper (fat-tree, F10, Aspen-style tree, 1:1 backup).
+
+The ShareBackup topology itself — fat-tree plus circuit-switch layers and
+backup switches — lives in :mod:`repro.core.sharebackup` because it is the
+paper's contribution rather than a substrate.
+"""
+
+from .addressing import Address, FatTreeAddressPlan, Prefix, Suffix
+from .aspen import AspenTree
+from .base import (
+    DEFAULT_LINK_CAPACITY,
+    Level,
+    Link,
+    Node,
+    NodeKind,
+    Topology,
+    TopologyError,
+)
+from .f10 import F10Tree
+from .fattree import FatTree, agg_name, core_name, edge_name, host_name
+from .onetoone import OneToOneBackupTree, is_shadow, shadow_name
+from .validate import ValidationError, validate_fattree, validate_folded_clos
+
+__all__ = [
+    "Address",
+    "AspenTree",
+    "DEFAULT_LINK_CAPACITY",
+    "F10Tree",
+    "FatTree",
+    "FatTreeAddressPlan",
+    "Level",
+    "Link",
+    "Node",
+    "NodeKind",
+    "OneToOneBackupTree",
+    "Prefix",
+    "Suffix",
+    "Topology",
+    "TopologyError",
+    "ValidationError",
+    "agg_name",
+    "core_name",
+    "edge_name",
+    "host_name",
+    "is_shadow",
+    "shadow_name",
+    "validate_fattree",
+    "validate_folded_clos",
+]

@@ -1,0 +1,182 @@
+"""Fat-tree addressing per Al-Fares et al. (SIGCOMM'08), used by ShareBackup.
+
+The original fat-tree paper assigns addresses from the private ``10.0.0.0/8``
+block:
+
+* pod switches get ``10.pod.switch.1`` where ``switch`` enumerates edge
+  switches ``0 .. k/2-1`` left to right, then aggregation switches
+  ``k/2 .. k-1``;
+* core switches get ``10.k.j.i`` where ``(j, i)`` encodes the core's grid
+  position, ``j, i ∈ [1, k/2]``;
+* hosts get ``10.pod.switch.id`` with ``id ∈ [2, k/2+1]``, i.e. host
+  addresses share the pod/switch prefix of their edge switch.
+
+Two-level routing (``repro.routing.twolevel``) matches on these addresses
+with terminating *prefixes* for intra-pod traffic and *suffixes* for
+spreading inter-pod traffic over the cores, so the address arithmetic
+lives here in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Address", "Prefix", "Suffix", "FatTreeAddressPlan"]
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A dotted-quad address, e.g. ``Address(10, 2, 0, 3)`` = ``10.2.0.3``."""
+
+    o0: int
+    o1: int
+    o2: int
+    o3: int
+
+    def __post_init__(self) -> None:
+        for octet in (self.o0, self.o1, self.o2, self.o3):
+            if not 0 <= octet <= 255:
+                raise ValueError(f"octet {octet} out of range in {self}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Address":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"malformed address {text!r}")
+        return cls(*(int(p) for p in parts))
+
+    def octets(self) -> tuple[int, int, int, int]:
+        return (self.o0, self.o1, self.o2, self.o3)
+
+    def __str__(self) -> str:
+        return f"{self.o0}.{self.o1}.{self.o2}.{self.o3}"
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """A ``/0``–``/32``-style prefix over whole octets (length in octets)."""
+
+    octets: tuple[int, ...]  # leading octets that must match
+
+    def matches(self, addr: Address) -> bool:
+        return addr.octets()[: len(self.octets)] == self.octets
+
+    @property
+    def length(self) -> int:
+        """Match specificity: number of leading octets pinned."""
+        return len(self.octets)
+
+    def __str__(self) -> str:
+        shown = ".".join(str(o) for o in self.octets)
+        return f"{shown}/{8 * len(self.octets)}"
+
+
+@dataclass(frozen=True)
+class Suffix:
+    """A trailing-octet match (fat-tree uses ``/8`` suffixes on the host id)."""
+
+    octets: tuple[int, ...]  # trailing octets that must match
+
+    def matches(self, addr: Address) -> bool:
+        n = len(self.octets)
+        return addr.octets()[4 - n :] == self.octets
+
+    @property
+    def length(self) -> int:
+        return len(self.octets)
+
+    def __str__(self) -> str:
+        shown = ".".join(str(o) for o in self.octets)
+        return f"*.{shown}/{8 * len(self.octets)} (suffix)"
+
+
+class FatTreeAddressPlan:
+    """Address assignment for a ``k``-ary fat-tree.
+
+    The plan is pure arithmetic — it does not need a topology object — so
+    routing-table construction, VLAN impersonation, and tests can all share
+    it.  ``k`` must be even and at most 254 to keep host ids within an
+    octet (the paper's own constraint).
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 2 or k % 2:
+            raise ValueError(f"fat-tree parameter k must be even and >= 2, got {k}")
+        if k > 254:
+            raise ValueError(f"k={k} overflows octet-based addressing")
+        self.k = k
+        self.half = k // 2
+
+    # -- switches ------------------------------------------------------
+
+    def edge_address(self, pod: int, index: int) -> Address:
+        """Address of edge switch ``E_{pod,index}``."""
+        self._check_pod_switch(pod, index)
+        return Address(10, pod, index, 1)
+
+    def aggregation_address(self, pod: int, index: int) -> Address:
+        """Address of aggregation switch ``A_{pod,index}``."""
+        self._check_pod_switch(pod, index)
+        return Address(10, pod, self.half + index, 1)
+
+    def core_address(self, core_index: int) -> Address:
+        """Address of core switch ``C_{core_index}`` (global index).
+
+        Core ``c`` sits at grid position ``(j, i) = (c // (k/2) + 1,
+        c % (k/2) + 1)`` giving ``10.k.j.i``.
+        """
+        if not 0 <= core_index < self.half * self.half:
+            raise ValueError(f"core index {core_index} out of range for k={self.k}")
+        j = core_index // self.half + 1
+        i = core_index % self.half + 1
+        return Address(10, self.k, j, i)
+
+    # -- hosts -----------------------------------------------------------
+
+    def host_address(self, pod: int, edge_index: int, host_id: int) -> Address:
+        """Address of the ``host_id``-th host (0-based) under an edge switch."""
+        self._check_pod_switch(pod, edge_index)
+        if not 0 <= host_id < self.half:
+            raise ValueError(f"host id {host_id} out of range for k={self.k}")
+        return Address(10, pod, edge_index, 2 + host_id)
+
+    def host_location(self, addr: Address) -> tuple[int, int, int]:
+        """Inverse of :meth:`host_address`: ``(pod, edge_index, host_id)``."""
+        if addr.o0 != 10 or not self._is_host(addr):
+            raise ValueError(f"{addr} is not a fat-tree host address")
+        return (addr.o1, addr.o2, addr.o3 - 2)
+
+    # -- classification ------------------------------------------------
+
+    def _is_host(self, addr: Address) -> bool:
+        return (
+            addr.o1 < self.k
+            and addr.o2 < self.half
+            and 2 <= addr.o3 < 2 + self.half
+        )
+
+    def pod_of(self, addr: Address) -> int | None:
+        """Pod index of a pod-local address, ``None`` for core addresses."""
+        return addr.o1 if addr.o1 < self.k else None
+
+    # -- prefixes / suffixes used by two-level routing -------------------
+
+    def pod_prefix(self, pod: int) -> Prefix:
+        """``10.pod/16`` — all addresses within a pod."""
+        return Prefix((10, pod))
+
+    def subnet_prefix(self, pod: int, edge_index: int) -> Prefix:
+        """``10.pod.edge/24`` — the rack subnet of one edge switch."""
+        return Prefix((10, pod, edge_index))
+
+    def host_suffix(self, host_id: int) -> Suffix:
+        """``0.0.0.(2+host_id)/8`` suffix used to spread upward traffic."""
+        return Suffix((2 + host_id,))
+
+    # -- helpers ---------------------------------------------------------
+
+    def _check_pod_switch(self, pod: int, index: int) -> None:
+        if not 0 <= pod < self.k:
+            raise ValueError(f"pod {pod} out of range for k={self.k}")
+        if not 0 <= index < self.half:
+            raise ValueError(f"switch index {index} out of range for k={self.k}")

@@ -1,0 +1,159 @@
+"""Structural invariant checks for the topologies in this reproduction.
+
+These validators are used three ways:
+
+* in tests (including hypothesis property tests over the ``k`` parameter);
+* by builders' consumers that want fail-fast guarantees before running a
+  long simulation;
+* in examples, to show users what "a correct fat-tree" means.
+
+Each check raises :class:`ValidationError` with a precise message; the
+aggregate entry points return a report of everything verified.
+"""
+
+from __future__ import annotations
+
+from .base import NodeKind, Topology
+from .fattree import FatTree
+
+__all__ = [
+    "ValidationError",
+    "validate_fattree",
+    "validate_folded_clos",
+    "check_port_counts",
+]
+
+
+class ValidationError(AssertionError):
+    """A topology violates a structural invariant."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_port_counts(tree: FatTree, allow_parallel: bool = False) -> None:
+    """Every switch must use exactly ``k`` ports; hosts exactly one.
+
+    ``allow_parallel`` relaxes the distinct-neighbour requirement for
+    Aspen-style duplicated links (the *port* count must still be ``k``).
+    """
+    k = tree.k
+    for node in tree.packet_switches(include_backup=False):
+        degree = tree.degree(node.name)
+        if node.kind is NodeKind.EDGE:
+            expected = tree.hosts_per_edge + tree.half
+            _require(
+                degree == expected,
+                f"{node.name}: degree {degree}, expected {expected} "
+                f"({tree.hosts_per_edge} hosts + {tree.half} uplinks)",
+            )
+        elif node.kind is NodeKind.AGGREGATION:
+            _require(degree == k, f"{node.name}: degree {degree}, expected {k}")
+        elif node.kind is NodeKind.CORE:
+            # Aspen leaves odd cores detached; attached cores carry 2 links/pod.
+            if degree == 0 and allow_parallel:
+                continue
+            expected = 2 * k if (allow_parallel and degree != k) else k
+            _require(
+                degree in (k, expected),
+                f"{node.name}: degree {degree}, expected {k}"
+                + (f" or {expected}" if allow_parallel else ""),
+            )
+        if not allow_parallel:
+            for neighbor in tree.neighbors(node.name):
+                count = len(tree.links_between(node.name, neighbor))
+                _require(
+                    count == 1,
+                    f"parallel links between {node.name} and {neighbor}",
+                )
+    for host in tree.hosts():
+        _require(
+            tree.degree(host.name) == 1,
+            f"{host.name}: hosts must be single-homed in a plain fat-tree",
+        )
+
+
+def validate_folded_clos(tree: FatTree) -> None:
+    """Level discipline: links only connect adjacent Clos levels."""
+    order = {
+        NodeKind.HOST: 0,
+        NodeKind.EDGE: 1,
+        NodeKind.AGGREGATION: 2,
+        NodeKind.CORE: 3,
+    }
+    for link in tree.links.values():
+        la = order[tree.nodes[link.a].kind]
+        lb = order[tree.nodes[link.b].kind]
+        _require(
+            abs(la - lb) == 1,
+            f"link {link.a}--{link.b} skips levels ({la} to {lb})",
+        )
+
+
+def validate_fattree(tree: FatTree, allow_parallel: bool = False) -> dict[str, int]:
+    """Full structural validation of a fat-tree (or AB/Aspen variant).
+
+    Checks inventory sizes, port counts, level discipline, in-pod
+    bipartite completeness, and the one-core-link-per-pod property.
+    Returns a summary dict for reporting.
+    """
+    k, half = tree.k, tree.half
+    edges = tree.nodes_of_kind(NodeKind.EDGE, include_backup=False)
+    aggs = tree.nodes_of_kind(NodeKind.AGGREGATION, include_backup=False)
+    cores = tree.nodes_of_kind(NodeKind.CORE, include_backup=False)
+    hosts = tree.hosts()
+
+    _require(len(edges) == k * half, f"expected {k * half} edges, got {len(edges)}")
+    _require(len(aggs) == k * half, f"expected {k * half} aggs, got {len(aggs)}")
+    _require(len(cores) == half * half, f"expected {half * half} cores, got {len(cores)}")
+    _require(
+        len(hosts) == k * half * tree.hosts_per_edge,
+        f"expected {k * half * tree.hosts_per_edge} hosts, got {len(hosts)}",
+    )
+
+    validate_folded_clos(tree)
+    check_port_counts(tree, allow_parallel=allow_parallel)
+
+    # In-pod edge--agg complete bipartite graph.
+    for pod in range(k):
+        for edge in tree.edge_switches(pod):
+            up = {
+                n
+                for n in tree.neighbors(edge)
+                if tree.nodes[n].kind is NodeKind.AGGREGATION
+            }
+            _require(
+                up == set(tree.agg_switches(pod)),
+                f"{edge} must connect to every aggregation switch of pod {pod}",
+            )
+
+    # Every attached core touches each pod the same number of times.
+    for core in cores:
+        pods_touched: dict[int, int] = {}
+        for neighbor in tree.neighbors(core.name):
+            node = tree.nodes[neighbor]
+            _require(
+                node.kind is NodeKind.AGGREGATION,
+                f"core {core.name} connects to non-aggregation {neighbor}",
+            )
+            count = len(tree.links_between(core.name, neighbor))
+            pods_touched[node.pod] = pods_touched.get(node.pod, 0) + count
+        if not pods_touched:
+            _require(allow_parallel, f"core {core.name} is fully detached")
+            continue
+        per_pod = set(pods_touched.values())
+        _require(
+            len(pods_touched) == k and len(per_pod) == 1,
+            f"core {core.name} touches pods unevenly: {pods_touched}",
+        )
+
+    return {
+        "k": k,
+        "edges": len(edges),
+        "aggs": len(aggs),
+        "cores": len(cores),
+        "hosts": len(hosts),
+        "links": len(tree.links),
+    }

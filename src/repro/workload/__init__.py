@@ -1,0 +1,49 @@
+"""Workload substrate: synthetic coflow traces with the Facebook
+coflow-benchmark's structural properties (see DESIGN.md, substitution table).
+"""
+
+from .coflow_trace import (
+    DEFAULT_CATEGORIES,
+    CoflowCategory,
+    CoflowTraceGenerator,
+    RackCoflow,
+    RackFlow,
+    WorkloadConfig,
+    materialize_hosts,
+    partition_trace,
+)
+from .traceio import (
+    TraceFormatError,
+    load_coflow_benchmark,
+    load_trace,
+    save_coflow_benchmark,
+    save_trace,
+)
+from .distributions import (
+    bounded_pareto_bytes,
+    categorical,
+    exponential_gaps,
+    lognormal_bytes,
+    sample_without_replacement,
+)
+
+__all__ = [
+    "DEFAULT_CATEGORIES",
+    "CoflowCategory",
+    "CoflowTraceGenerator",
+    "RackCoflow",
+    "RackFlow",
+    "WorkloadConfig",
+    "bounded_pareto_bytes",
+    "categorical",
+    "exponential_gaps",
+    "lognormal_bytes",
+    "materialize_hosts",
+    "partition_trace",
+    "sample_without_replacement",
+    "TraceFormatError",
+    "load_coflow_benchmark",
+    "load_trace",
+    "save_coflow_benchmark",
+    "save_trace",
+]

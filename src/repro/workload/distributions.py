@@ -1,0 +1,82 @@
+"""Random-variate helpers for the synthetic coflow workload.
+
+The generator in :mod:`repro.workload.coflow_trace` needs three shapes,
+all standard in data center traffic modelling:
+
+* Poisson arrivals (exponential inter-arrival gaps);
+* log-normal "short" transfer sizes (the bulk of flows are small);
+* bounded Pareto "long" transfer sizes (heavy tail that carries most of
+  the bytes — the defining property of the Facebook trace the paper
+  replays).
+
+All functions take a ``numpy.random.Generator`` so that every experiment
+is reproducible from one seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "exponential_gaps",
+    "lognormal_bytes",
+    "bounded_pareto_bytes",
+    "categorical",
+    "sample_without_replacement",
+]
+
+
+def exponential_gaps(rng: np.random.Generator, rate: float, n: int) -> np.ndarray:
+    """``n`` exponential inter-arrival gaps for a Poisson process of ``rate``/s."""
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+    return rng.exponential(scale=1.0 / rate, size=n)
+
+
+def lognormal_bytes(
+    rng: np.random.Generator,
+    median: float,
+    sigma: float = 1.0,
+    floor: float = 1.0,
+) -> float:
+    """One log-normal size with the given median (bytes)."""
+    if median <= 0:
+        raise ValueError(f"median must be positive, got {median}")
+    value = float(rng.lognormal(mean=np.log(median), sigma=sigma))
+    return max(floor, value)
+
+
+def bounded_pareto_bytes(
+    rng: np.random.Generator,
+    low: float,
+    high: float,
+    alpha: float = 1.2,
+) -> float:
+    """One bounded-Pareto size in ``[low, high]`` (bytes).
+
+    Inverse-CDF sampling of the bounded Pareto; ``alpha`` ≈ 1.2 gives the
+    mice-and-elephants mix observed in MapReduce shuffles.
+    """
+    if not 0 < low < high:
+        raise ValueError(f"need 0 < low < high, got [{low}, {high}]")
+    u = float(rng.uniform())
+    la, ha = low**alpha, high**alpha
+    return (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
+
+
+def categorical(rng: np.random.Generator, weights: dict[str, float]) -> str:
+    """Draw a key of ``weights`` with probability proportional to its value."""
+    keys = sorted(weights)
+    probs = np.array([weights[k] for k in keys], dtype=float)
+    if (probs < 0).any() or probs.sum() <= 0:
+        raise ValueError(f"bad category weights {weights}")
+    probs = probs / probs.sum()
+    return keys[int(rng.choice(len(keys), p=probs))]
+
+
+def sample_without_replacement(
+    rng: np.random.Generator, population: int, count: int
+) -> list[int]:
+    """``count`` distinct integers from ``range(population)``."""
+    count = min(count, population)
+    return [int(x) for x in rng.choice(population, size=count, replace=False)]

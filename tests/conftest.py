@@ -1,0 +1,52 @@
+"""Shared fixtures: small topologies and networks reused across the suite.
+
+Everything here is function-scoped *except* a few expensive read-only
+objects (marked session-scoped) that tests must not mutate; mutating
+tests build their own instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ShareBackupNetwork
+from repro.topology import F10Tree, FatTree
+
+
+@pytest.fixture
+def ft4() -> FatTree:
+    """A minimal k=4 fat-tree (fresh per test, safe to mutate)."""
+    return FatTree(4)
+
+
+@pytest.fixture
+def ft6() -> FatTree:
+    return FatTree(6)
+
+
+@pytest.fixture
+def ft8() -> FatTree:
+    return FatTree(8)
+
+
+@pytest.fixture
+def f10_6() -> F10Tree:
+    return F10Tree(6)
+
+
+@pytest.fixture
+def sb6() -> ShareBackupNetwork:
+    """A k=6, n=1 ShareBackup network (fresh per test)."""
+    return ShareBackupNetwork(6, n=1)
+
+
+@pytest.fixture
+def sb6n2() -> ShareBackupNetwork:
+    return ShareBackupNetwork(6, n=2)
+
+
+@pytest.fixture(scope="session")
+def ft16_oversub() -> FatTree:
+    """The failure study's k=16, 10:1 oversubscribed tree — session-scoped
+    and READ-ONLY (building it is ~0.5 s; tests must not mutate it)."""
+    return FatTree(16, hosts_per_edge=80)

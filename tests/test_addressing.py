@@ -1,0 +1,149 @@
+"""Unit tests for fat-tree addressing (Al-Fares scheme)."""
+
+import pytest
+
+from repro.topology.addressing import Address, FatTreeAddressPlan, Prefix, Suffix
+
+
+class TestAddress:
+    def test_octets_roundtrip(self):
+        a = Address(10, 2, 0, 3)
+        assert a.octets() == (10, 2, 0, 3)
+        assert str(a) == "10.2.0.3"
+
+    def test_parse(self):
+        assert Address.parse("10.4.1.2") == Address(10, 4, 1, 2)
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            Address.parse("10.4.1")
+        with pytest.raises(ValueError):
+            Address.parse("10.4.1.2.9")
+
+    def test_octet_range_enforced(self):
+        with pytest.raises(ValueError):
+            Address(256, 0, 0, 0)
+        with pytest.raises(ValueError):
+            Address(10, -1, 0, 0)
+
+    def test_ordering_is_lexicographic(self):
+        assert Address(10, 0, 0, 2) < Address(10, 0, 1, 0)
+
+    def test_hashable(self):
+        assert len({Address(10, 0, 0, 2), Address(10, 0, 0, 2)}) == 1
+
+
+class TestPrefixSuffix:
+    def test_prefix_match(self):
+        p = Prefix((10, 3))
+        assert p.matches(Address(10, 3, 1, 2))
+        assert not p.matches(Address(10, 4, 1, 2))
+
+    def test_empty_prefix_matches_everything(self):
+        assert Prefix(()).matches(Address(10, 200, 3, 9))
+        assert Prefix(()).length == 0
+
+    def test_prefix_length(self):
+        assert Prefix((10, 3, 1)).length == 3
+
+    def test_suffix_match(self):
+        s = Suffix((3,))
+        assert s.matches(Address(10, 0, 0, 3))
+        assert not s.matches(Address(10, 0, 3, 2))
+
+    def test_two_octet_suffix(self):
+        s = Suffix((1, 3))
+        assert s.matches(Address(10, 0, 1, 3))
+        assert not s.matches(Address(10, 1, 0, 3))
+
+    def test_str_forms(self):
+        assert str(Prefix((10, 3))) == "10.3/16"
+        assert "suffix" in str(Suffix((3,)))
+
+
+class TestFatTreeAddressPlan:
+    def test_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            FatTreeAddressPlan(5)
+
+    def test_rejects_huge_k(self):
+        with pytest.raises(ValueError):
+            FatTreeAddressPlan(256)
+
+    def test_edge_address(self):
+        plan = FatTreeAddressPlan(4)
+        assert plan.edge_address(2, 1) == Address(10, 2, 1, 1)
+
+    def test_aggregation_address_offsets_by_half(self):
+        plan = FatTreeAddressPlan(4)
+        assert plan.aggregation_address(2, 0) == Address(10, 2, 2, 1)
+        assert plan.aggregation_address(2, 1) == Address(10, 2, 3, 1)
+
+    def test_core_addresses_use_k_octet(self):
+        plan = FatTreeAddressPlan(4)
+        # cores are 10.k.j.i with j,i in [1, k/2]
+        assert plan.core_address(0) == Address(10, 4, 1, 1)
+        assert plan.core_address(3) == Address(10, 4, 2, 2)
+
+    def test_core_addresses_unique(self):
+        plan = FatTreeAddressPlan(8)
+        addrs = {plan.core_address(c) for c in range(16)}
+        assert len(addrs) == 16
+
+    def test_host_address_and_inverse(self):
+        plan = FatTreeAddressPlan(6)
+        for pod in range(6):
+            for e in range(3):
+                for h in range(3):
+                    addr = plan.host_address(pod, e, h)
+                    assert plan.host_location(addr) == (pod, e, h)
+
+    def test_host_addresses_start_at_2(self):
+        plan = FatTreeAddressPlan(4)
+        assert plan.host_address(0, 0, 0).o3 == 2
+
+    def test_host_location_rejects_switch_address(self):
+        plan = FatTreeAddressPlan(4)
+        with pytest.raises(ValueError):
+            plan.host_location(plan.edge_address(0, 0))
+
+    def test_host_location_rejects_core_address(self):
+        plan = FatTreeAddressPlan(4)
+        with pytest.raises(ValueError):
+            plan.host_location(plan.core_address(0))
+
+    def test_pod_of(self):
+        plan = FatTreeAddressPlan(4)
+        assert plan.pod_of(plan.host_address(3, 1, 0)) == 3
+        assert plan.pod_of(plan.core_address(0)) is None
+
+    def test_subnet_prefix_matches_only_its_rack(self):
+        plan = FatTreeAddressPlan(4)
+        p = plan.subnet_prefix(1, 0)
+        assert p.matches(plan.host_address(1, 0, 1))
+        assert not p.matches(plan.host_address(1, 1, 1))
+
+    def test_pod_prefix_matches_whole_pod(self):
+        plan = FatTreeAddressPlan(4)
+        p = plan.pod_prefix(2)
+        assert p.matches(plan.host_address(2, 1, 0))
+        assert p.matches(plan.edge_address(2, 0))
+        assert not p.matches(plan.host_address(3, 1, 0))
+
+    def test_host_suffix(self):
+        plan = FatTreeAddressPlan(4)
+        s = plan.host_suffix(1)  # host id 1 -> last octet 3
+        assert s.matches(plan.host_address(0, 0, 1))
+        assert s.matches(plan.host_address(3, 1, 1))
+        assert not s.matches(plan.host_address(0, 0, 0))
+
+    def test_bounds_checks(self):
+        plan = FatTreeAddressPlan(4)
+        with pytest.raises(ValueError):
+            plan.edge_address(4, 0)
+        with pytest.raises(ValueError):
+            plan.edge_address(0, 2)
+        with pytest.raises(ValueError):
+            plan.core_address(4)
+        with pytest.raises(ValueError):
+            plan.host_address(0, 0, 2)

@@ -1,0 +1,209 @@
+"""Analysis-layer tests: CDF utilities, affected metrics, CCT slowdowns,
+and the measured Table 3 characteristics probe."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    PermutationProbe,
+    affected_by_scenario,
+    cct_slowdowns,
+    cdf_at,
+    divergence_is_upstream,
+    empirical_cdf,
+    percentile,
+    summarize,
+)
+from repro.failures import FailureInjector, FailureScenario
+from repro.routing import (
+    F10LocalRerouteRouter,
+    GlobalOptimalRerouteRouter,
+    Path,
+    StaticEcmpRouter,
+)
+from repro.simulation import CoflowSpec, FlowSpec, FluidSimulation
+from repro.topology import F10Tree, FatTree
+from repro.workload import CoflowTraceGenerator, WorkloadConfig, materialize_hosts
+
+GBIT = 1.25e8
+
+
+class TestCdfUtils:
+    def test_empirical_cdf(self):
+        xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+        assert xs == [1.0, 2.0, 3.0]
+        assert ps == [pytest.approx(1 / 3), pytest.approx(2 / 3), pytest.approx(1.0)]
+
+    def test_empirical_cdf_empty(self):
+        assert empirical_cdf([]) == ([], [])
+
+    def test_empirical_cdf_keeps_inf(self):
+        xs, _ = empirical_cdf([1.0, math.inf])
+        assert xs[-1] == math.inf
+
+    def test_percentile_nearest_rank(self):
+        data = list(range(1, 101))
+        assert percentile(data, 50) == 50
+        assert percentile(data, 90) == 90
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 100
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_cdf_at(self):
+        assert cdf_at([1, 2, 3, 4], 2.5) == 0.5
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, math.inf])
+        assert s["count"] == 3 and s["infinite"] == 1
+        assert s["median"] == 1.0 or s["median"] == 2.0
+
+
+class TestAffectedMetrics:
+    def make_trace(self, tree, n=60, seed=3):
+        cfg = WorkloadConfig(
+            num_racks=tree.num_racks, num_coflows=n, duration=60, seed=seed
+        )
+        return materialize_hosts(CoflowTraceGenerator(cfg).generate(), tree)
+
+    def test_no_failures_nothing_affected(self, ft8):
+        trace = self.make_trace(ft8)
+        counts = affected_by_scenario(ft8, trace, FailureScenario())
+        assert counts.flows_affected == 0 and counts.coflows_affected == 0
+        assert counts.amplification == 1.0
+
+    def test_requires_clean_topology(self, ft8):
+        trace = self.make_trace(ft8)
+        ft8.fail_node("C.0")
+        with pytest.raises(ValueError):
+            affected_by_scenario(ft8, trace, FailureScenario(nodes=("C.0",)))
+
+    def test_coflow_amplification(self, ft8):
+        """A coflow is affected if any flow is: coflow fraction >= flow
+        fraction always, and strictly greater with multi-flow coflows."""
+        trace = self.make_trace(ft8, n=120)
+        inj = FailureInjector(ft8, seed=5)
+        counts = affected_by_scenario(ft8, trace, inj.single_node_failure())
+        assert counts.coflow_fraction >= counts.flow_fraction
+        assert counts.amplification > 1.5
+
+    def test_node_scenario_counts_path_nodes(self, ft4):
+        flow = FlowSpec(1, 1, "H.0.0.0", "H.3.0.0", 100.0)
+        trace = [CoflowSpec(1, 0.0, (flow,))]
+        from repro.routing import EcmpSelector
+
+        pin = EcmpSelector(ft4).select("H.0.0.0", "H.3.0.0", 1)
+        hit = affected_by_scenario(
+            ft4, trace, FailureScenario(nodes=(pin.nodes[3],))
+        )
+        assert hit.flows_affected == 1
+        other_core = next(c for c in ft4.core_switches() if c not in pin.nodes)
+        miss = affected_by_scenario(
+            ft4, trace, FailureScenario(nodes=(other_core,))
+        )
+        assert miss.flows_affected == 0
+
+    def test_link_scenario_counts_segments(self, ft4):
+        flow = FlowSpec(1, 1, "H.0.0.0", "H.0.0.1", 100.0)
+        trace = [CoflowSpec(1, 0.0, (flow,))]
+        link = ft4.links_between("H.0.0.0", "E.0.0")[0]
+        counts = affected_by_scenario(
+            ft4, trace, FailureScenario(links=(link.link_id,))
+        )
+        assert counts.flows_affected == 1
+
+
+class TestCctSlowdowns:
+    def run_pair(self):
+        t = FatTree(4)
+        specs = [
+            CoflowSpec(1, 0.0, (FlowSpec(1, 1, "H.0.0.0", "H.3.0.0", 10 * GBIT),)),
+            CoflowSpec(2, 0.0, (FlowSpec(2, 2, "H.1.0.0", "H.2.0.0", 10 * GBIT),)),
+        ]
+        base = FluidSimulation(FatTree(4), StaticEcmpRouter(FatTree(4)), specs).run()
+        t2 = FatTree(4)
+        r2 = StaticEcmpRouter(t2)
+        sim = FluidSimulation(t2, r2, specs, horizon=100.0)
+        pin = r2.initial_path("H.0.0.0", "H.3.0.0", 1)
+        sim.fail_node_at(0.0, pin.nodes[3])
+        failed = sim.run()
+        return base, failed
+
+    def test_unfinished_maps_to_inf(self):
+        base, failed = self.run_pair()
+        report = cct_slowdowns(base, failed, affected_coflows=[1])
+        assert report.slowdowns[1] == math.inf
+        assert report.slowdowns[2] == pytest.approx(1.0)
+        assert report.affected_slowdowns() == [math.inf]
+        assert report.max_slowdown() == math.inf
+
+    def test_identical_runs_give_unity(self):
+        t = FatTree(4)
+        specs = [CoflowSpec(1, 0.0, (FlowSpec(1, 1, "H.0.0.0", "H.3.0.0", GBIT),))]
+        a = FluidSimulation(FatTree(4), StaticEcmpRouter(FatTree(4)), specs).run()
+        b = FluidSimulation(FatTree(4), StaticEcmpRouter(FatTree(4)), specs).run()
+        report = cct_slowdowns(a, b)
+        assert report.slowdowns[1] == pytest.approx(1.0)
+
+
+class TestDivergence:
+    def test_upstream_divergence_detected(self):
+        old = Path(("h", "e", "a1", "c1", "a2", "e2", "h2"))
+        new = Path(("h", "e", "a9", "c9", "a2", "e2", "h2"))
+        # failure detected at hop 3 (core->agg), divergence at index 2
+        assert divergence_is_upstream(old, new, detection_index=3)
+
+    def test_local_repair_not_upstream(self):
+        old = Path(("h", "e", "a1", "c1", "a2", "e2", "h2"))
+        new = Path(("h", "e", "a1", "e9", "a9", "c9", "a2", "e2", "h2"))
+        # failure detected at hop 2 (agg->core): path identical through a1
+        assert not divergence_is_upstream(old, new, detection_index=2)
+
+
+class TestCharacteristicsProbe:
+    """The measured Table 3: fat-tree vs F10 rows."""
+
+    def test_fattree_row(self):
+        tree = FatTree(8)
+        probe = PermutationProbe(tree, GlobalOptimalRerouteRouter(tree))
+        pinned_core = None
+
+        def inject():
+            nonlocal pinned_core
+            # fail a core that some pinned flow crosses
+            for path in probe.paths.values():
+                if path is not None and len(path.nodes) == 7:
+                    pinned_core = path.nodes[3]
+                    break
+            tree.fail_node(pinned_core)
+
+        ch = probe.measure("fat-tree", inject, greedy=True)
+        assert ch.bandwidth_loss  # x in Table 3
+        assert not ch.path_dilation  # OK in Table 3
+        assert ch.upstream_repair  # x in Table 3
+
+    def test_f10_row(self):
+        tree = F10Tree(8)
+        probe = PermutationProbe(tree, F10LocalRerouteRouter(tree))
+
+        def inject():
+            for path in probe.paths.values():
+                if path is not None and len(path.nodes) == 7:
+                    tree.fail_node(path.nodes[3])
+                    return
+
+        ch = probe.measure("f10", inject)
+        assert ch.bandwidth_loss
+        assert ch.path_dilation  # the 3-hop detour
+        assert not ch.upstream_repair  # local repair
+
+    def test_table_row_formatting(self):
+        from repro.analysis import Characteristics
+
+        row = Characteristics("x", True, False, True).table_row()
+        assert row == ("x", "x", "OK", "x")

@@ -1,0 +1,54 @@
+"""Additional analysis-layer coverage: report fields, edge conditions."""
+
+import math
+
+import pytest
+
+from repro.analysis import SlowdownReport, summarize
+from repro.analysis.metrics import AffectedCounts
+
+
+class TestAffectedCounts:
+    def test_zero_totals(self):
+        counts = AffectedCounts(0, 0, 0, 0)
+        assert counts.flow_fraction == 0.0
+        assert counts.coflow_fraction == 0.0
+        assert counts.amplification == 1.0
+
+    def test_infinite_amplification(self):
+        counts = AffectedCounts(10, 0, 5, 2)
+        assert counts.amplification == math.inf
+
+    def test_fractions(self):
+        counts = AffectedCounts(100, 10, 20, 8)
+        assert counts.flow_fraction == pytest.approx(0.10)
+        assert counts.coflow_fraction == pytest.approx(0.40)
+        assert counts.amplification == pytest.approx(4.0)
+
+
+class TestSlowdownReport:
+    def test_affected_filtering(self):
+        report = SlowdownReport(
+            slowdowns={1: 2.0, 2: 1.0, 3: 5.0}, affected=frozenset({1, 3, 9})
+        )
+        assert report.affected_slowdowns() == [2.0, 5.0]  # 9 absent from data
+        assert report.all_slowdowns() == [2.0, 1.0, 5.0]
+        assert report.max_slowdown() == 5.0
+
+    def test_empty_report(self):
+        report = SlowdownReport(slowdowns={}, affected=frozenset())
+        assert report.max_slowdown() == 1.0
+        assert report.all_slowdowns() == []
+
+
+class TestSummarize:
+    def test_all_infinite(self):
+        s = summarize([math.inf, math.inf])
+        assert s["count"] == 2 and s["infinite"] == 2
+        assert "median" not in s
+
+    def test_mixed(self):
+        s = summarize([1.0, 2.0, 3.0, math.inf])
+        assert s["infinite"] == 1
+        assert s["median"] == 2.0
+        assert s["max"] == 3.0

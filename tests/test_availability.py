@@ -1,0 +1,71 @@
+"""Time-domain availability Monte Carlo tests (§5.1 with repair dynamics)."""
+
+import pytest
+
+from repro.experiments.availability import (
+    YEAR,
+    AvailabilityResult,
+    simulate_group_availability,
+)
+from repro.failures import DEFAULT_FAILURE_MODEL, FailureModel
+
+
+class TestValidation:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            simulate_group_availability(0, 1)
+        with pytest.raises(ValueError):
+            simulate_group_availability(4, -1)
+        with pytest.raises(ValueError):
+            simulate_group_availability(4, 1, years=0)
+
+
+class TestStatisticalAgreement:
+    def test_failure_rate_matches_mtbf(self):
+        result = simulate_group_availability(24, 1, years=30, seed=1)
+        expected = YEAR / DEFAULT_FAILURE_MODEL.mtbf
+        assert result.failures_per_switch_year == pytest.approx(expected, rel=0.2)
+
+    def test_zero_spares_exposure_matches_binomial(self):
+        """With n=0, exposure probability = P(>=1 down) ~ group * p."""
+        # Use a lousier availability so the 30-year sample has resolution.
+        model = FailureModel(availability=0.999, median_downtime=300.0)
+        result = simulate_group_availability(
+            8, 0, years=30, model=model, seed=2
+        )
+        analytic = model.concurrent_failure_probability(8, 0)
+        assert result.exposure_probability == pytest.approx(analytic, rel=0.3)
+
+    def test_one_spare_collapses_exposure(self):
+        model = FailureModel(availability=0.999, median_downtime=300.0)
+        n0 = simulate_group_availability(8, 0, years=30, model=model, seed=3)
+        n1 = simulate_group_availability(8, 1, years=30, model=model, seed=3)
+        assert n1.exposure_probability < n0.exposure_probability / 20
+
+    def test_paper_scale_group_exposure_matches_binomial(self):
+        """k=48 group, n=1, real availability: the time-domain exposure
+        probability reproduces the §5.1 binomial (2.76e-6) — the episodes
+        are roughly yearly but each lasts only about one repair time, so
+        the group is dark ~2.8e-6 of the time."""
+        result = simulate_group_availability(24, 1, years=200, seed=4)
+        analytic = DEFAULT_FAILURE_MODEL.concurrent_failure_probability(24, 1)
+        assert result.exposure_probability == pytest.approx(analytic, rel=0.5)
+        assert result.exposure_probability < 1e-5
+        # episode durations are on the repair-time scale, not hours
+        if result.exposure_episodes:
+            mean_episode = result.exposed_time / result.exposure_episodes
+            assert mean_episode < 10 * DEFAULT_FAILURE_MODEL.mean_downtime
+
+    def test_more_spares_never_worse(self):
+        model = FailureModel(availability=0.995, median_downtime=600.0)
+        exposures = [
+            simulate_group_availability(12, n, years=20, model=model, seed=5)
+            .exposure_probability
+            for n in (0, 1, 2)
+        ]
+        assert exposures[0] >= exposures[1] >= exposures[2]
+
+    def test_result_accounting_consistent(self):
+        result = simulate_group_availability(8, 0, years=5, seed=6)
+        assert 0 <= result.exposed_time <= result.simulated_time
+        assert result.exposure_episodes <= result.failures

@@ -1,0 +1,148 @@
+"""Circuit-switch crossbar model tests."""
+
+import pytest
+
+from repro.core import (
+    CROSSPOINT_RECONFIG_SECONDS,
+    MEMS_RECONFIG_SECONDS,
+    CircuitSwitch,
+    CircuitSwitchError,
+)
+
+
+def make(radix=4) -> CircuitSwitch:
+    return CircuitSwitch("CS.test", radix=radix)
+
+
+class TestPorts:
+    def test_port_inventory(self):
+        cs = make(3)
+        ports = cs.ports()
+        assert len(ports) == 2 * 3 + 4  # device ports both sides + 4 side
+        assert ("d", 0) in ports and ("us", 1) in ports
+
+    def test_ports_per_side_matches_paper_sizing(self):
+        # radix = k/2 + n; per-side count = k/2 + n + 2
+        cs = make(25)  # k=48, n=1
+        assert cs.ports_per_side == 27
+
+    def test_unknown_port_rejected(self):
+        cs = make(2)
+        with pytest.raises(CircuitSwitchError):
+            cs.connect(("d", 5), ("u", 0))
+        with pytest.raises(CircuitSwitchError):
+            cs.connect(("x", 0), ("u", 0))
+        with pytest.raises(CircuitSwitchError):
+            cs.connect(("ds", 2), ("u", 0))
+
+
+class TestCircuits:
+    def test_connect_and_peer(self):
+        cs = make()
+        cs.connect(("d", 0), ("u", 1))
+        assert cs.peer(("d", 0)) == ("u", 1)
+        assert cs.peer(("u", 1)) == ("d", 0)
+        assert cs.peer(("d", 1)) is None
+
+    def test_double_connect_rejected(self):
+        cs = make()
+        cs.connect(("d", 0), ("u", 0))
+        with pytest.raises(CircuitSwitchError):
+            cs.connect(("d", 0), ("u", 1))
+
+    def test_self_loop_rejected(self):
+        cs = make()
+        with pytest.raises(CircuitSwitchError):
+            cs.connect(("d", 0), ("d", 0))
+
+    def test_disconnect_idempotent(self):
+        cs = make()
+        cs.connect(("d", 0), ("u", 0))
+        cs.disconnect(("d", 0))
+        cs.disconnect(("d", 0))
+        assert cs.peer(("u", 0)) is None
+
+    def test_mapping_copy(self):
+        cs = make()
+        cs.connect(("d", 0), ("u", 0))
+        m = cs.mapping()
+        m.clear()
+        assert cs.peer(("d", 0)) == ("u", 0)
+
+
+class TestReconfigure:
+    def test_batch_swap(self):
+        cs = make()
+        cs.connect(("d", 0), ("u", 0))
+        cs.connect(("d", 1), ("u", 1))
+        latency = cs.reconfigure({("d", 0): ("u", 1), ("d", 1): ("u", 0)})
+        assert cs.peer(("d", 0)) == ("u", 1)
+        assert cs.peer(("d", 1)) == ("u", 0)
+        assert latency == CROSSPOINT_RECONFIG_SECONDS
+
+    def test_teardown_with_none(self):
+        cs = make()
+        cs.connect(("d", 0), ("u", 0))
+        cs.reconfigure({("d", 0): None})
+        assert cs.peer(("d", 0)) is None and cs.peer(("u", 0)) is None
+
+    def test_reconfiguration_counter(self):
+        cs = make()
+        cs.reconfigure({("d", 0): ("u", 0)})
+        cs.reconfigure({("d", 0): None})
+        assert cs.reconfigurations == 2
+
+    def test_down_switch_rejects_reconfig(self):
+        cs = make()
+        cs.up = False
+        with pytest.raises(CircuitSwitchError):
+            cs.reconfigure({("d", 0): ("u", 0)})
+
+    def test_mems_latency(self):
+        cs = CircuitSwitch("CS.mems", radix=2, reconfig_latency=MEMS_RECONFIG_SECONDS)
+        assert cs.reconfigure({("d", 0): ("u", 0)}) == 40e-6
+
+    def test_paper_latency_constants(self):
+        assert CROSSPOINT_RECONFIG_SECONDS == 70e-9
+        assert MEMS_RECONFIG_SECONDS == 40e-6
+
+
+class TestCablingAndTraversal:
+    def test_splice_once(self):
+        cs = make()
+        cs.splice(("d", 0), ("device", ("H.0.0.0", ("nic", 0))))
+        with pytest.raises(CircuitSwitchError):
+            cs.splice(("d", 0), ("device", ("H.0.0.1", ("nic", 0))))
+
+    def test_traverse_follows_circuit_and_cable(self):
+        cs = make()
+        cs.splice(("d", 0), ("device", ("host", ("nic", 0))))
+        cs.splice(("u", 0), ("device", ("edge", ("host", 0))))
+        cs.connect(("d", 0), ("u", 0))
+        assert cs.traverse(("d", 0)) == ("device", ("edge", ("host", 0)))
+        assert cs.traverse(("u", 0)) == ("device", ("host", ("nic", 0)))
+
+    def test_traverse_dark_port(self):
+        cs = make()
+        cs.splice(("d", 0), ("device", ("host", ("nic", 0))))
+        assert cs.traverse(("d", 0)) is None  # no circuit
+
+    def test_traverse_uncabled_far_port(self):
+        cs = make()
+        cs.connect(("d", 0), ("u", 0))
+        assert cs.traverse(("d", 0)) is None  # circuit to nowhere
+
+    def test_traverse_down_switch(self):
+        cs = make()
+        cs.splice(("d", 0), ("device", ("a", ())))
+        cs.splice(("u", 0), ("device", ("b", ())))
+        cs.connect(("d", 0), ("u", 0))
+        cs.up = False
+        assert cs.traverse(("d", 0)) is None
+
+    def test_port_of_endpoint(self):
+        cs = make()
+        endpoint = ("device", ("edge", ("host", 0)))
+        cs.splice(("u", 2), endpoint)
+        assert cs.port_of_endpoint(endpoint) == ("u", 2)
+        assert cs.port_of_endpoint(("device", ("x", ()))) is None

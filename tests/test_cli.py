@@ -1,0 +1,109 @@
+"""CLI tests: every subcommand end to end (in-process, captured stdout)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv) -> str:
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInfo:
+    def test_info_summary(self, capsys):
+        out = run(capsys, "info", "--k", "6", "--n", "2")
+        assert "k=6" in out and "n=2" in out
+        assert "backup switches:       30" in out
+        assert "verified == canonical fat-tree" in out
+
+
+class TestCost:
+    def test_cost_paper_numbers_visible(self, capsys):
+        out = run(capsys, "cost", "--k", "48", "--n", "1")
+        assert "6.7%" in out  # E-DC headline
+        assert "13.3%" in out  # O-DC headline
+        assert "300.0%" in out  # 1:1 backup
+
+
+class TestCapacity:
+    def test_capacity_table(self, capsys):
+        out = run(capsys, "capacity", "--ports", "32")
+        assert "58" in out  # the paper's n=1 max-k checkpoint
+        assert "3.45%" in out
+
+
+class TestFailover:
+    def test_node_failover(self, capsys):
+        out = run(capsys, "failover", "--k", "6", "--victim", "C.2")
+        assert "'C.2': 'BC.2.0'" in out
+        assert "verified == canonical fat-tree" in out
+
+    def test_link_failover_with_diagnosis(self, capsys):
+        out = run(capsys, "failover", "--k", "6", "--victim", "A.1.0", "--link")
+        assert "diagnosis:" in out
+        assert "condemned ['A.1.0']" in out
+
+    def test_unknown_victim_fails_cleanly(self, capsys):
+        assert main(["failover", "--victim", "X.9.9"]) == 2
+
+
+class TestTrace:
+    def test_generate_json_and_convert(self, tmp_path, capsys):
+        json_path = tmp_path / "t.json"
+        out = run(
+            capsys, "trace", "generate", "--racks", "16", "--coflows", "15",
+            "--out", str(json_path),
+        )
+        assert "15 coflows" in out and json_path.exists()
+
+        bench_path = tmp_path / "t.txt"
+        out = run(
+            capsys, "trace", "convert", "--in", str(json_path), "--racks", "16",
+            "--format", "benchmark", "--out", str(bench_path),
+        )
+        assert "converted 15 coflows" in out
+        assert bench_path.read_text().startswith("16 15")
+
+    def test_generate_benchmark_format(self, tmp_path, capsys):
+        path = tmp_path / "fb.txt"
+        run(
+            capsys, "trace", "generate", "--racks", "8", "--coflows", "5",
+            "--format", "benchmark", "--out", str(path),
+        )
+        from repro.workload import load_coflow_benchmark
+
+        racks, trace = load_coflow_benchmark(path)
+        assert racks == 8 and len(trace) == 5
+
+    def test_convert_roundtrip_back_to_json(self, tmp_path, capsys):
+        fb = tmp_path / "fb.txt"
+        run(capsys, "trace", "generate", "--racks", "8", "--coflows", "5",
+            "--format", "benchmark", "--out", str(fb))
+        back = tmp_path / "back.json"
+        run(capsys, "trace", "convert", "--in", str(fb), "--out", str(back),
+            "--format", "json")
+        from repro.workload import load_trace
+
+        assert len(load_trace(back)) == 5
+
+    def test_convert_without_input_errors(self, capsys):
+        assert main(["trace", "convert", "--out", "/tmp/x"]) == 2
+
+
+class TestStudy:
+    def test_study_runs_end_to_end(self, capsys):
+        out = run(capsys, "study", "--k", "6", "--coflows", "20")
+        assert "affected coflows" in out
+        assert "ShareBackup recovery" in out

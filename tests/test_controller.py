@@ -1,0 +1,241 @@
+"""Controller tests: detection, recovery, capacity limits, circuit-switch
+failure policy, and controller replication."""
+
+import pytest
+
+from repro.core import (
+    ControllerCluster,
+    HumanInterventionRequired,
+    RecoveryTimeModel,
+    ShareBackupController,
+    ShareBackupNetwork,
+)
+
+
+@pytest.fixture
+def ctrl(sb6) -> ShareBackupController:
+    return ShareBackupController(sb6)
+
+
+class TestKeepAlive:
+    def test_heartbeats_keep_switch_alive(self, sb6, ctrl):
+        for t in (0.001, 0.002, 0.003):
+            ctrl.heartbeat("E.0.0", t)
+        assert "E.0.0" not in ctrl.detect_silent_switches(0.004)
+
+    def test_silence_detected_after_threshold(self, sb6, ctrl):
+        ctrl.heartbeat("E.0.0", 0.0)
+        deadline = ctrl.miss_threshold * ctrl.timing.probe_interval
+        assert "E.0.0" not in ctrl.detect_silent_switches(deadline * 0.9)
+        assert "E.0.0" in ctrl.detect_silent_switches(deadline * 1.5)
+
+    def test_unknown_switch_heartbeat_rejected(self, ctrl):
+        with pytest.raises(KeyError):
+            ctrl.heartbeat("SW.imaginary", 0.0)
+
+    def test_spares_not_watched(self, sb6, ctrl):
+        silent = ctrl.detect_silent_switches(10.0)
+        assert all(not s.startswith(("BE.", "BA.", "BC.")) for s in silent)
+
+    def test_detection_follows_assignment(self, sb6, ctrl):
+        """After failover the *spare* is watched for the slot."""
+        ctrl.handle_node_failure("E.0.0")
+        for name in sb6.physical_health:
+            ctrl.heartbeat(name, 100.0)
+        ctrl._last_heartbeat["BE.0.0"] = 0.0  # backup goes silent
+        assert "BE.0.0" in ctrl.detect_silent_switches(100.0)
+
+
+class TestNodeRecovery:
+    def test_basic_failover(self, sb6, ctrl):
+        report = ctrl.handle_node_failure("A.3.1")
+        assert report.kind == "node"
+        assert report.replaced == (("A.3.1", "BA.3.0"),)
+        assert report.fully_recovered
+        assert report.circuit_switches_touched == 6
+        sb6.verify_fattree_equivalence()
+
+    def test_failed_marked_unhealthy(self, sb6, ctrl):
+        ctrl.handle_node_failure("A.3.1")
+        assert not sb6.physical_health["A.3.1"]
+
+    def test_recovery_time_is_submillisecond_plus_probe(self, ctrl):
+        report = ctrl.handle_node_failure("C.0")
+        # probe interval dominates; everything else is sub-ms
+        assert report.recovery_time < 2 * ctrl.timing.probe_interval
+
+    def test_spare_exhaustion_reported(self, sb6, ctrl):
+        ctrl.handle_node_failure("E.0.0")
+        report = ctrl.handle_node_failure("E.0.1")  # n=1: pool empty
+        assert not report.fully_recovered
+        assert report.unrecoverable == ("E.0.1",)
+        assert report.replaced == ()
+
+    def test_n_failures_per_group_capacity(self, sb6n2):
+        """Section 5.1: n concurrent switch failures per group."""
+        ctrl = ShareBackupController(sb6n2)
+        r1 = ctrl.handle_node_failure("C.0")
+        r2 = ctrl.handle_node_failure("C.3")  # same group FG.core.0
+        assert r1.fully_recovered and r2.fully_recovered
+        r3 = ctrl.handle_node_failure("C.6")
+        assert not r3.fully_recovered
+        sb6n2.verify_fattree_equivalence()
+
+    def test_failures_in_different_groups_independent(self, sb6, ctrl):
+        for logical in ("E.0.0", "E.1.0", "A.0.0", "C.0", "C.1"):
+            assert ctrl.handle_node_failure(logical).fully_recovered
+        sb6.verify_fattree_equivalence()
+
+    def test_log_written(self, ctrl):
+        ctrl.handle_node_failure("E.0.0")
+        assert any("E.0.0" in line for line in ctrl.log)
+
+
+class TestLinkRecovery:
+    def test_both_sides_replaced(self, sb6, ctrl):
+        report = ctrl.handle_link_failure(
+            ("E.0.0", ("up", 0)), ("A.0.0", ("down", 0))
+        )
+        assert dict(report.replaced) == {"E.0.0": "BE.0.0", "A.0.0": "BA.0.0"}
+        sb6.verify_fattree_equivalence()
+
+    def test_host_link_replaces_only_switch(self, sb6, ctrl):
+        report = ctrl.handle_link_failure(
+            ("H.0.0.0", ("nic", 0)), ("E.0.0", ("host", 0))
+        )
+        assert dict(report.replaced) == {"E.0.0": "BE.0.0"}
+        sb6.verify_fattree_equivalence()
+
+    def test_diagnosis_returns_healthy_side(self, sb6, ctrl):
+        ctrl.handle_link_failure(
+            ("E.0.0", ("up", 0)),
+            ("A.0.0", ("down", 0)),
+            true_faulty_interfaces=((("E.0.0", ("up", 0))),),
+        )
+        results = ctrl.run_pending_diagnoses()
+        assert results[0].condemned_devices() == ["E.0.0"]
+        assert results[0].exonerated_devices() == ["A.0.0"]
+        # exonerated switch is back in the agg spare pool
+        assert "A.0.0" in sb6.group_of("A.0.1").spares
+        # condemned switch stays offline
+        assert "E.0.0" in sb6.group_of("E.0.1").offline
+
+    def test_cable_fault_exonerates_both(self, sb6, ctrl):
+        ctrl.handle_link_failure(
+            ("E.0.0", ("up", 0)), ("A.0.0", ("down", 0)), true_faulty_interfaces=()
+        )
+        results = ctrl.run_pending_diagnoses()
+        assert sorted(results[0].exonerated_devices()) == ["A.0.0", "E.0.0"]
+
+    def test_repair_reinstates_condemned(self, sb6, ctrl):
+        ctrl.handle_link_failure(
+            ("E.0.0", ("up", 0)),
+            ("A.0.0", ("down", 0)),
+            true_faulty_interfaces=((("E.0.0", ("up", 0))),),
+        )
+        ctrl.run_pending_diagnoses()
+        ctrl.repair("E.0.0")
+        group = sb6.group_of("E.0.1")
+        assert "E.0.0" in group.spares
+        assert sb6.physical_health["E.0.0"]
+        # and its fault annotation is cleared
+        assert all(dev != "E.0.0" for dev, _ in sb6.interface_faults)
+
+    def test_consumes_one_spare_after_diagnosis(self, sb6, ctrl):
+        """Paper: 'we consume only one backup switch at the faulty end'."""
+        ctrl.handle_link_failure(
+            ("E.1.0", ("up", 1)),
+            ("A.1.1", ("down", 0)),
+            true_faulty_interfaces=((("A.1.1", ("down", 0))),),
+        )
+        ctrl.run_pending_diagnoses()
+        edge_group = sb6.group_of("E.1.0")
+        agg_group = sb6.group_of("A.1.1")
+        assert edge_group.available_spares == 1  # E.1.0 returned
+        assert agg_group.available_spares == 0  # BA.1.0 serving, A.1.1 offline
+
+
+class TestCircuitSwitchPolicy:
+    def test_report_burst_halts_recovery(self, sb6):
+        ctrl = ShareBackupController(sb6, cs_report_threshold=3, cs_report_window=1.0)
+        # three reports mapping to circuit switch CS.2.0.0 within the window
+        for i, edge in enumerate(("E.0.0", "E.0.1", "E.0.2")):
+            try:
+                ctrl.handle_link_failure(
+                    (edge, ("up", 0)), (f"A.0.{i}", ("down", 0)), now=0.1 * i
+                )
+            except HumanInterventionRequired:
+                pass
+        assert ctrl.halted
+        with pytest.raises(HumanInterventionRequired):
+            ctrl.handle_node_failure("C.0")
+
+    def test_old_reports_age_out(self, sb6):
+        ctrl = ShareBackupController(sb6, cs_report_threshold=3, cs_report_window=0.5)
+        ctrl.handle_link_failure(("E.0.0", ("up", 0)), ("A.0.0", ("down", 0)), now=0.0)
+        ctrl.handle_link_failure(("E.0.1", ("up", 0)), ("A.0.1", ("down", 0)), now=10.0)
+        assert not ctrl.halted
+
+    def test_reboot_restores_config_and_resumes(self, sb6):
+        ctrl = ShareBackupController(sb6, cs_report_threshold=2, cs_report_window=1.0)
+        ctrl.snapshot_intended_configs()
+        cs = sb6.circuit_switches["CS.2.0.0"]
+        ctrl.handle_link_failure(("E.0.0", ("up", 0)), ("A.0.0", ("down", 0)), now=0.0)
+        try:
+            ctrl.handle_link_failure(("E.0.1", ("up", 0)), ("A.0.1", ("down", 0)), now=0.1)
+        except HumanInterventionRequired:
+            pass
+        assert ctrl.halted
+        # the suspect circuit switch is wiped and rebooted
+        cs.up = False
+        for port in list(cs.mapping()):
+            cs.disconnect(port)
+        cs.up = True
+        ctrl.circuit_switch_rebooted("CS.2.0.0")
+        assert not ctrl.halted
+        assert cs.mapping()  # configuration re-pushed
+        assert ctrl.handle_node_failure("C.0").fully_recovered
+
+
+class TestCapacitySummary:
+    def test_summary_numbers(self, sb6, ctrl):
+        s = ctrl.capacity_summary()
+        assert s["failure_groups"] == 15
+        assert s["backup_ratio"] == pytest.approx(1 / 3)
+        assert s["circuit_ports_per_side"] == 6
+
+
+class TestControllerCluster:
+    def test_initial_primary(self):
+        c = ControllerCluster()
+        assert c.primary == "ctrl-0"
+        assert c.available
+
+    def test_failover_elects_next(self):
+        c = ControllerCluster()
+        c.fail_replica("ctrl-0")
+        assert c.primary == "ctrl-1"
+
+    def test_all_dead(self):
+        c = ControllerCluster(("a", "b"))
+        c.fail_replica("a")
+        c.fail_replica("b")
+        assert c.primary is None and not c.available
+
+    def test_restore_reelects_deterministically(self):
+        c = ControllerCluster()
+        c.fail_replica("ctrl-0")
+        c.restore_replica("ctrl-0")
+        assert c.primary == "ctrl-0"
+
+    def test_election_counter(self):
+        c = ControllerCluster()
+        start = c.elections
+        c.fail_replica("ctrl-1")  # not primary: no new election
+        assert c.elections == start
+        c.fail_replica("ctrl-0")
+        assert c.elections == start + 1
+
+    def test_needs_replicas(self):
+        with pytest.raises(ValueError):
+            ControllerCluster(())

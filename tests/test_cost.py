@@ -1,0 +1,146 @@
+"""Cost-model tests: Table 2 equations and every numeric claim of §5.2."""
+
+import pytest
+
+from repro.core import ShareBackupNetwork
+from repro.cost import (
+    E_DC,
+    O_DC,
+    aspen_extra_cost,
+    fattree_cost,
+    figure5_series,
+    one_to_one_extra_cost,
+    relative_extra_cost,
+    sharebackup_extra_cost,
+    sharebackup_inventory,
+)
+
+
+class TestPriceBooks:
+    def test_table2_prices(self):
+        assert E_DC.circuit_port == 3.0 and O_DC.circuit_port == 10.0
+        assert E_DC.switch_port == O_DC.switch_port == 60.0
+        assert E_DC.cable == 81.0 and O_DC.cable == 40.0
+
+    def test_price_validation(self):
+        from repro.cost import PriceBook
+
+        with pytest.raises(ValueError):
+            PriceBook("bad", circuit_port=0, switch_port=1, cable=1)
+
+
+class TestEquations:
+    def test_fattree_formula(self):
+        # (5/4)k^3 b + (k^3/2) c
+        assert fattree_cost(4, E_DC) == 1.25 * 64 * 60 + 0.5 * 64 * 81
+
+    def test_fattree_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            fattree_cost(5, E_DC)
+
+    def test_sharebackup_terms(self):
+        b = sharebackup_extra_cost(4, 1, E_DC)
+        assert b.circuit_ports == 1.5 * 16 * (2 + 1 + 2) * 3
+        assert b.switch_ports == 2.5 * 16 * 1 * 60
+        assert b.cables == 1.25 * 16 * 1 * 81
+
+    def test_one_to_one_is_three_x_extra(self):
+        for k in (8, 16, 48):
+            rel = relative_extra_cost(one_to_one_extra_cost(k, E_DC), k, E_DC)
+            assert rel == pytest.approx(3.0)
+
+    def test_aspen_terms(self):
+        b = aspen_extra_cost(4, O_DC)
+        assert b.switch_ports == 0.5 * 64 * 60
+        assert b.cables == 0.25 * 64 * 40
+        assert b.circuit_ports == 0
+
+
+class TestInventoryCrossCheck:
+    """The symbolic counts must match what the builder physically creates."""
+
+    @pytest.mark.parametrize("k,n", [(4, 1), (6, 1), (6, 2), (8, 1)])
+    def test_builder_agrees_with_formulas(self, k, n):
+        net = ShareBackupNetwork(k, n=n)
+        inv = sharebackup_inventory(k, n)
+        assert net.num_backup_switches == inv["backup_switches"]
+        assert net.num_circuit_switches == inv["circuit_switches"]
+        got_ports = sum(
+            cs.ports_per_side for cs in net.circuit_switches.values()
+        )
+        assert got_ports == inv["circuit_switch_ports"]
+
+    def test_backup_cable_halves(self):
+        """Each backup-switch port splices into an existing cable, adding
+        one half-cable; the formula charges half the full-cable price."""
+        net = ShareBackupNetwork(6, n=1)
+        backup_halves = sum(
+            1
+            for (dev, _iface) in net._device_cable
+            if dev.startswith(("BE.", "BA.", "BC."))
+        )
+        inv = sharebackup_inventory(6, 1)
+        assert backup_halves == 2 * inv["extra_cable_equivalents"]
+
+
+class TestPaperClaims:
+    """Every number Section 5.2 states, asserted."""
+
+    def test_sharebackup_k48_n1_edc(self):
+        rel = relative_extra_cost(sharebackup_extra_cost(48, 1, E_DC), 48, E_DC)
+        assert rel == pytest.approx(0.067, abs=0.001)
+
+    def test_sharebackup_k48_n1_odc(self):
+        rel = relative_extra_cost(sharebackup_extra_cost(48, 1, O_DC), 48, O_DC)
+        assert rel == pytest.approx(0.133, abs=0.001)
+
+    def test_aspen_6_5x_and_3_2x_sharebackup(self):
+        sb_e = sharebackup_extra_cost(48, 1, E_DC).total
+        sb_o = sharebackup_extra_cost(48, 1, O_DC).total
+        assert aspen_extra_cost(48, E_DC).total / sb_e == pytest.approx(6.5, abs=0.1)
+        assert aspen_extra_cost(48, O_DC).total / sb_o == pytest.approx(3.2, abs=0.1)
+
+    def test_n4_still_cheaper_than_aspen(self):
+        """'Even if n is increased to 4 ... ShareBackup is still cheaper
+        than Aspen Tree.'"""
+        for prices in (E_DC, O_DC):
+            sb = sharebackup_extra_cost(48, 4, prices).total
+            assert sb < aspen_extra_cost(48, prices).total
+
+    def test_relative_cost_decreases_with_scale(self):
+        """Figure 5: for fixed n the relative extra cost falls as k grows."""
+        rels = [
+            relative_extra_cost(sharebackup_extra_cost(k, 1, E_DC), k, E_DC)
+            for k in (8, 16, 32, 48, 64)
+        ]
+        assert all(a > b for a, b in zip(rels, rels[1:]))
+
+    def test_onetoone_always_most_expensive(self):
+        for k in (8, 24, 64):
+            for prices in (E_DC, O_DC):
+                assert (
+                    one_to_one_extra_cost(k, prices).total
+                    > aspen_extra_cost(k, prices).total
+                    > sharebackup_extra_cost(k, 1, prices).total
+                )
+
+    def test_figure5_series_shape(self):
+        series = figure5_series(prices=E_DC)
+        assert set(series) == {
+            "sharebackup(n=1)",
+            "sharebackup(n=2)",
+            "sharebackup(n=4)",
+            "aspen",
+            "1:1-backup",
+        }
+        # 1:1 flat at 3.0, aspen flat at its ratio, sharebackup decreasing
+        one = [y for _, y in series["1:1-backup"]]
+        assert all(y == pytest.approx(3.0) for y in one)
+        sb1 = [y for _, y in series["sharebackup(n=1)"]]
+        assert sb1 == sorted(sb1, reverse=True)
+
+    def test_more_backups_cost_more(self):
+        a = sharebackup_extra_cost(48, 1, E_DC).total
+        b = sharebackup_extra_cost(48, 2, E_DC).total
+        c = sharebackup_extra_cost(48, 4, E_DC).total
+        assert a < b < c

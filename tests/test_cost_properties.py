@@ -1,0 +1,83 @@
+"""Property-based tests on the cost model (monotonicity, consistency)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cost import (
+    E_DC,
+    O_DC,
+    aspen_extra_cost,
+    fattree_cost,
+    one_to_one_extra_cost,
+    relative_extra_cost,
+    sharebackup_extra_cost,
+    sharebackup_nonuniform_extra_cost,
+)
+
+even_k = st.integers(min_value=2, max_value=64).map(lambda i: 2 * i)
+spares = st.integers(min_value=0, max_value=8)
+prices = st.sampled_from([E_DC, O_DC])
+
+
+@given(even_k, prices)
+@settings(max_examples=60, deadline=None)
+def test_fattree_cost_positive_and_cubic(k, book):
+    cost = fattree_cost(k, book)
+    assert cost > 0
+    assert fattree_cost(2 * k, book) == pytest.approx(8 * cost)
+
+
+@given(even_k, spares, prices)
+@settings(max_examples=60, deadline=None)
+def test_sharebackup_cost_monotone_in_n(k, n, book):
+    a = sharebackup_extra_cost(k, n, book).total
+    b = sharebackup_extra_cost(k, n + 1, book).total
+    assert b > a
+
+
+@given(even_k, st.integers(min_value=1, max_value=8), prices)
+@settings(max_examples=60, deadline=None)
+def test_sharebackup_relative_cost_decreases_with_scale(k, n, book):
+    small = relative_extra_cost(sharebackup_extra_cost(k, n, book), k, book)
+    big = relative_extra_cost(sharebackup_extra_cost(k + 2, n, book), k + 2, book)
+    assert big < small
+
+
+@given(even_k, prices)
+@settings(max_examples=60, deadline=None)
+def test_one_to_one_always_three_x(k, book):
+    rel = relative_extra_cost(one_to_one_extra_cost(k, book), k, book)
+    assert rel == pytest.approx(3.0)
+
+
+@given(even_k, prices)
+@settings(max_examples=60, deadline=None)
+def test_aspen_relative_cost_scale_free(k, book):
+    a = relative_extra_cost(aspen_extra_cost(k, book), k, book)
+    b = relative_extra_cost(aspen_extra_cost(k + 10, book), k + 10, book)
+    assert a == pytest.approx(b)
+
+
+@given(even_k, st.integers(min_value=0, max_value=6), prices)
+@settings(max_examples=60, deadline=None)
+def test_nonuniform_reduces_to_uniform(k, n, book):
+    uniform = sharebackup_extra_cost(k, n, book).total
+    nonuniform = sharebackup_nonuniform_extra_cost(k, n, n, n, book).total
+    assert nonuniform == pytest.approx(uniform)
+
+
+@given(
+    even_k,
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    prices,
+)
+@settings(max_examples=60, deadline=None)
+def test_nonuniform_bounded_by_uniform_envelope(k, ne, na, nc, book):
+    """A mixed plan costs at least uniform(min n) and at most uniform(max n)."""
+    lo = sharebackup_extra_cost(k, min(ne, na, nc), book).total
+    hi = sharebackup_extra_cost(k, max(ne, na, nc), book).total
+    mid = sharebackup_nonuniform_extra_cost(k, ne, na, nc, book).total
+    assert lo - 1e-9 <= mid <= hi + 1e-9

@@ -1,0 +1,151 @@
+"""Offline failure-diagnosis tests: every fault placement, partner
+selection, and the independence-from-production invariant."""
+
+import pytest
+
+from repro.core import FailureDiagnosis, ShareBackupController, ShareBackupNetwork
+
+
+def setup_link_failure(net, end_a, end_b, faulty):
+    """Replace both sides as the controller would, then return the
+    diagnosis inputs (physical suspects + idle pool)."""
+    ctrl = ShareBackupController(net)
+    ctrl.handle_link_failure(end_a, end_b, true_faulty_interfaces=faulty)
+    return ctrl
+
+
+class TestVerdicts:
+    def test_faulty_a_side(self, sb6):
+        ctrl = setup_link_failure(
+            sb6,
+            ("E.0.0", ("up", 0)),
+            ("A.0.0", ("down", 0)),
+            ((("E.0.0", ("up", 0))),),
+        )
+        result = ctrl.run_pending_diagnoses()[0]
+        assert result.condemned_devices() == ["E.0.0"]
+        assert result.exonerated_devices() == ["A.0.0"]
+
+    def test_faulty_b_side(self, sb6):
+        ctrl = setup_link_failure(
+            sb6,
+            ("E.0.0", ("up", 0)),
+            ("A.0.0", ("down", 0)),
+            ((("A.0.0", ("down", 0))),),
+        )
+        result = ctrl.run_pending_diagnoses()[0]
+        assert result.condemned_devices() == ["A.0.0"]
+
+    def test_both_faulty(self, sb6):
+        ctrl = setup_link_failure(
+            sb6,
+            ("E.0.0", ("up", 0)),
+            ("A.0.0", ("down", 0)),
+            (("E.0.0", ("up", 0)), ("A.0.0", ("down", 0))),
+        )
+        result = ctrl.run_pending_diagnoses()[0]
+        assert sorted(result.condemned_devices()) == ["A.0.0", "E.0.0"]
+
+    def test_cable_fault_exonerates_both(self, sb6):
+        ctrl = setup_link_failure(
+            sb6, ("E.0.0", ("up", 0)), ("A.0.0", ("down", 0)), ()
+        )
+        result = ctrl.run_pending_diagnoses()[0]
+        assert result.condemned_devices() == []
+
+    def test_core_agg_link(self, sb6):
+        ctrl = setup_link_failure(
+            sb6,
+            ("A.1.0", ("up", 2)),
+            ("C.2", ("pod", 1)),
+            ((("C.2", ("pod", 1))),),
+        )
+        result = ctrl.run_pending_diagnoses()[0]
+        assert result.condemned_devices() == ["C.2"]
+        assert result.exonerated_devices() == ["A.1.0"]
+
+    def test_host_edge_link_blames_switch_first(self, sb6):
+        """Hosts cannot be probed offline; the switch is assumed faulty."""
+        ctrl = setup_link_failure(
+            sb6, ("H.0.0.0", ("nic", 0)), ("E.0.0", ("host", 0)), ()
+        )
+        result = ctrl.run_pending_diagnoses()[0]
+        assert result.end_b is None  # host end not diagnosed
+        # no switch fault injected: the edge switch tests healthy and the
+        # workflow moves on to trouble-shooting the host
+        assert result.end_a.healthy
+
+    def test_multiple_interface_faults_on_suspect(self, sb6):
+        """Suspect with several dead interfaces still gets condemned."""
+        faults = tuple(("E.0.0", ("up", j)) for j in range(3))
+        ctrl = setup_link_failure(
+            sb6, ("E.0.0", ("up", 0)), ("A.0.0", ("down", 0)), faults
+        )
+        result = ctrl.run_pending_diagnoses()[0]
+        assert "E.0.0" in result.condemned_devices()
+
+
+class TestProbeMechanics:
+    def test_three_configurations_attempted(self, sb6):
+        ctrl = setup_link_failure(
+            sb6, ("E.0.0", ("up", 0)), ("A.0.0", ("down", 0)), ()
+        )
+        result = ctrl.run_pending_diagnoses()[0]
+        configs = {p.configuration for p in result.end_a.probes}
+        assert configs == {1, 2, 3}
+
+    def test_ring_probe_reaches_own_interface(self, sb6):
+        """Edge/agg suspects find their own interface on ring neighbours."""
+        ctrl = setup_link_failure(
+            sb6, ("E.0.0", ("up", 0)), ("A.0.0", ("down", 0)), ()
+        )
+        result = ctrl.run_pending_diagnoses()[0]
+        ring_probes = [p for p in result.end_a.probes if p.configuration in (2, 3)]
+        assert ring_probes
+        assert all(p.partner[0] == "E.0.0" for p in ring_probes)
+
+    def test_core_suspect_uses_other_group_partners(self, sb6):
+        """Core suspects probe against idle devices of neighbouring groups."""
+        ctrl = setup_link_failure(
+            sb6,
+            ("A.0.0", ("up", 0)),
+            ("C.0", ("pod", 0)),
+            ((("C.0", ("pod", 0))),),
+        )
+        result = ctrl.run_pending_diagnoses()[0]
+        core_verdict = result.end_b
+        assert core_verdict.device == "C.0"
+        ring_probes = [p for p in core_verdict.probes if p.configuration in (2, 3)]
+        for p in ring_probes:
+            assert p.partner[0] != "C.0"  # its own interfaces live in other pods
+
+    def test_diagnosis_does_not_disturb_production(self, sb6):
+        """'completely independent of the functioning network'."""
+        ctrl = setup_link_failure(
+            sb6, ("E.0.0", ("up", 0)), ("A.0.0", ("down", 0)),
+            ((("E.0.0", ("up", 0))),),
+        )
+        ctrl.run_pending_diagnoses()
+        sb6.verify_fattree_equivalence()
+
+    def test_faulty_partner_skipped_when_alternative_exists(self, sb6n2):
+        """Partner selection prefers healthy idle interfaces."""
+        # Make one spare's interface faulty; diagnosis should still
+        # exonerate the healthy suspect by probing the other spare.
+        sb6n2.interface_faults.add(("BA.1.0", ("down", 0)))
+        ctrl = setup_link_failure(
+            sb6n2,
+            ("E.1.0", ("up", 0)),
+            ("A.1.0", ("down", 0)),
+            ((("A.1.0", ("down", 0))),),
+        )
+        result = ctrl.run_pending_diagnoses()[0]
+        assert result.end_a.healthy
+
+    def test_diagnosis_object_reusable(self, sb6):
+        diag = FailureDiagnosis(sb6)
+        verdict = diag.diagnose_link(
+            ("E.0.0", ("up", 0)), None, idle_devices={"E.0.0", "BE.0.0"}
+        )
+        assert verdict.end_a.device == "E.0.0"
+        assert verdict.end_b is None

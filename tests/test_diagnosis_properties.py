@@ -1,0 +1,93 @@
+"""Property-based tests of offline failure diagnosis.
+
+The safety law of §4.2's procedure, checked over random fault
+placements: **no false exonerations** — a probe can only pass if the
+suspect interface is genuinely healthy, so a faulty interface is always
+condemned.  Conversely, a healthy suspect is exonerated whenever some
+test partner with a healthy interface exists (the paper's "both sides
+have at least one healthy interface" condition); when every reachable
+partner is faulty too, the paper's conservative default (condemn) is
+allowed to fire.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import ShareBackupController, ShareBackupNetwork
+
+
+LINKS = [
+    ("E.0.0", ("up", 0), "A.0.0", ("down", 0)),
+    ("E.0.1", ("up", 2), "A.0.0", ("down", 1)),
+    ("A.1.0", ("up", 1), "C.1", ("pod", 1)),
+    ("A.2.2", ("up", 0), "C.6", ("pod", 2)),
+]
+
+
+@st.composite
+def fault_scenarios(draw):
+    link = draw(st.sampled_from(LINKS))
+    dev_a, if_a, dev_b, if_b = link
+    a_faulty = draw(st.booleans())
+    b_faulty = draw(st.booleans())
+    # Optionally break some of the suspects' *other* interfaces too,
+    # making the ring probes harder.
+    extra_breakage = draw(st.integers(min_value=0, max_value=2))
+    return (dev_a, if_a, dev_b, if_b, a_faulty, b_faulty, extra_breakage)
+
+
+@given(fault_scenarios())
+@settings(max_examples=40, deadline=None)
+def test_no_false_exonerations(scenario):
+    dev_a, if_a, dev_b, if_b, a_faulty, b_faulty, extra = scenario
+    net = ShareBackupNetwork(6, n=1)
+    ctrl = ShareBackupController(net)
+    faults = []
+    if a_faulty:
+        faults.append((dev_a, if_a))
+    if b_faulty:
+        faults.append((dev_b, if_b))
+    # break additional interfaces of suspect A (same kind, other indices)
+    kind, index = if_a
+    for step in range(1, extra + 1):
+        faults.append((dev_a, (kind, (index + step) % 3)))
+
+    ctrl.handle_link_failure(
+        (dev_a, if_a), (dev_b, if_b), true_faulty_interfaces=tuple(faults)
+    )
+    result = ctrl.run_pending_diagnoses()[0]
+
+    # Safety: a faulty suspect interface is never exonerated.
+    if a_faulty:
+        assert dev_a in result.condemned_devices()
+    if b_faulty:
+        assert dev_b in result.condemned_devices()
+
+    # Progress: a fully healthy suspect (no faults at all on it) whose
+    # probes can reach a healthy partner is exonerated.  With n=1 and at
+    # most one other offline suspect, config (2)/(3) reaches the
+    # suspect's own healthy interfaces, so this holds whenever the
+    # suspect has no extra breakage.
+    if not a_faulty and extra == 0:
+        assert dev_a in result.exonerated_devices()
+    if not b_faulty:
+        assert dev_b in result.exonerated_devices()
+
+    # The network's production side is never disturbed by diagnosis.
+    net.verify_fattree_equivalence()
+
+
+@given(st.sampled_from(LINKS))
+@settings(max_examples=8, deadline=None)
+def test_diagnosis_restocks_exactly_the_healthy_side(link):
+    dev_a, if_a, dev_b, if_b = link
+    net = ShareBackupNetwork(6, n=1)
+    ctrl = ShareBackupController(net)
+    ctrl.handle_link_failure(
+        (dev_a, if_a), (dev_b, if_b), true_faulty_interfaces=((dev_b, if_b),)
+    )
+    ctrl.run_pending_diagnoses()
+    group_a = net.group_of(dev_a)
+    group_b = net.group_of(dev_b)
+    assert dev_a in group_a.spares  # exonerated hardware restocks the pool
+    assert dev_b in group_b.offline  # condemned hardware awaits repair

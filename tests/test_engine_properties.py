@@ -1,0 +1,127 @@
+"""Property-based tests of the fluid simulation engine.
+
+Random small workloads on a k=4 fat-tree, with and without random
+failures, checking conservation-style invariants that must hold for any
+input:
+
+* completed flows finish no earlier than arrival + size/line-rate;
+* coflow CCT equals the max of its flows' (finish − arrival);
+* per-flow accounting: stall time never exceeds lifetime;
+* determinism: identical inputs give identical outputs;
+* with a failure + repair, completion is never *earlier* than without
+  the failure (failures cannot add bandwidth).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.routing import GlobalOptimalRerouteRouter, StaticEcmpRouter
+from repro.simulation import CoflowSpec, FlowSpec, FluidSimulation
+from repro.topology import FatTree
+
+LINE_RATE = 10e9
+HOSTS = [f"H.{p}.{e}.{h}" for p in range(4) for e in range(2) for h in range(2)]
+
+
+@st.composite
+def workloads(draw):
+    num_coflows = draw(st.integers(min_value=1, max_value=4))
+    coflows = []
+    flow_id = 1
+    for cid in range(1, num_coflows + 1):
+        arrival = draw(st.floats(min_value=0.0, max_value=2.0))
+        width = draw(st.integers(min_value=1, max_value=4))
+        flows = []
+        for _ in range(width):
+            src = draw(st.sampled_from(HOSTS))
+            dst = draw(st.sampled_from([h for h in HOSTS if h != src]))
+            size = draw(st.floats(min_value=1e5, max_value=2e9))
+            flows.append(FlowSpec(flow_id, cid, src, dst, size))
+            flow_id += 1
+        coflows.append(CoflowSpec(cid, arrival, tuple(flows)))
+    return coflows
+
+
+def run(trace, fail=None):
+    tree = FatTree(4)
+    sim = FluidSimulation(
+        tree, GlobalOptimalRerouteRouter(tree), trace, horizon=10_000.0
+    )
+    if fail is not None:
+        node, t_fail, t_fix = fail
+        sim.fail_node_at(t_fail, node)
+        sim.restore_node_at(t_fix, node)
+    return sim.run()
+
+
+@given(workloads())
+@settings(max_examples=40, deadline=None)
+def test_completion_respects_line_rate(trace):
+    result = run(trace)
+    for fid, record in result.flows.items():
+        assert record.completed
+        min_duration = record.spec.size_bits / LINE_RATE
+        assert record.finish >= record.start + min_duration * (1 - 1e-9)
+
+
+@given(workloads())
+@settings(max_examples=40, deadline=None)
+def test_cct_is_max_flow_lifetime(trace):
+    result = run(trace)
+    for cid, coflow in result.coflows.items():
+        finishes = [
+            r.finish for r in result.flows.values() if r.spec.coflow_id == cid
+        ]
+        assert coflow.finish == max(finishes)
+
+
+@given(workloads())
+@settings(max_examples=40, deadline=None)
+def test_stall_bounded_by_lifetime(trace):
+    result = run(trace)
+    for record in result.flows.values():
+        assert 0.0 <= record.stalled_time <= record.finish - record.start + 1e-9
+
+
+@given(workloads())
+@settings(max_examples=20, deadline=None)
+def test_determinism(trace):
+    a = run(trace)
+    b = run(trace)
+    assert {f: r.finish for f, r in a.flows.items()} == {
+        f: r.finish for f, r in b.flows.items()
+    }
+
+
+@given(
+    workloads(),
+    st.sampled_from(["C.0", "C.3", "A.0.0", "A.2.1"]),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=1.5, max_value=4.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_failure_window_accounting(trace, victim, t_fail, t_fix):
+    """Under a repaired failure with static pins: everything completes,
+    stalls are confined to flows whose pinned path crosses the victim,
+    and no stall outlasts the failure window.
+
+    (A stronger "failures never speed any flow up" is *false* under
+    max-min fairness: stalling one flow frees bandwidth for flows that
+    shared its bottleneck — hypothesis found the counterexample.)
+    """
+    tree = FatTree(4)
+    router = StaticEcmpRouter(tree)
+    sim = FluidSimulation(tree, router, trace, horizon=10_000.0)
+    sim.fail_node_at(t_fail, victim)
+    sim.restore_node_at(t_fix, victim)
+    failed = sim.run()
+    window = t_fix - t_fail
+    pin_router = StaticEcmpRouter(FatTree(4))
+    for fid, record in failed.flows.items():
+        assert record.completed  # the failure was repaired
+        assert record.stalled_time <= window + 1e-9
+        pin = pin_router.initial_path(record.spec.src, record.spec.dst, fid)
+        if victim not in pin.nodes:
+            assert record.stalled_time == 0.0, (
+                f"flow {fid} stalled without crossing the victim"
+            )

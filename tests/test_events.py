@@ -1,0 +1,106 @@
+"""Event-kernel tests: ordering, cancellation, clock discipline."""
+
+import pytest
+
+from repro.simulation import EventQueue, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        c = SimClock()
+        c.advance_to(5.0)
+        assert c.now == 5.0
+
+    def test_advance_to_same_time_ok(self):
+        c = SimClock(3.0)
+        c.advance_to(3.0)
+        assert c.now == 3.0
+
+    def test_backwards_rejected(self):
+        c = SimClock(3.0)
+        with pytest.raises(ValueError):
+            c.advance_to(1.0)
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(2.0, lambda: fired.append("b"))
+        q.schedule(1.0, lambda: fired.append("a"))
+        q.schedule(3.0, lambda: fired.append("c"))
+        while q:
+            q.pop().action()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_within_same_time(self):
+        q = EventQueue()
+        fired = []
+        for tag in "abcd":
+            q.schedule(1.0, lambda t=tag: fired.append(t))
+        while q:
+            q.pop().action()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.schedule(4.5, lambda: None)
+        assert q.peek_time() == 4.5
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_cancellation(self):
+        q = EventQueue()
+        fired = []
+        ev = q.schedule(1.0, lambda: fired.append("x"))
+        q.schedule(2.0, lambda: fired.append("y"))
+        ev.cancel()
+        while q:
+            q.pop().action()
+        assert fired == ["y"]
+
+    def test_cancelled_not_counted(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_pop_due_gathers_batch(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None, label="a")
+        q.schedule(1.0, lambda: None, label="b")
+        q.schedule(2.0, lambda: None, label="c")
+        due = q.pop_due(1.0)
+        assert [e.label for e in due] == ["a", "b"]
+        assert q.peek_time() == 2.0
+
+    def test_pop_due_tolerance(self):
+        q = EventQueue()
+        q.schedule(1.0 + 1e-13, lambda: None)
+        assert len(q.pop_due(1.0)) == 1
+
+    def test_bool_reflects_liveness(self):
+        q = EventQueue()
+        assert not q
+        ev = q.schedule(1.0, lambda: None)
+        assert q
+        ev.cancel()
+        assert not q
+
+    def test_labels_kept(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None, label="arrival:7")
+        assert ev.label == "arrival:7"

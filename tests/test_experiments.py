@@ -1,0 +1,137 @@
+"""Tests of the experiment-pipeline package (tiny configurations)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    AffectedSweepStudy,
+    SlowdownStudy,
+    StudyConfig,
+    cdf_text,
+    cdf_to_csv,
+    csv_table,
+    hottest_pod,
+    series_to_csv,
+)
+from repro.topology import FatTree
+
+TINY = StudyConfig(
+    k=4,
+    hosts_per_edge=4,
+    num_coflows=20,
+    duration=5.0,
+    seed=3,
+    failure_samples=2,
+)
+
+
+class TestStudyConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StudyConfig(k=5)
+        with pytest.raises(ValueError):
+            StudyConfig(failure_samples=0)
+
+    def test_oversubscription(self):
+        assert TINY.oversubscription == 2.0
+
+    def test_build_specs_deterministic(self):
+        tree = TINY.build_tree()
+        a = TINY.build_specs(tree)
+        b = TINY.build_specs(TINY.build_tree())
+        assert [c.coflow_id for c in a] == [c.coflow_id for c in b]
+        assert sum(f.size_bytes for c in a for f in c.flows) == pytest.approx(
+            sum(f.size_bytes for c in b for f in c.flows)
+        )
+
+
+class TestAffectedSweep:
+    def test_run_node_sweep(self):
+        study = AffectedSweepStudy(TINY, rates=(0.05, 0.2))
+        results = study.run("node")
+        assert set(results) == {"fat-tree", "f10"}
+        for result in results.values():
+            assert len(result.points) == 2
+            for p in result.points:
+                assert 0 <= p.flow_fraction <= 1
+                assert p.coflow_fraction >= p.flow_fraction
+            assert result.single_failure_fractions
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            AffectedSweepStudy(TINY).run("switch")
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            AffectedSweepStudy(TINY, rates=(0.0,))
+
+    def test_table_renders(self):
+        study = AffectedSweepStudy(TINY, rates=(0.1,))
+        result = study.run("link")["fat-tree"]
+        table = result.table()
+        assert "fat-tree" in table and "link" in table
+
+    def test_amplification_property(self):
+        from repro.experiments import SweepPoint
+
+        assert SweepPoint(0.1, 0.0, 0.0).amplification == 1.0
+        assert SweepPoint(0.1, 0.0, 0.5).amplification == math.inf
+        assert SweepPoint(0.1, 0.1, 0.5).amplification == pytest.approx(5.0)
+
+
+class TestSlowdownStudy:
+    def test_hottest_pod(self):
+        tree = TINY.build_tree()
+        specs = TINY.build_specs(tree)
+        pod = hottest_pod(specs, tree)
+        assert 0 <= pod < TINY.k
+
+    def test_scenarios_include_hot_agg_and_link(self):
+        study = SlowdownStudy(TINY)
+        tree = TINY.build_tree()
+        specs = TINY.build_specs(tree)
+        scenarios = study.scenarios(tree, specs)
+        assert scenarios[0].nodes[0].startswith("A.")
+        assert scenarios[-1].links  # the agg-core link sample
+        assert len(scenarios) == TINY.failure_samples + 1
+
+    def test_full_run_tiny(self):
+        results = SlowdownStudy(TINY).run()
+        assert set(results) == {"fat-tree/global", "f10/local", "sharebackup"}
+        sb = results["sharebackup"]
+        assert sb.never_finished == 0
+        assert max(sb.finite) < 1.05
+        for digest in results.values():
+            assert digest.row()  # renders
+
+    def test_digest_handles_all_infinite(self):
+        from repro.experiments import SlowdownDigest
+
+        d = SlowdownDigest("x", (math.inf, math.inf))
+        assert d.never_finished == 2
+        assert "never finished" in d.row()
+
+
+class TestReportHelpers:
+    def test_csv_table(self):
+        out = csv_table(["a", "b"], [(1, 2), (3, 4)])
+        assert out.splitlines() == ["a,b", "1,2", "3,4"]
+
+    def test_series_to_csv_long_form(self):
+        out = series_to_csv({"s1": [(0.1, 0.5)], "s0": [(0.2, 0.7)]})
+        lines = out.splitlines()
+        assert lines[0] == "series,x,y"
+        assert lines[1].startswith("s0,")  # sorted by series name
+
+    def test_cdf_to_csv_keeps_inf(self):
+        out = cdf_to_csv([1.0, math.inf])
+        assert "inf" in out
+
+    def test_cdf_text_samples(self):
+        text = cdf_text(list(range(1, 101)), points=5)
+        assert "P<=" in text
+        assert "100.000x" in text  # the max is always included
+
+    def test_cdf_text_empty(self):
+        assert "no finite samples" in cdf_text([math.inf])

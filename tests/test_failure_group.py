@@ -1,0 +1,125 @@
+"""Failure-group role bookkeeping tests."""
+
+import pytest
+
+from repro.core import FailureGroup, GroupLayer, NoBackupAvailable
+
+
+def make(n=2) -> FailureGroup:
+    return FailureGroup(
+        group_id="FG.edge.0",
+        layer=GroupLayer.EDGE,
+        logical_slots=("E.0.0", "E.0.1", "E.0.2"),
+        physical_backups=tuple(f"BE.0.{v}" for v in range(n)),
+    )
+
+
+class TestInitialState:
+    def test_identity_assignment(self):
+        g = make()
+        for slot in g.logical_slots:
+            assert g.physical_of(slot) == slot
+
+    def test_spares_are_backups(self):
+        g = make(2)
+        assert g.spares == ["BE.0.0", "BE.0.1"]
+        assert g.available_spares == 2
+
+    def test_n_and_backup_ratio(self):
+        g = make(1)
+        assert g.n == 1
+        assert g.backup_ratio == pytest.approx(1 / 3)
+
+    def test_all_physical(self):
+        g = make(1)
+        assert g.all_physical() == ["BE.0.0", "E.0.0", "E.0.1", "E.0.2"]
+
+    def test_validate_clean(self):
+        make().validate()
+
+
+class TestFailover:
+    def test_allocate_fifo(self):
+        g = make(2)
+        assert g.allocate_spare() == "BE.0.0"
+        assert g.allocate_spare() == "BE.0.1"
+
+    def test_exhaustion(self):
+        g = make(1)
+        g.allocate_spare()
+        with pytest.raises(NoBackupAvailable):
+            g.allocate_spare()
+
+    def test_failover_updates_assignment(self):
+        g = make()
+        spare = g.allocate_spare()
+        old = g.failover("E.0.1", spare)
+        assert old == "E.0.1"
+        assert g.physical_of("E.0.1") == spare
+        assert "E.0.1" in g.offline
+        g.validate()
+
+    def test_failover_unknown_slot_rejected(self):
+        g = make()
+        with pytest.raises(KeyError):
+            g.failover("E.9.9", "BE.0.0")
+
+    def test_logical_of(self):
+        g = make()
+        spare = g.allocate_spare()
+        g.failover("E.0.0", spare)
+        assert g.logical_of(spare) == "E.0.0"
+        assert g.logical_of("E.0.0") is None  # now offline
+        assert g.logical_of("nonsense") is None
+
+    def test_reinstate_no_switch_back(self):
+        """Paper: the repaired switch becomes a spare; no switch-back."""
+        g = make(1)
+        spare = g.allocate_spare()
+        g.failover("E.0.2", spare)
+        g.reinstate("E.0.2")
+        assert g.physical_of("E.0.2") == spare  # still served by backup
+        assert g.spares == ["E.0.2"]  # old switch is the new spare
+        g.validate()
+
+    def test_reinstate_requires_offline(self):
+        g = make()
+        with pytest.raises(ValueError):
+            g.reinstate("E.0.0")
+
+    def test_cascaded_failovers_rotate_roles(self):
+        g = make(1)
+        s1 = g.allocate_spare()
+        g.failover("E.0.0", s1)
+        g.reinstate("E.0.0")
+        s2 = g.allocate_spare()
+        assert s2 == "E.0.0"
+        g.failover("E.0.1", s2)
+        assert g.physical_of("E.0.0") == "BE.0.0"
+        assert g.physical_of("E.0.1") == "E.0.0"
+        g.validate()
+
+    def test_n_concurrent_failures_supported(self):
+        """Section 5.1: a group absorbs exactly n concurrent failures."""
+        g = make(2)
+        for slot in ("E.0.0", "E.0.1"):
+            g.failover(slot, g.allocate_spare())
+        g.validate()
+        with pytest.raises(NoBackupAvailable):
+            g.allocate_spare()
+
+
+class TestValidation:
+    def test_detects_overlapping_pools(self):
+        g = make(1)
+        spare = g.allocate_spare()
+        g.failover("E.0.0", spare)
+        g.spares.append("BE.0.0")  # corrupt: serving switch also spare
+        with pytest.raises(AssertionError):
+            g.validate()
+
+    def test_detects_duplicate_spares(self):
+        g = make(1)
+        g.spares.append("BE.0.0")
+        with pytest.raises(AssertionError):
+            g.validate()

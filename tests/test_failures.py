@@ -1,0 +1,140 @@
+"""Failure model and injector tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.failures import (
+    DEFAULT_FAILURE_MODEL,
+    FailureInjector,
+    FailureModel,
+    FailureScenario,
+)
+from repro.topology import FatTree, NodeKind
+
+
+class TestFailureModel:
+    def test_default_matches_paper(self):
+        # "most devices have over 99.99% availability" -> 0.01% failure rate
+        assert DEFAULT_FAILURE_MODEL.unavailability == pytest.approx(1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureModel(availability=1.5)
+        with pytest.raises(ValueError):
+            FailureModel(median_downtime=0)
+
+    def test_mtbf_consistent_with_availability(self):
+        m = FailureModel()
+        implied = m.mean_downtime / (m.mean_downtime + m.mtbf)
+        assert implied == pytest.approx(m.unavailability, rel=1e-6)
+
+    def test_downtime_sampling_mostly_under_five_minutes(self):
+        # the paper: "most failures last for less than 5 minutes"
+        m = FailureModel()
+        rng = np.random.default_rng(0)
+        samples = [m.sample_downtime(rng) for _ in range(2000)]
+        frac_short = sum(1 for s in samples if s < 300) / len(samples)
+        assert frac_short > 0.8
+
+    def test_concurrent_failure_probability_monotone_in_spares(self):
+        m = FailureModel()
+        p0 = m.concurrent_failure_probability(24, 0)
+        p1 = m.concurrent_failure_probability(24, 1)
+        p2 = m.concurrent_failure_probability(24, 2)
+        assert p0 > p1 > p2 >= 0
+
+    def test_section51_claim_n1_sufficient(self):
+        """k=48 -> group of 24, n=1: residual risk orders of magnitude
+        below the single-spare-exhausted threshold."""
+        m = FailureModel()
+        residual = m.concurrent_failure_probability(24, 1)
+        assert residual < 1e-5
+
+    def test_backup_ratio_vs_failure_rate(self):
+        # n/(k/2) = 4.17% >> 0.01% for k=48, n=1 (the paper's comparison)
+        k, n = 48, 1
+        ratio = n / (k / 2)
+        assert ratio == pytest.approx(0.0417, abs=1e-4)
+        assert ratio > 400 * DEFAULT_FAILURE_MODEL.unavailability
+
+
+class TestScenario:
+    def test_apply_and_revert(self, ft4):
+        link = next(iter(ft4.links.values()))
+        sc = FailureScenario(nodes=("C.0",), links=(link.link_id,))
+        sc.apply(ft4)
+        assert not ft4.node_is_up("C.0") and not link.up
+        sc.revert(ft4)
+        assert ft4.node_is_up("C.0") and link.up
+
+    def test_size_and_describe(self, ft4):
+        sc = FailureScenario(nodes=("C.0",))
+        assert sc.size == 1
+        assert "C.0" in sc.describe(ft4)
+        assert FailureScenario().describe(ft4) == "(no failures)"
+
+
+class TestInjector:
+    def test_populations(self, ft6):
+        inj = FailureInjector(ft6, seed=1)
+        assert inj.switch_population == 18 + 18 + 9
+        assert inj.link_population == len(ft6.links)
+
+    def test_switch_kind_filter(self, ft6):
+        inj = FailureInjector(ft6, seed=1, switch_kinds=(NodeKind.CORE,))
+        assert inj.switch_population == 9
+        sc = inj.single_node_failure()
+        assert sc.nodes[0].startswith("C.")
+
+    def test_link_scope_switch_only(self, ft6):
+        inj = FailureInjector(ft6, seed=1, link_scope="switch")
+        assert inj.link_population == len(ft6.links) - ft6.num_hosts
+        sc = inj.single_link_failure()
+        link = ft6.links[sc.links[0]]
+        assert not link.a.startswith("H.") and not link.b.startswith("H.")
+
+    def test_bad_scope_rejected(self, ft6):
+        with pytest.raises(ValueError):
+            FailureInjector(ft6, link_scope="weird")
+
+    def test_rate_zero_empty(self, ft6):
+        inj = FailureInjector(ft6, seed=1)
+        assert inj.node_failures_at_rate(0.0).size == 0
+
+    def test_small_rate_fails_at_least_one(self, ft6):
+        inj = FailureInjector(ft6, seed=1)
+        assert inj.node_failures_at_rate(1e-6).size == 1
+
+    def test_rate_scales_count(self, ft6):
+        inj = FailureInjector(ft6, seed=1)
+        sc = inj.node_failures_at_rate(0.2)
+        assert sc.size == round(0.2 * inj.switch_population)
+
+    def test_rate_bounds(self, ft6):
+        inj = FailureInjector(ft6, seed=1)
+        with pytest.raises(ValueError):
+            inj.node_failures_at_rate(1.5)
+
+    def test_distinct_elements(self, ft6):
+        inj = FailureInjector(ft6, seed=1)
+        sc = inj.node_failures_at_rate(0.5)
+        assert len(set(sc.nodes)) == len(sc.nodes)
+
+    def test_deterministic_given_seed(self, ft6):
+        a = FailureInjector(ft6, seed=9).single_node_failure()
+        b = FailureInjector(ft6, seed=9).single_node_failure()
+        assert a == b
+
+    def test_concurrent_failures(self, ft6):
+        inj = FailureInjector(ft6, seed=2)
+        sc = inj.concurrent_node_failures(5)
+        assert sc.size == 5
+        with pytest.raises(ValueError):
+            inj.concurrent_node_failures(10_000)
+
+    def test_link_rate_sweep(self, ft6):
+        inj = FailureInjector(ft6, seed=3)
+        sc = inj.link_failures_at_rate(0.1)
+        assert sc.size == round(0.1 * inj.link_population)

@@ -1,0 +1,111 @@
+"""Property-based tests of the max-min allocator's defining invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.simulation import max_min_rates
+
+
+@st.composite
+def allocation_problems(draw):
+    """Random (flow_segments, capacities) instances."""
+    num_segments = draw(st.integers(min_value=1, max_value=12))
+    segments = [f"S{i}" for i in range(num_segments)]
+    capacities = {
+        s: draw(st.floats(min_value=0.5, max_value=100.0, allow_nan=False))
+        for s in segments
+    }
+    num_flows = draw(st.integers(min_value=1, max_value=20))
+    flow_segments = {}
+    for f in range(num_flows):
+        path_len = draw(st.integers(min_value=1, max_value=min(6, num_segments)))
+        path = draw(
+            st.lists(
+                st.sampled_from(segments),
+                min_size=path_len,
+                max_size=path_len,
+                unique=True,
+            )
+        )
+        flow_segments[f] = path
+    return flow_segments, capacities
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_feasibility(problem):
+    """No segment ever carries more than its capacity."""
+    flow_segments, capacities = problem
+    rates = max_min_rates(flow_segments, capacities)
+    usage = {s: 0.0 for s in capacities}
+    for f, path in flow_segments.items():
+        for s in path:
+            usage[s] += rates[f]
+    for s, used in usage.items():
+        assert used <= capacities[s] * (1 + 1e-9) + 1e-9
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_every_flow_has_a_saturated_bottleneck(problem):
+    """Pareto efficiency: each flow crosses at least one saturated segment
+    (otherwise its rate could be raised for free)."""
+    flow_segments, capacities = problem
+    rates = max_min_rates(flow_segments, capacities)
+    usage = {s: 0.0 for s in capacities}
+    for f, path in flow_segments.items():
+        for s in path:
+            usage[s] += rates[f]
+    for f, path in flow_segments.items():
+        saturated = any(
+            usage[s] >= capacities[s] * (1 - 1e-6) - 1e-6 for s in path
+        )
+        assert saturated, f"flow {f} has slack on its whole path"
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_max_min_fairness_condition(problem):
+    """On every saturated segment each flow is either at the segment's
+    max rate among its flows, or bottlenecked elsewhere at a lower rate —
+    i.e. you cannot raise any flow without hurting a smaller one."""
+    flow_segments, capacities = problem
+    rates = max_min_rates(flow_segments, capacities)
+    usage = {s: 0.0 for s in capacities}
+    seg_flows: dict[str, list] = {s: [] for s in capacities}
+    for f, path in flow_segments.items():
+        for s in path:
+            usage[s] += rates[f]
+            seg_flows[s].append(f)
+    for f, path in flow_segments.items():
+        # the flow's binding bottleneck: a saturated segment where it has
+        # the max rate among that segment's flows
+        binding = False
+        for s in path:
+            if usage[s] >= capacities[s] * (1 - 1e-6) - 1e-6:
+                top = max(rates[g] for g in seg_flows[s])
+                if rates[f] >= top * (1 - 1e-9):
+                    binding = True
+                    break
+        assert binding, f"flow {f} ({rates[f]}) has no binding bottleneck"
+
+
+@given(allocation_problems())
+@settings(max_examples=100, deadline=None)
+def test_all_rates_nonnegative_and_assigned(problem):
+    flow_segments, capacities = problem
+    rates = max_min_rates(flow_segments, capacities)
+    assert set(rates) == set(flow_segments)
+    assert all(r >= 0.0 for r in rates.values())
+
+
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.floats(min_value=0.1, max_value=1000.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_single_link_exact_split(n, cap):
+    flows = {i: ["L"] for i in range(n)}
+    rates = max_min_rates(flows, {"L": cap})
+    for r in rates.values():
+        assert abs(r - cap / n) <= 1e-9 * max(1.0, cap)

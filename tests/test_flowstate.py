@@ -1,0 +1,68 @@
+"""Unit tests for FlowState transitions (stall bookkeeping idempotence)."""
+
+import pytest
+
+from repro.routing import Path
+from repro.simulation import FlowPhase, FlowSpec, FlowState
+
+
+def make_state() -> FlowState:
+    spec = FlowSpec(1, 1, "H.0.0.0", "H.1.0.0", 1000.0)
+    return FlowState(spec=spec, start=0.0, remaining_bits=spec.size_bits)
+
+
+class TestStallBookkeeping:
+    def test_begin_stall_records_phase(self):
+        s = make_state()
+        s.begin_stall(1.0)
+        assert s.phase is FlowPhase.STALLED
+        assert s.rate == 0.0
+
+    def test_begin_stall_idempotent(self):
+        s = make_state()
+        s.begin_stall(1.0)
+        s.begin_stall(2.0)  # second call must not reset the stall start
+        s.end_stall(3.0)
+        assert s.stalled_time == pytest.approx(2.0)
+
+    def test_end_stall_without_begin_is_noop(self):
+        s = make_state()
+        s.end_stall(5.0)
+        assert s.phase is FlowPhase.ACTIVE
+        assert s.stalled_time == 0.0
+
+    def test_multiple_stall_windows_accumulate(self):
+        s = make_state()
+        s.begin_stall(1.0)
+        s.end_stall(2.0)
+        s.begin_stall(4.0)
+        s.end_stall(7.0)
+        assert s.stalled_time == pytest.approx(4.0)
+
+    def test_complete_clears_rate_and_remaining(self):
+        s = make_state()
+        s.rate = 5.0
+        s.complete(9.0)
+        assert s.phase is FlowPhase.DONE
+        assert s.finish == 9.0
+        assert s.rate == 0.0 and s.remaining_bits == 0.0
+
+
+class TestPathAssignment:
+    def test_assign_path_records_last_nodes(self):
+        s = make_state()
+        path = Path(("H.0.0.0", "E.0.0", "H.0.0.1"))
+        s.assign_path(path, ())
+        assert s.last_nodes == path.nodes
+        s.assign_path(None, ())
+        assert s.path is None
+        assert s.last_nodes == path.nodes  # survives the stall window
+
+    def test_hops_property(self):
+        s = make_state()
+        assert s.hops is None
+        s.assign_path(Path(("H.0.0.0", "E.0.0", "H.0.0.1")), ())
+        assert s.hops == 2
+
+    def test_size_bits(self):
+        assert make_state().spec.size_bits == 8000.0

@@ -1,0 +1,150 @@
+"""Integration: miniature versions of the paper's Figure 1 experiments.
+
+These run the same pipelines as the benchmark harness, at k=8 scale, and
+assert the paper's *qualitative* findings:
+
+* coflow-level failure impact amplifies flow-level impact (Fig 1a/1b);
+* affected fractions grow with the failure rate;
+* under a single failure, rerouting leaves a CCT-slowdown tail, F10's
+  slowdown is at least fat-tree's (dilation ⇒ extra congestion), and
+  ShareBackup's slowdown is ≈ 1 (Fig 1c).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import affected_by_scenario, cct_slowdowns
+from repro.core import ShareBackupNetwork, ShareBackupSimulation
+from repro.failures import FailureInjector
+from repro.routing import (
+    F10LocalRerouteRouter,
+    GlobalOptimalRerouteRouter,
+)
+from repro.simulation import FluidSimulation
+from repro.topology import F10Tree, FatTree, NodeKind
+from repro.workload import CoflowTraceGenerator, WorkloadConfig, materialize_hosts
+
+
+def make_specs(tree, n_coflows=80, seed=11, duration=30.0):
+    cfg = WorkloadConfig(
+        num_racks=tree.num_racks,
+        num_coflows=n_coflows,
+        duration=duration,
+        seed=seed,
+    )
+    return materialize_hosts(CoflowTraceGenerator(cfg).generate(), tree)
+
+
+class TestAffectedSweep:
+    def test_monotone_in_failure_rate_and_amplified(self):
+        tree = FatTree(8, hosts_per_edge=8)
+        specs = make_specs(tree, n_coflows=120)
+        inj = FailureInjector(tree, seed=4)
+        fracs = []
+        for rate in (0.02, 0.05, 0.10, 0.20):
+            counts = affected_by_scenario(tree, specs, inj.node_failures_at_rate(rate))
+            fracs.append((counts.flow_fraction, counts.coflow_fraction))
+            assert counts.coflow_fraction >= counts.flow_fraction
+        flow_fracs = [f for f, _ in fracs]
+        coflow_fracs = [c for _, c in fracs]
+        assert flow_fracs == sorted(flow_fracs)
+        assert coflow_fracs[-1] > coflow_fracs[0]
+
+    def test_single_node_failure_touches_many_coflows(self):
+        """Paper: a single node failure affects up to ~30% of coflows."""
+        tree = FatTree(8, hosts_per_edge=8)
+        specs = make_specs(tree, n_coflows=150)
+        inj = FailureInjector(tree, seed=5)
+        hits = [
+            affected_by_scenario(tree, specs, inj.single_node_failure()).coflow_fraction
+            for _ in range(10)
+        ]
+        assert max(hits) > 0.10
+        assert all(h <= 1.0 for h in hits)
+
+    def test_single_link_failure_affects_fewer_than_single_node(self):
+        """Fig 1a vs 1b: one switch takes out k links' worth of paths, so a
+        single node failure hurts more than a single link failure (paper:
+        29.6% vs 17% of coflows)."""
+        tree = FatTree(8, hosts_per_edge=8)
+        specs = make_specs(tree, n_coflows=150)
+        inj = FailureInjector(tree, seed=6)
+        node_avg = sum(
+            affected_by_scenario(tree, specs, inj.single_node_failure()).coflow_fraction
+            for _ in range(12)
+        ) / 12
+        link_avg = sum(
+            affected_by_scenario(tree, specs, inj.single_link_failure()).coflow_fraction
+            for _ in range(12)
+        ) / 12
+        assert node_avg > link_avg
+
+
+class TestCctSlowdownPipeline:
+    def run_arch(self, tree, router, specs, scenario=None, horizon=600.0):
+        sim = FluidSimulation(tree, router, specs, horizon=horizon)
+        if scenario is not None:
+            for node in scenario.nodes:
+                sim.fail_node_at(0.0, node)
+            for link in scenario.links:
+                sim.fail_link_at(0.0, link)
+        return sim.run()
+
+    def test_fattree_failure_slows_affected_coflows(self):
+        specs = make_specs(FatTree(8, hosts_per_edge=8), n_coflows=60, seed=21)
+        base = self.run_arch(
+            FatTree(8, hosts_per_edge=8),
+            GlobalOptimalRerouteRouter(FatTree(8, hosts_per_edge=8)),
+            specs,
+        )
+        # pick an agg failure (rerouting-recoverable)
+        t2 = FatTree(8, hosts_per_edge=8)
+        inj = FailureInjector(t2, seed=3, switch_kinds=(NodeKind.AGGREGATION,))
+        scenario = inj.single_node_failure()
+        failed = self.run_arch(t2, GlobalOptimalRerouteRouter(t2), specs, scenario)
+        counts = affected_by_scenario(
+            FatTree(8, hosts_per_edge=8), specs, scenario
+        )
+        report = cct_slowdowns(base, failed)
+        vals = report.all_slowdowns()
+        assert vals, "no comparable coflows"
+        assert max(vals) >= 1.0
+        # unaffected coflow CCTs can shift slightly via shared bottlenecks,
+        # but nothing should *improve* materially
+        assert min(vals) > 0.6
+
+    def test_sharebackup_slowdown_is_unity(self):
+        net = ShareBackupNetwork(8, n=1)
+        specs = make_specs(net.logical, n_coflows=40, seed=31, duration=20.0)
+        base = FluidSimulation(
+            FatTree(8), GlobalOptimalRerouteRouter(FatTree(8)), specs, horizon=600.0
+        ).run()
+        sbs = ShareBackupSimulation(net, specs, horizon=600.0)
+        sbs.inject_switch_failure(0.5, "A.0.0")
+        failed = sbs.run()
+        report = cct_slowdowns(base, failed)
+        finite = [v for v in report.all_slowdowns() if math.isfinite(v)]
+        assert finite
+        # sub-ms recovery on second-scale coflows: slowdown ~ 1 everywhere
+        assert max(finite) < 1.05
+
+    def test_f10_dilated_flows_exist_under_core_failure(self):
+        tree = F10Tree(8, hosts_per_edge=8)
+        router = F10LocalRerouteRouter(tree)
+        specs = make_specs(tree, n_coflows=60, seed=41)
+        sim = FluidSimulation(tree, router, specs, horizon=600.0)
+        inj = FailureInjector(tree, seed=7, switch_kinds=(NodeKind.CORE,))
+        scenario = inj.single_node_failure()
+        sim.fail_node_at(0.0, scenario.nodes[0])
+        res = sim.run()
+        # Flows arriving after the failure are pinned straight onto their
+        # detour, so dilation shows as final_hops beyond the 6-hop optimum.
+        dilated = [
+            r for r in res.flows.values() if r.final_hops is not None and r.final_hops > 6
+        ]
+        affected = affected_by_scenario(F10Tree(8, hosts_per_edge=8), specs, scenario)
+        if affected.flows_affected:
+            assert dilated, "a core failure must produce 3-hop detours in F10"
+            for r in dilated:
+                assert r.final_hops == 8

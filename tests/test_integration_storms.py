@@ -1,0 +1,113 @@
+"""Integration: failure storms and degraded-mode behaviour.
+
+Scenarios beyond single failures: rolling failures across many groups,
+repair churn, the circuit-switch report threshold inside a simulation,
+and ShareBackup's behaviour once a group's spares are exhausted.
+"""
+
+import pytest
+
+from repro.core import (
+    HumanInterventionRequired,
+    ShareBackupController,
+    ShareBackupNetwork,
+    ShareBackupSimulation,
+)
+from repro.simulation import CoflowSpec, FlowSpec
+from repro.workload import CoflowTraceGenerator, WorkloadConfig, materialize_hosts
+
+GBIT = 1.25e8
+
+
+class TestRollingFailures:
+    def test_rolling_failures_with_repairs(self):
+        """Fail -> repair -> fail across every group repeatedly; the
+        network must stay a perfect fat-tree and every group consistent."""
+        net = ShareBackupNetwork(6, n=1)
+        ctrl = ShareBackupController(net)
+        for round_no in range(3):
+            for group_id in sorted(net.groups):
+                group = net.groups[group_id]
+                victim = group.logical_slots[round_no % len(group.logical_slots)]
+                report = ctrl.handle_node_failure(victim, now=float(round_no))
+                assert report.fully_recovered, (round_no, victim)
+                # repair the displaced hardware so the pool refills
+                offline = sorted(group.offline)[0]
+                ctrl.repair(offline)
+        net.verify_fattree_equivalence()
+        for group in net.groups.values():
+            group.validate()
+
+    def test_simultaneous_failures_across_groups_in_simulation(self):
+        """One failure in each of several groups at the same instant; all
+        flows survive with sub-10ms stalls."""
+        net = ShareBackupNetwork(8, n=1)
+        cfg = WorkloadConfig(
+            num_racks=net.logical.num_racks, num_coflows=30, duration=5.0, seed=9
+        )
+        specs = materialize_hosts(CoflowTraceGenerator(cfg).generate(), net.logical)
+        sbs = ShareBackupSimulation(net, specs, horizon=10_000.0)
+        for victim in ("E.0.0", "A.1.1", "C.0", "C.5", "A.4.0"):
+            sbs.inject_switch_failure(1.0, victim)
+        result = sbs.run()
+        assert result.all_completed
+        assert all(f.reroutes == 0 for f in result.flows.values())
+        assert all(f.stalled_time < 0.01 for f in result.flows.values())
+        assert all(r.fully_recovered for r in sbs.reports)
+        net.verify_fattree_equivalence()
+
+    def test_exhausted_group_degrades_like_fattree(self):
+        """Second failure in one group with n=1: the slot stays dark and
+        pinned flows stall (rerouting-free degradation), while everyone
+        else is untouched."""
+        net = ShareBackupNetwork(8, n=1)
+        flows = (
+            FlowSpec(1, 1, "H.0.0.0", "H.7.0.0", 50 * GBIT),
+            FlowSpec(2, 1, "H.1.0.0", "H.6.0.0", 50 * GBIT),
+        )
+        sbs = ShareBackupSimulation(
+            net, [CoflowSpec(1, 0.0, flows)], horizon=30.0
+        )
+        path = sbs.router.initial_path("H.0.0.0", "H.7.0.0", 1)
+        agg = path.nodes[2]
+        pod = net.logical.nodes[agg].pod
+        sibling = next(a for a in net.logical.agg_switches(pod) if a != agg)
+        sbs.inject_switch_failure(0.5, sibling)  # consumes the pod's spare
+        sbs.inject_switch_failure(1.0, agg)  # unrecoverable
+        result = sbs.run()
+        assert result.flows[1].finish is None  # static pin through dark slot
+        assert result.flows[2].finish is not None  # bystander unharmed
+
+
+class TestCircuitSwitchStormInSimulation:
+    def test_report_burst_halts_then_reboot_resumes(self):
+        net = ShareBackupNetwork(6, n=1)
+        ctrl = ShareBackupController(net, cs_report_threshold=2, cs_report_window=10.0)
+        ctrl.snapshot_intended_configs()
+        specs = [
+            CoflowSpec(1, 0.0, (FlowSpec(1, 1, "H.2.0.0", "H.5.0.0", GBIT),))
+        ]
+        sbs = ShareBackupSimulation(net, specs, controller=ctrl, horizon=100.0)
+        # two link failures through the same circuit switch CS.2.0.0
+        link_a = net.logical.links_between("E.0.0", "A.0.0")[0]
+        link_b = net.logical.links_between("E.0.1", "A.0.1")[0]
+        sbs.inject_link_failure(1.0, link_a.link_id)
+        sbs.inject_link_failure(1.2, link_b.link_id)
+        # a later, unrelated node failure must hit the halt
+        with pytest.raises(HumanInterventionRequired):
+            sbs.inject_switch_failure(2.0, "C.0")
+            sbs.run()
+        assert ctrl.halted
+        ctrl.circuit_switch_rebooted("CS.2.0.0", now=3.0)
+        assert not ctrl.halted
+        assert ctrl.handle_node_failure("C.1", now=4.0).fully_recovered
+
+    def test_burst_attribution_is_per_circuit_switch(self):
+        """Reports spread across different circuit switches never trip the
+        threshold."""
+        net = ShareBackupNetwork(6, n=2)
+        ctrl = ShareBackupController(net, cs_report_threshold=2, cs_report_window=10.0)
+        # E.0.0 up0 -> CS.2.0.0; E.1.0 up0 -> CS.2.1.0: different switches
+        ctrl.handle_link_failure(("E.0.0", ("up", 0)), ("A.0.0", ("down", 0)), now=0.0)
+        ctrl.handle_link_failure(("E.1.0", ("up", 0)), ("A.1.0", ("down", 0)), now=0.5)
+        assert not ctrl.halted

@@ -1,0 +1,81 @@
+"""Utilization-monitor tests (exact time-weighted accounting)."""
+
+import pytest
+
+from repro.routing import GlobalOptimalRerouteRouter
+from repro.simulation import (
+    CoflowSpec,
+    FlowSpec,
+    FluidSimulation,
+    UtilizationMonitor,
+)
+from repro.topology import FatTree
+
+GBIT = 1.25e8
+
+
+def run_with_monitor(trace):
+    tree = FatTree(4)
+    monitor = UtilizationMonitor()
+    sim = FluidSimulation(
+        tree, GlobalOptimalRerouteRouter(tree), trace, monitor=monitor
+    )
+    result = sim.run()
+    return result, monitor.report()
+
+
+class TestUtilizationMonitor:
+    def test_single_flow_line_rate(self):
+        trace = [CoflowSpec(1, 0.0, (FlowSpec(1, 1, "H.0.0.0", "H.3.0.0", 10 * GBIT),))]
+        _result, report = run_with_monitor(trace)
+        assert report.peak_concurrent_flows == 1
+        assert report.peak_throughput == pytest.approx(10e9)
+        # one flow at 10 Gbps for its whole 1s life
+        assert report.mean_throughput == pytest.approx(10e9, rel=1e-6)
+        assert report.busy_time == pytest.approx(1.0)
+
+    def test_two_flows_sharing_host_link(self):
+        trace = [
+            CoflowSpec(
+                1,
+                0.0,
+                (
+                    FlowSpec(1, 1, "H.0.0.0", "H.3.0.0", 10 * GBIT),
+                    FlowSpec(2, 1, "H.0.0.0", "H.2.0.0", 10 * GBIT),
+                ),
+            )
+        ]
+        _result, report = run_with_monitor(trace)
+        assert report.peak_concurrent_flows == 2
+        # aggregate = the shared host uplink's 10 Gbps
+        assert report.peak_throughput == pytest.approx(10e9)
+        assert report.peak_segment_flows == 2
+        assert report.peak_segment is not None
+
+    def test_staggered_arrivals_weighting(self):
+        """1s at 10G, then nothing, then 1s at 10G: time-weighted mean over
+        the busy span [0, 3] is 20/3 Gbps."""
+        trace = [
+            CoflowSpec(1, 0.0, (FlowSpec(1, 1, "H.0.0.0", "H.3.0.0", 10 * GBIT),)),
+            CoflowSpec(2, 2.0, (FlowSpec(2, 2, "H.1.0.0", "H.2.0.0", 10 * GBIT),)),
+        ]
+        _result, report = run_with_monitor(trace)
+        assert report.busy_time == pytest.approx(3.0)
+        assert report.mean_throughput == pytest.approx(20e9 / 3.0, rel=1e-6)
+
+    def test_empty_run(self):
+        monitor = UtilizationMonitor()
+        report = monitor.report()
+        assert report.peak_concurrent_flows == 0
+        assert report.mean_throughput == 0.0
+        assert report.peak_segment is None
+
+    def test_monitor_optional(self):
+        """Engine default (no monitor) is unaffected."""
+        tree = FatTree(4)
+        sim = FluidSimulation(
+            tree,
+            GlobalOptimalRerouteRouter(tree),
+            [CoflowSpec(1, 0.0, (FlowSpec(1, 1, "H.0.0.0", "H.3.0.0", GBIT),))],
+        )
+        assert sim.run().all_completed

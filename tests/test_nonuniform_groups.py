@@ -1,0 +1,109 @@
+"""Non-uniform failure groups (paper §6 extension): per-layer spare counts.
+
+"we can have more backup on critical devices and less backup on
+unimportant ones" — realised here as ``ShareBackupNetwork(k, n={"edge":
+1, "agg": 2, "core": 1})``, with asymmetric circuit-switch sides where
+adjacent layers differ.
+"""
+
+import pytest
+
+from repro.core import (
+    CircuitSwitch,
+    CircuitSwitchError,
+    ShareBackupController,
+    ShareBackupNetwork,
+)
+
+
+class TestAsymmetricCrossbar:
+    def test_sides_sized_independently(self):
+        cs = CircuitSwitch("cs", radix=4, up_radix=6)
+        cs.connect(("d", 3), ("u", 5))
+        with pytest.raises(CircuitSwitchError):
+            cs.connect(("d", 4), ("u", 0))  # beyond the down side
+        with pytest.raises(CircuitSwitchError):
+            cs.connect(("d", 0), ("u", 6))  # beyond the up side
+
+    def test_default_is_symmetric(self):
+        cs = CircuitSwitch("cs", radix=4)
+        assert cs.up_radix == 4
+
+    def test_ports_per_side_is_larger_side(self):
+        assert CircuitSwitch("cs", radix=4, up_radix=6).ports_per_side == 8
+
+    def test_port_inventory(self):
+        cs = CircuitSwitch("cs", radix=2, up_radix=3)
+        ports = cs.ports()
+        assert ("d", 1) in ports and ("d", 2) not in ports
+        assert ("u", 2) in ports and ("u", 3) not in ports
+
+
+class TestNonUniformNetwork:
+    def make(self) -> ShareBackupNetwork:
+        return ShareBackupNetwork(6, n={"edge": 1, "agg": 2, "core": 1})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShareBackupNetwork(6, n={"edge": 0})
+        with pytest.raises(ValueError):
+            ShareBackupNetwork(6, n={"spine": 1})
+
+    def test_per_layer_counts(self):
+        net = self.make()
+        assert net.n_edge == 1 and net.n_agg == 2 and net.n_core == 1
+        assert net.n == 2  # uniform view = max
+        # 6 pods x (1 edge + 2 agg) + 3 core groups x 1
+        assert net.num_backup_switches == 6 * 3 + 3
+
+    def test_unspecified_layers_default_to_one(self):
+        net = ShareBackupNetwork(6, n={"agg": 3})
+        assert net.n_edge == 1 and net.n_agg == 3 and net.n_core == 1
+
+    def test_circuit_switch_sides(self):
+        net = self.make()
+        # layer 2: edges below (n=1), aggs above (n=2)
+        cs2 = net.circuit_switches["CS.2.0.0"]
+        assert cs2.radix == 3 + 1 and cs2.up_radix == 3 + 2
+        # layer 3: aggs below (n=2), cores above (n=1)
+        cs3 = net.circuit_switches["CS.3.0.0"]
+        assert cs3.radix == 3 + 2 and cs3.up_radix == 3 + 1
+
+    def test_equivalence_holds(self):
+        net = self.make()
+        net.verify_fattree_equivalence()
+
+    def test_group_capacities_differ(self):
+        net = self.make()
+        ctrl = ShareBackupController(net)
+        # agg group absorbs two concurrent failures...
+        assert ctrl.handle_node_failure("A.0.0").fully_recovered
+        assert ctrl.handle_node_failure("A.0.1").fully_recovered
+        assert not ctrl.handle_node_failure("A.0.2").fully_recovered
+        # ...while the edge group absorbs exactly one
+        assert ctrl.handle_node_failure("E.0.0").fully_recovered
+        assert not ctrl.handle_node_failure("E.0.1").fully_recovered
+        net.verify_fattree_equivalence()
+
+    def test_failover_mechanics_unchanged(self):
+        net = self.make()
+        group = net.group_of("A.1.0")
+        spare = group.allocate_spare()
+        before = {
+            iface: net.physical_neighbor("A.1.0", iface)
+            for iface in [("down", j) for j in range(3)] + [("up", j) for j in range(3)]
+        }
+        net.failover("A.1.0", spare)
+        after = {iface: net.physical_neighbor(spare, iface) for iface in before}
+        assert before == after
+
+    def test_backup_ratios_per_group(self):
+        net = self.make()
+        assert net.group_of("A.0.0").backup_ratio == pytest.approx(2 / 3)
+        assert net.group_of("E.0.0").backup_ratio == pytest.approx(1 / 3)
+
+    def test_scalar_n_unchanged(self):
+        uniform = ShareBackupNetwork(6, n=2)
+        assert uniform.n_edge == uniform.n_agg == uniform.n_core == 2
+        assert uniform.num_backup_switches == 15 * 2
+        uniform.verify_fattree_equivalence()

@@ -1,0 +1,84 @@
+"""Property-based tests over topology builders and ShareBackup failovers."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import ShareBackupController, ShareBackupNetwork
+from repro.routing import enumerate_paths
+from repro.topology import F10Tree, FatTree, validate_fattree
+
+even_k = st.integers(min_value=2, max_value=6).map(lambda i: 2 * i)  # 4..12
+
+
+@given(even_k)
+@settings(max_examples=10, deadline=None)
+def test_fattree_always_valid(k):
+    validate_fattree(FatTree(k))
+
+
+@given(even_k)
+@settings(max_examples=10, deadline=None)
+def test_f10_always_valid(k):
+    validate_fattree(F10Tree(k))
+
+
+@given(even_k, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=20, deadline=None)
+def test_path_count_formula(k, salt):
+    """Inter-pod path count is exactly (k/2)^2; intra-pod k/2."""
+    tree = FatTree(k)
+    half = k // 2
+    inter = enumerate_paths(tree, "H.0.0.0", f"H.{k - 1}.0.0")
+    assert len(inter) == half * half
+    if half > 1:
+        intra = enumerate_paths(tree, "H.0.0.0", "H.0.1.0")
+        assert len(intra) == half
+
+
+@given(
+    st.integers(min_value=2, max_value=4).map(lambda i: 2 * i),  # k in {4,6,8}
+    st.integers(min_value=1, max_value=2),  # n
+    st.data(),
+)
+@settings(max_examples=15, deadline=None)
+def test_random_failover_sequences_preserve_fattree(k, n, data):
+    """Any legal sequence of failovers/repairs keeps the logical topology a
+    perfect fat-tree and every group's pools consistent — the core
+    soundness property of the whole architecture."""
+    net = ShareBackupNetwork(k, n=n)
+    ctrl = ShareBackupController(net)
+    switches = net.logical.packet_switches(include_backup=False)
+    steps = data.draw(st.integers(min_value=1, max_value=6))
+    for _ in range(steps):
+        victim = data.draw(st.sampled_from([s.name for s in switches]))
+        group = net.group_of(victim)
+        report = ctrl.handle_node_failure(victim)
+        if not report.fully_recovered:
+            # pool exhausted: repair something to keep going
+            if group.offline:
+                ctrl.repair(sorted(group.offline)[0])
+            continue
+        if data.draw(st.booleans()) and group.offline:
+            ctrl.repair(sorted(group.offline)[0])
+    net.verify_fattree_equivalence()
+    for group in net.groups.values():
+        group.validate()
+
+
+@given(st.data())
+@settings(max_examples=15, deadline=None)
+def test_failover_preserves_interface_semantics(data):
+    """After any single failover, the spare's interfaces carry exactly what
+    the failed switch's same-positioned interfaces carried."""
+    net = ShareBackupNetwork(6, n=1)
+    switches = [s.name for s in net.logical.packet_switches(include_backup=False)]
+    victim = data.draw(st.sampled_from(switches))
+    ifaces = [
+        iface for (dev, iface) in net._device_cable if dev == victim
+    ]
+    before = {i: net.physical_neighbor(victim, i) for i in ifaces}
+    group = net.group_of(victim)
+    spare = group.allocate_spare()
+    net.failover(victim, spare)
+    after = {i: net.physical_neighbor(spare, i) for i in ifaces}
+    assert before == after

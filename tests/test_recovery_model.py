@@ -1,0 +1,81 @@
+"""Recovery-latency model tests (Section 5.3 claims)."""
+
+import pytest
+
+from repro.core import RecoveryTimeModel
+
+
+class TestBreakdowns:
+    def setup_method(self):
+        self.model = RecoveryTimeModel()
+
+    def test_sharebackup_crosspoint_components(self):
+        b = self.model.sharebackup("crosspoint")
+        assert b.detection == 1e-3
+        assert b.reconfiguration == 70e-9
+        assert b.control < 1e-3  # sub-ms controller path
+
+    def test_sharebackup_mems(self):
+        b = self.model.sharebackup("mems")
+        assert b.reconfiguration == 40e-6
+
+    def test_unknown_technology_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.sharebackup("quantum")
+
+    def test_f10_and_aspen_are_local(self):
+        for b in (self.model.f10(), self.model.aspen()):
+            assert b.control == 0.0
+            assert b.reconfiguration < 1e-4
+
+    def test_sdn_rule_update_dominates(self):
+        b = self.model.sdn_rerouting()
+        assert b.reconfiguration == pytest.approx(1e-3)
+        b5 = self.model.sdn_rerouting(rules_to_update=5)
+        assert b5.reconfiguration == pytest.approx(5e-3)
+
+    def test_sdn_needs_at_least_one_rule(self):
+        with pytest.raises(ValueError):
+            self.model.sdn_rerouting(0)
+
+    def test_total_is_sum(self):
+        b = self.model.sharebackup()
+        assert b.total == pytest.approx(b.detection + b.control + b.reconfiguration)
+
+    def test_row_format(self):
+        row = self.model.f10().row()
+        assert row[0] == "f10/local" and len(row) == 5
+
+
+class TestPaperClaims:
+    """Section 5.3: 'failure recovery in ShareBackup is as fast as that in
+    F10 and Aspen Tree' (and no slower than SDN rerouting)."""
+
+    def test_sharebackup_within_same_band_as_local_rerouting(self):
+        m = RecoveryTimeModel()
+        sb = m.sharebackup("crosspoint").total
+        f10 = m.f10().total
+        # same order of magnitude: dominated by the shared probing interval
+        assert sb < 2 * f10
+
+    def test_sharebackup_not_slower_than_sdn(self):
+        m = RecoveryTimeModel()
+        assert m.sharebackup("crosspoint").total <= m.sdn_rerouting().total
+        assert m.sharebackup("mems").total <= m.sdn_rerouting().total
+
+    def test_reconfiguration_negligible_vs_detection(self):
+        m = RecoveryTimeModel()
+        for tech in ("crosspoint", "mems"):
+            b = m.sharebackup(tech)
+            assert b.reconfiguration < 0.05 * b.detection
+
+    def test_comparison_table_complete(self):
+        rows = RecoveryTimeModel().comparison()
+        names = {r.scheme for r in rows}
+        assert names == {
+            "sharebackup/crosspoint",
+            "sharebackup/mems",
+            "f10/local",
+            "aspen/local",
+            "sdn-rerouting",
+        }

@@ -1,0 +1,56 @@
+"""RecoveryReport / capacity-summary field coverage."""
+
+import pytest
+
+from repro.core import (
+    RecoveryTimeModel,
+    ShareBackupController,
+    ShareBackupNetwork,
+)
+
+
+class TestRecoveryReportFields:
+    def test_node_report_fields(self, sb6):
+        ctrl = ShareBackupController(sb6)
+        report = ctrl.handle_node_failure("C.0", now=1.5)
+        assert report.kind == "node"
+        assert report.fully_recovered
+        assert report.recovery_time == report.breakdown.total
+        assert report.unrecoverable == ()
+
+    def test_unrecoverable_report_fields(self, sb6):
+        ctrl = ShareBackupController(sb6)
+        ctrl.handle_node_failure("C.0")
+        report = ctrl.handle_node_failure("C.3")  # same group, n=1
+        assert not report.fully_recovered
+        assert report.replaced == ()
+        assert report.circuit_switches_touched == 0
+        assert report.unrecoverable == ("C.3",)
+
+    def test_link_report_counts_both_groups(self, sb6):
+        ctrl = ShareBackupController(sb6)
+        report = ctrl.handle_link_failure(
+            ("E.2.0", ("up", 1)), ("A.2.1", ("down", 2))
+        )
+        assert report.kind == "link"
+        # edge touches 6 circuit switches, agg touches 6 (one shared layer)
+        assert report.circuit_switches_touched == 12
+        assert len(report.replaced) == 2
+
+    def test_custom_timing_propagates(self, sb6):
+        timing = RecoveryTimeModel(probe_interval=5e-3, controller_hop=1e-3)
+        ctrl = ShareBackupController(sb6, timing=timing, technology="mems")
+        report = ctrl.handle_node_failure("E.0.0")
+        assert report.breakdown.detection == 5e-3
+        assert report.breakdown.reconfiguration == 40e-6
+        assert report.recovery_time > 7e-3
+
+
+class TestCapacitySummary:
+    def test_summary_for_nonuniform(self):
+        net = ShareBackupNetwork(6, n={"edge": 2})
+        summary = ShareBackupController(net).capacity_summary()
+        assert summary["failure_groups"] == 15
+        # `n` reflects the uniform view (max across layers)
+        assert summary["switch_failures_per_group"] == 2
+        assert summary["circuit_ports_per_side"] == 3 + 2 + 2

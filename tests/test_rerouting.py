@@ -1,0 +1,229 @@
+"""Rerouting baselines: global-optimal (fat-tree) and F10 local detours.
+
+These tests pin down the behaviours the failure study depends on: global
+rerouting never dilates paths; F10's local repair dilates by exactly two
+hops when no equal-length escape exists; both reconnect whenever the
+topology allows; neither can save a severed single-homed rack.
+"""
+
+import pytest
+
+from repro.routing import (
+    F10LocalRerouteRouter,
+    GlobalOptimalRerouteRouter,
+    StaticEcmpRouter,
+)
+from repro.topology import F10Tree, FatTree
+
+
+def first_path(router, src, dst, label=1):
+    p = router.initial_path(src, dst, label)
+    assert p is not None
+    return p
+
+
+class TestGlobalOptimal:
+    def test_initial_is_operational_ecmp(self, ft6):
+        r = GlobalOptimalRerouteRouter(ft6)
+        p = first_path(r, "H.0.0.0", "H.3.0.0")
+        assert p.hops == 6 and p.is_operational(ft6)
+
+    @pytest.mark.parametrize("hop_index", [2, 3, 4])  # agg, core, dst agg
+    def test_node_failure_no_dilation(self, ft6, hop_index):
+        r = GlobalOptimalRerouteRouter(ft6)
+        p = first_path(r, "H.0.0.0", "H.3.0.0")
+        ft6.fail_node(p.nodes[hop_index])
+        r.on_topology_change()
+        new = r.repath("H.0.0.0", "H.3.0.0", 1, p, {})
+        assert new is not None
+        assert new.hops == p.hops  # Table 3: fat-tree has no path dilation
+        assert new.is_operational(ft6)
+
+    def test_link_failure_reroutes(self, ft6):
+        r = GlobalOptimalRerouteRouter(ft6)
+        p = first_path(r, "H.0.0.0", "H.3.0.0")
+        link = ft6.links_between(p.nodes[2], p.nodes[3])[0]
+        ft6.fail_link(link.link_id)
+        r.on_topology_change()
+        new = r.repath("H.0.0.0", "H.3.0.0", 1, p, {})
+        assert new.is_operational(ft6) and new.hops == 6
+
+    def test_picks_least_loaded(self, ft4):
+        r = GlobalOptimalRerouteRouter(ft4)
+        p = first_path(r, "H.0.0.0", "H.3.0.0")
+        ft4.fail_node(p.nodes[3])  # kill the core
+        r.on_topology_change()
+        # Load the core-adjacent segments of every surviving path except
+        # one (segments near the hosts are shared by all candidates, so
+        # loading whole paths would tie everything).
+        survivors = r.selector.paths("H.0.0.0", "H.3.0.0", operational_only=True)
+        target = survivors[-1]
+        load = {}
+        for path in survivors:
+            if path.nodes == target.nodes:
+                continue
+            for seg in path.segments(ft4)[2:4]:  # agg->core, core->agg
+                load[seg] = 50
+        new = r.repath("H.0.0.0", "H.3.0.0", 1, p, load)
+        assert new.nodes == target.nodes
+
+    def test_edge_failure_unrecoverable(self, ft6):
+        r = GlobalOptimalRerouteRouter(ft6)
+        p = first_path(r, "H.0.0.0", "H.3.0.0")
+        ft6.fail_node("E.3.0")  # destination rack's only switch
+        r.on_topology_change()
+        assert r.repath("H.0.0.0", "H.3.0.0", 1, p, {}) is None
+
+    def test_upstream_repair_signature(self, ft6):
+        """A downstream (core->agg) failure forces divergence at the source
+        edge — the 'upstream repair' weakness of Table 3."""
+        r = GlobalOptimalRerouteRouter(ft6)
+        p = first_path(r, "H.0.0.0", "H.3.0.0")
+        link = ft6.links_between(p.nodes[3], p.nodes[4])[0]  # core -> dst agg
+        ft6.fail_link(link.link_id)
+        r.on_topology_change()
+        new = r.repath("H.0.0.0", "H.3.0.0", 1, p, {})
+        assert new.is_operational(ft6)
+        assert new.nodes[3] != p.nodes[3]  # a different core: chosen upstream
+
+
+class TestF10Local:
+    def make(self, k=6):
+        tree = F10Tree(k)
+        return tree, F10LocalRerouteRouter(tree)
+
+    def test_same_path_kept_if_operational(self):
+        tree, r = self.make()
+        p = first_path(r, "H.0.0.0", "H.1.0.0")
+        assert r.repath("H.0.0.0", "H.1.0.0", 1, p, {}).nodes == p.nodes
+
+    def test_up_hop_failure_equal_length(self):
+        tree, r = self.make()
+        p = first_path(r, "H.0.0.0", "H.1.0.0")
+        link = tree.links_between(p.nodes[1], p.nodes[2])[0]
+        tree.fail_link(link.link_id)
+        r.on_topology_change()
+        new = r.repath("H.0.0.0", "H.1.0.0", 1, p, {})
+        assert new.hops == 6  # sibling agg failover is free
+        assert new.is_operational(tree)
+
+    def test_core_failure_three_hop_detour(self):
+        tree, r = self.make()
+        p = first_path(r, "H.0.0.0", "H.1.0.0")
+        tree.fail_node(p.nodes[3])
+        r.on_topology_change()
+        new = r.repath("H.0.0.0", "H.1.0.0", 1, p, {})
+        assert new.hops == p.hops + 2  # the paper's 3-hop local rerouting
+        assert new.is_operational(tree)
+        # detour stays local: path is unchanged up to the detecting agg
+        assert new.nodes[:3] == p.nodes[:3]
+
+    def test_agg_core_link_failure_detour(self):
+        tree, r = self.make()
+        p = first_path(r, "H.0.0.0", "H.1.0.0")
+        link = tree.links_between(p.nodes[2], p.nodes[3])[0]
+        tree.fail_link(link.link_id)
+        r.on_topology_change()
+        new = r.repath("H.0.0.0", "H.1.0.0", 1, p, {})
+        assert new.hops == 8 and new.is_operational(tree)
+        assert new.nodes[:3] == p.nodes[:3]
+
+    def test_dst_agg_failure_detour_via_third_pod(self):
+        tree, r = self.make()
+        p = first_path(r, "H.0.0.0", "H.1.0.0")
+        tree.fail_node(p.nodes[4])
+        r.on_topology_change()
+        new = r.repath("H.0.0.0", "H.1.0.0", 1, p, {})
+        assert new.hops == 8 and new.is_operational(tree)
+        # local: the core stays, the bounce happens below it
+        assert new.nodes[:4] == p.nodes[:4]
+        third_pod_agg = new.nodes[4]
+        assert tree.nodes[third_pod_agg].pod not in (0, 1)
+
+    def test_dst_agg_edge_link_failure_detour(self):
+        tree, r = self.make()
+        p = first_path(r, "H.0.0.0", "H.1.0.0")
+        link = tree.links_between(p.nodes[4], p.nodes[5])[0]
+        tree.fail_link(link.link_id)
+        r.on_topology_change()
+        new = r.repath("H.0.0.0", "H.1.0.0", 1, p, {})
+        assert new.hops == 8 and new.is_operational(tree)
+        assert new.nodes[:5] == p.nodes[:5]  # repair below the dst agg
+
+    def test_intra_pod_agg_failure_free(self):
+        tree, r = self.make()
+        p = first_path(r, "H.0.0.0", "H.0.1.0")
+        assert p.hops == 4
+        tree.fail_node(p.nodes[2])
+        r.on_topology_change()
+        new = r.repath("H.0.0.0", "H.0.1.0", 1, p, {})
+        assert new.hops == 4 and new.is_operational(tree)
+
+    def test_intra_pod_down_link_detour(self):
+        tree, r = self.make()
+        p = first_path(r, "H.0.0.0", "H.0.1.0")
+        link = tree.links_between(p.nodes[2], p.nodes[3])[0]
+        tree.fail_link(link.link_id)
+        r.on_topology_change()
+        new = r.repath("H.0.0.0", "H.0.1.0", 1, p, {})
+        assert new.is_operational(tree)
+        assert new.hops in (4, 6)
+
+    def test_same_rack_edge_failure_unrecoverable(self):
+        tree, r = self.make()
+        p = first_path(r, "H.0.0.0", "H.0.0.1")
+        tree.fail_node("E.0.0")
+        r.on_topology_change()
+        assert r.repath("H.0.0.0", "H.0.0.1", 1, p, {}) is None
+
+    def test_stalled_flow_retries_fresh(self):
+        tree, r = self.make()
+        new = r.repath("H.0.0.0", "H.1.0.0", 1, None, {})
+        assert new is not None and new.is_operational(tree)
+
+    def test_detour_spread_across_flows(self):
+        """Different flows take different local detours (hash rotation)."""
+        tree, r = self.make(8)
+        paths = {}
+        p = first_path(r, "H.0.0.0", "H.1.0.0", label=1)
+        tree.fail_node(p.nodes[3])
+        r.on_topology_change()
+        for label in range(1, 60):
+            # pre-failure pins (selection without the operational filter)
+            pl = r.selector.select("H.0.0.0", "H.1.0.0", label)
+            if pl is None or p.nodes[3] not in pl.nodes:
+                continue
+            d = r._local_detour(pl, label)
+            if d is not None:
+                paths[d.nodes] = paths.get(d.nodes, 0) + 1
+        assert len(paths) >= 2
+
+    def test_works_on_plain_fattree_too(self):
+        tree = FatTree(6)
+        r = F10LocalRerouteRouter(tree)
+        p = first_path(r, "H.0.0.0", "H.1.0.0")
+        tree.fail_node(p.nodes[3])
+        r.on_topology_change()
+        new = r.repath("H.0.0.0", "H.1.0.0", 1, p, {})
+        assert new is not None and new.is_operational(tree)
+
+
+class TestStaticRouter:
+    def test_pin_survives_and_resumes(self, ft4):
+        r = StaticEcmpRouter(ft4)
+        p = first_path(r, "H.0.0.0", "H.1.0.0")
+        ft4.fail_node(p.nodes[3])
+        r.on_topology_change()
+        assert r.repath("H.0.0.0", "H.1.0.0", 1, p, {}) is None
+        ft4.restore_node(p.nodes[3])
+        r.on_topology_change()
+        resumed = r.repath("H.0.0.0", "H.1.0.0", 1, None, {})
+        assert resumed.nodes == p.nodes  # same deterministic pin
+
+    def test_initial_ignores_failures(self, ft4):
+        r = StaticEcmpRouter(ft4)
+        p0 = first_path(r, "H.0.0.0", "H.1.0.0")
+        ft4.fail_node(p0.nodes[3])
+        r.on_topology_change()
+        p1 = r.initial_path("H.0.0.0", "H.1.0.0", 1)
+        assert p1.nodes == p0.nodes  # pre-failure pin, will stall

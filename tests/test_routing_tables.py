@@ -1,0 +1,130 @@
+"""Unit tests for the two-level routing-table primitives."""
+
+import pytest
+
+from repro.routing import LookupMiss, Packet, RoutingTable
+from repro.topology.addressing import Address, Prefix, Suffix
+
+
+def addr(s: str) -> Address:
+    return Address.parse(s)
+
+
+class TestPrefixEntries:
+    def test_terminating_prefix_forwards(self):
+        t = RoutingTable("sw")
+        t.add_prefix(Prefix((10, 1)), "p1")
+        assert t.lookup(Packet(addr("10.0.0.2"), addr("10.1.0.2"))) == "p1"
+
+    def test_longest_prefix_wins(self):
+        t = RoutingTable("sw")
+        t.add_prefix(Prefix((10,)), "coarse")
+        t.add_prefix(Prefix((10, 1, 0)), "fine")
+        assert t.lookup(Packet(addr("10.0.0.2"), addr("10.1.0.2"))) == "fine"
+        assert t.lookup(Packet(addr("10.0.0.2"), addr("10.2.0.2"))) == "coarse"
+
+    def test_insertion_order_irrelevant(self):
+        t = RoutingTable("sw")
+        t.add_prefix(Prefix((10, 1, 0)), "fine")
+        t.add_prefix(Prefix((10,)), "coarse")
+        assert t.lookup(Packet(addr("10.0.0.2"), addr("10.1.0.2"))) == "fine"
+
+    def test_miss_raises(self):
+        t = RoutingTable("sw")
+        t.add_prefix(Prefix((10, 1)), "p1")
+        with pytest.raises(LookupMiss):
+            t.lookup(Packet(addr("10.0.0.2"), addr("10.2.0.2")))
+
+    def test_nonterminating_requires_no_port(self):
+        t = RoutingTable("sw")
+        with pytest.raises(ValueError):
+            t.add_prefix(Prefix(()), "oops", terminating=False)
+
+    def test_terminating_requires_port(self):
+        t = RoutingTable("sw")
+        with pytest.raises(ValueError):
+            t.add_prefix(Prefix(()), None, terminating=True)
+
+
+class TestSuffixFallthrough:
+    def make(self) -> RoutingTable:
+        t = RoutingTable("sw")
+        t.add_prefix(Prefix((10, 1)), "down")  # own pod: terminate
+        t.add_prefix(Prefix(()), None, terminating=False)  # /0 fall-through
+        t.add_suffix(Suffix((2,)), "up0")
+        t.add_suffix(Suffix((3,)), "up1")
+        return t
+
+    def test_fallthrough_spreads_by_suffix(self):
+        t = self.make()
+        assert t.lookup(Packet(addr("10.1.0.2"), addr("10.2.0.2"))) == "up0"
+        assert t.lookup(Packet(addr("10.1.0.2"), addr("10.2.0.3"))) == "up1"
+
+    def test_terminating_beats_fallthrough(self):
+        t = self.make()
+        assert t.lookup(Packet(addr("10.2.0.2"), addr("10.1.0.2"))) == "down"
+
+    def test_suffix_miss_raises(self):
+        t = self.make()
+        with pytest.raises(LookupMiss):
+            t.lookup(Packet(addr("10.1.0.2"), addr("10.2.0.9")))
+
+
+class TestVlanSemantics:
+    def make(self) -> RoutingTable:
+        t = RoutingTable("edge")
+        t.add_suffix(Suffix((2,)), "host0")  # untagged in-bound
+        t.add_suffix(Suffix((2,)), "up0", vlan=7)  # tagged out-bound
+        return t
+
+    def test_tagged_packet_prefers_tagged_entry(self):
+        t = self.make()
+        pkt = Packet(addr("10.0.0.3"), addr("10.1.0.2"), vlan=7)
+        assert t.lookup(pkt) == "up0"
+
+    def test_untagged_packet_ignores_tagged_entry(self):
+        t = self.make()
+        pkt = Packet(addr("10.0.0.3"), addr("10.0.0.2"))
+        assert t.lookup(pkt) == "host0"
+
+    def test_wrong_vlan_falls_to_untagged(self):
+        t = self.make()
+        pkt = Packet(addr("10.0.0.3"), addr("10.0.0.2"), vlan=9)
+        assert t.lookup(pkt) == "host0"
+
+    def test_vlan_prefix_entries(self):
+        t = RoutingTable("sw")
+        t.add_prefix(Prefix((10, 1)), "plain")
+        t.add_prefix(Prefix((10, 1)), "vlan", vlan=5)
+        assert t.lookup(Packet(addr("10.0.0.2"), addr("10.1.0.2"), vlan=5)) == "vlan"
+        assert t.lookup(Packet(addr("10.0.0.2"), addr("10.1.0.2"))) == "plain"
+
+
+class TestMergeAndSize:
+    def test_merge_dedups(self):
+        a = RoutingTable("a")
+        a.add_suffix(Suffix((2,)), "host0")
+        b = RoutingTable("b")
+        b.add_suffix(Suffix((2,)), "host0")  # identical
+        b.add_suffix(Suffix((2,)), "up0", vlan=1)
+        a.merge(b)
+        assert a.size == 2
+
+    def test_size_counts_both_tables(self):
+        t = RoutingTable("sw")
+        t.add_prefix(Prefix((10,)), "p")
+        t.add_suffix(Suffix((2,)), "s")
+        assert t.size == 2
+
+    def test_merge_preserves_lookup_semantics(self):
+        a = RoutingTable("a")
+        a.add_suffix(Suffix((2,)), "hostA")
+        b = RoutingTable("b")
+        b.add_suffix(Suffix((2,)), "upB", vlan=3)
+        a.merge(b)
+        assert a.lookup(Packet(addr("10.0.0.3"), addr("10.0.0.2"), vlan=3)) == "upB"
+        assert a.lookup(Packet(addr("10.0.0.3"), addr("10.0.0.2"))) == "hostA"
+
+    def test_repr(self):
+        t = RoutingTable("sw")
+        assert "sw" in repr(t)

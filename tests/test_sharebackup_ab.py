@@ -1,0 +1,111 @@
+"""ShareBackup over the AB fat-tree (§6 generality exploration).
+
+Tests both halves of the finding: edge/aggregation sharing carries over
+verbatim (failovers, impersonation-compatible wiring, equivalence), and
+core sharing is *structurally impossible* under AB wiring (unique
+circuit-switch footprints), realised here as spare-less singleton groups.
+"""
+
+import pytest
+
+from repro.core import ShareBackupController
+from repro.core.sharebackup_ab import ShareBackupABNetwork
+from repro.topology import F10Tree, validate_fattree
+
+
+@pytest.fixture
+def ab() -> ShareBackupABNetwork:
+    return ShareBackupABNetwork(6, n=1)
+
+
+class TestConstruction:
+    def test_logical_substrate_is_f10(self, ab):
+        assert isinstance(ab.logical, F10Tree)
+        validate_fattree(ab.logical)
+
+    def test_equivalence_against_ab_wiring(self, ab):
+        ab.verify_fattree_equivalence()
+
+    def test_group_inventory(self, ab):
+        # 2 shared groups per pod + one singleton per core
+        edges = [g for g in ab.groups.values() if g.group_id.startswith("FG.edge")]
+        aggs = [g for g in ab.groups.values() if g.group_id.startswith("FG.agg")]
+        cores = [g for g in ab.groups.values() if "core" in g.group_id]
+        assert len(edges) == 6 and len(aggs) == 6 and len(cores) == 9
+        assert all(g.n == 1 for g in edges + aggs)
+        assert all(g.n == 0 for g in cores)
+
+    def test_no_backup_cores_built(self, ab):
+        assert not any(name.startswith("BC.") for name in ab.physical_health)
+        assert ab.num_backup_switches == 2 * 6  # edge + agg spares only
+
+    def test_rejects_core_spare_request(self):
+        with pytest.raises(ValueError):
+            ShareBackupABNetwork(6, n={"core": 2})
+
+    def test_layer3_footprints_are_unique_per_core(self, ab):
+        """The impossibility argument, checked mechanically: no two cores
+        share the same circuit-switch set."""
+        footprints = {}
+        for c in range(9):
+            group = ab.group_of(f"C.{c}")
+            footprints[c] = frozenset(ab._group_css[group.group_id])
+        assert len(set(footprints.values())) == 9
+
+    def test_b_pod_wiring_is_column_skewed(self, ab):
+        # pod 1 (type B): agg a's up-if j reaches core j*h + a
+        for a in range(3):
+            for j in range(3):
+                got = ab.physical_neighbor(f"A.1.{a}", ("up", j))
+                assert got == (f"C.{j * 3 + a}", ("pod", 1))
+
+    def test_a_pod_wiring_is_row_standard(self, ab):
+        for a in range(3):
+            for j in range(3):
+                got = ab.physical_neighbor(f"A.0.{a}", ("up", j))
+                assert got == (f"C.{a * 3 + j}", ("pod", 0))
+
+
+class TestRecoveryBehaviour:
+    def test_edge_and_agg_failovers(self, ab):
+        ctrl = ShareBackupController(ab)
+        assert ctrl.handle_node_failure("E.0.0").fully_recovered
+        assert ctrl.handle_node_failure("A.1.1").fully_recovered  # B pod
+        assert ctrl.handle_node_failure("A.2.0").fully_recovered  # A pod
+        ab.verify_fattree_equivalence()
+        for group in ab.groups.values():
+            group.validate()
+
+    def test_spare_inherits_b_pod_skew(self, ab):
+        """A spare replacing a B-pod aggregation must inherit the *column*
+        core footprint — the acid test that failover re-pointing is
+        wiring-agnostic."""
+        before = {
+            j: ab.physical_neighbor("A.1.1", ("up", j)) for j in range(3)
+        }
+        group = ab.group_of("A.1.1")
+        spare = group.allocate_spare()
+        ab.failover("A.1.1", spare)
+        after = {j: ab.physical_neighbor(spare, ("up", j)) for j in range(3)}
+        assert before == after
+
+    def test_core_failure_unrecoverable_by_replacement(self, ab):
+        ctrl = ShareBackupController(ab)
+        report = ctrl.handle_node_failure("C.0")
+        assert not report.fully_recovered
+        assert report.unrecoverable == ("C.0",)
+        assert not ab.core_is_replaceable("C.0")
+
+    def test_core_failure_handled_by_f10_rerouting(self, ab):
+        """The hybrid in action: core failures fall back to F10's local
+        rerouting, which detours without upstream propagation."""
+        from repro.routing import F10LocalRerouteRouter
+
+        tree = ab.logical
+        router = F10LocalRerouteRouter(tree)
+        path = router.initial_path("H.0.0.0", "H.1.0.0", 1)
+        tree.fail_node(path.nodes[3])
+        router.on_topology_change()
+        detour = router.repath("H.0.0.0", "H.1.0.0", 1, path, {})
+        assert detour is not None and detour.is_operational(tree)
+        assert detour.hops == path.hops + 2  # the 3-hop local detour

@@ -1,0 +1,156 @@
+"""ShareBackup physical-network tests: wiring, inventory, failover mechanics."""
+
+import pytest
+
+from repro.core import ShareBackupNetwork, cs_name
+from repro.core.failure_group import GroupLayer
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ShareBackupNetwork(5)
+        with pytest.raises(ValueError):
+            ShareBackupNetwork(2)
+        with pytest.raises(ValueError):
+            ShareBackupNetwork(6, n=0)
+
+    def test_circuit_switch_count(self, sb6):
+        # 3 layers x k pods x k/2 per layer = 1.5 k^2
+        assert sb6.num_circuit_switches == 3 * 6 * 3
+
+    def test_backup_count(self, sb6n2):
+        # 5k/2 groups x n
+        assert sb6n2.num_backup_switches == 15 * 2
+
+    def test_failure_group_count(self, sb6):
+        # 2 per pod + k/2 core groups = 5k/2
+        assert len(sb6.groups) == 15
+
+    def test_circuit_port_sizing(self, sb6n2):
+        # per-side ports = k/2 + n + 2
+        assert sb6n2.circuit_ports_per_side == 3 + 2 + 2
+        cs = sb6n2.circuit_switches[cs_name(1, 0, 0)]
+        assert cs.ports_per_side == 7
+
+    def test_core_groups_by_modulo(self, sb6):
+        g = sb6.groups["FG.core.1"]
+        assert g.logical_slots == ("C.1", "C.4", "C.7")
+        assert g.layer is GroupLayer.CORE
+
+    def test_edge_group_membership(self, sb6):
+        g = sb6.group_of("E.2.1")
+        assert g.group_id == "FG.edge.2"
+        assert set(g.logical_slots) == {"E.2.0", "E.2.1", "E.2.2"}
+
+    def test_logical_is_canonical_fattree(self, sb6):
+        from repro.topology import validate_fattree
+
+        validate_fattree(sb6.logical)
+        assert sb6.logical.hosts_per_edge == 3
+
+    def test_side_rings_closed(self, sb6):
+        """Each pod-layer's circuit switches form a closed side-port ring."""
+        for layer in (1, 2, 3):
+            start = cs_name(layer, 0, 0)
+            seen = [start]
+            current = start
+            for _ in range(sb6.half):
+                cable = sb6.circuit_switches[current].cable(("ds", 1))
+                assert cable is not None and cable[0] == "cs"
+                current = cable[1][0]
+                seen.append(current)
+            assert current == start  # closed ring
+            assert len(set(seen)) == sb6.half
+
+    def test_backup_ports_initially_dark(self, sb6):
+        """Paper: 'the ports to backup switches are unconnected internally'."""
+        for group_id in sb6.groups:
+            assert sb6.spare_ports_dark(group_id)
+
+
+class TestEquivalence:
+    def test_initial_equivalence(self, sb6):
+        sb6.verify_fattree_equivalence()
+
+    def test_equivalence_is_sensitive(self, sb6):
+        """The checker actually detects drift (guard against vacuous pass)."""
+        cs = sb6.circuit_switches[cs_name(1, 0, 0)]
+        cs.disconnect(("d", 0))
+        with pytest.raises(AssertionError):
+            sb6.verify_fattree_equivalence()
+
+    def test_physical_neighbor_host_to_edge(self, sb6):
+        assert sb6.physical_neighbor("H.0.1.2", ("nic", 0)) == ("E.0.1", ("host", 2))
+
+    def test_physical_neighbor_edge_to_agg_rotation(self, sb6):
+        # CS.2.p.j connects edge m to agg (m+j) mod h
+        got = sb6.physical_neighbor("E.0.1", ("up", 2))
+        assert got == ("A.0.0", ("down", 2))
+
+    def test_physical_neighbor_agg_to_core(self, sb6):
+        # straight-through: agg a's up-if j reaches core a*h + j
+        got = sb6.physical_neighbor("A.2.1", ("up", 2))
+        assert got == ("C.5", ("pod", 2))
+
+    def test_dark_spare_has_no_neighbor(self, sb6):
+        assert sb6.physical_neighbor("BE.0.0", ("host", 0)) is None
+
+
+class TestFailover:
+    @pytest.mark.parametrize(
+        "logical,expected_cs",
+        [("E.1.0", 6), ("A.1.0", 6), ("C.4", 6)],  # k=6: 2x3, 2x3, k=6
+    )
+    def test_touch_counts(self, sb6, logical, expected_cs):
+        group = sb6.group_of(logical)
+        spare = group.allocate_spare()
+        touched, latency = sb6.failover(logical, spare)
+        assert touched == expected_cs
+        assert latency == pytest.approx(70e-9)
+        sb6.verify_fattree_equivalence()
+
+    def test_spare_inherits_exact_connectivity(self, sb6):
+        group = sb6.group_of("E.2.1")
+        spare = group.allocate_spare()
+        before = {
+            iface: sb6.physical_neighbor("E.2.1", iface)
+            for iface in [("host", j) for j in range(3)] + [("up", j) for j in range(3)]
+        }
+        sb6.failover("E.2.1", spare)
+        after = {
+            iface: sb6.physical_neighbor(spare, iface) for iface in before
+        }
+        assert before == after
+
+    def test_failed_switch_goes_dark(self, sb6):
+        group = sb6.group_of("A.0.0")
+        spare = group.allocate_spare()
+        sb6.failover("A.0.0", spare)
+        for j in range(3):
+            assert sb6.physical_neighbor("A.0.0", ("down", j)) is None
+            assert sb6.physical_neighbor("A.0.0", ("up", j)) is None
+
+    def test_two_failovers_same_group(self, sb6n2):
+        group = sb6n2.group_of("E.0.0")
+        sb6n2.failover("E.0.0", group.allocate_spare())
+        sb6n2.failover("E.0.1", group.allocate_spare())
+        sb6n2.verify_fattree_equivalence()
+        group.validate()
+
+    def test_failovers_across_all_groups(self, sb6):
+        """One failover in every failure group simultaneously (n=1 each)."""
+        for group_id in sorted(sb6.groups):
+            group = sb6.groups[group_id]
+            victim = group.logical_slots[0]
+            sb6.failover(victim, group.allocate_spare())
+        sb6.verify_fattree_equivalence()
+        for group in sb6.groups.values():
+            group.validate()
+
+    def test_serving_switch_tracking(self, sb6):
+        assert sb6.serving_switch("C.0") == "C.0"
+        group = sb6.group_of("C.0")
+        spare = group.allocate_spare()
+        sb6.failover("C.0", spare)
+        assert sb6.serving_switch("C.0") == spare

@@ -1,0 +1,133 @@
+"""Unit tests for the forwarding-plane switch model (beyond the end-to-end
+walks in test_impersonation.py)."""
+
+import pytest
+
+from repro.core import (
+    ImpersonationTables,
+    PacketSwitchModel,
+    ShareBackupNetwork,
+)
+from repro.core.switchmodel import ForwardingError, PhysicalForwarder
+from repro.routing import Packet
+from repro.topology.addressing import Address
+
+
+@pytest.fixture
+def net() -> ShareBackupNetwork:
+    return ShareBackupNetwork(6, n=1)
+
+
+@pytest.fixture
+def imp(net) -> ImpersonationTables:
+    return ImpersonationTables(net.logical)
+
+
+def edge_model(net, imp, pod=0, idx=0) -> PacketSwitchModel:
+    return PacketSwitchModel(
+        physical_name=f"E.{pod}.{idx}",
+        identity=f"E.{pod}.{idx}",
+        table=imp.combined_edge_table(pod),
+        net=net,
+    )
+
+
+class TestPortMapping:
+    def test_edge_host_ports_identity(self, net, imp):
+        model = edge_model(net, imp)
+        assert model.physical_interface("host2") == ("host", 2)
+
+    def test_edge_uplink_rotation(self, net, imp):
+        model = edge_model(net, imp, pod=0, idx=1)
+        # edge 1 reaches agg x on interface (x-1) mod 3
+        assert model.physical_interface("up0") == ("up", 2)
+        assert model.physical_interface("up1") == ("up", 0)
+
+    def test_agg_ports(self, net, imp):
+        model = PacketSwitchModel("A.0.2", "A.0.2", imp.agg_group_table(0), net)
+        assert model.physical_interface("down0") == ("down", 2)  # (2-0)%3
+        assert model.physical_interface("up1") == ("up", 1)
+
+    def test_core_ports(self, net, imp):
+        model = PacketSwitchModel("C.4", "C.4", imp.core_group_table(), net)
+        assert model.physical_interface("pod3") == ("pod", 3)
+
+    def test_unknown_port_rejected(self, net, imp):
+        model = edge_model(net, imp)
+        with pytest.raises(ForwardingError):
+            model.physical_interface("weird0")
+
+
+class TestForwardStep:
+    def test_dead_switch_refuses(self, net, imp):
+        model = edge_model(net, imp)
+        net.physical_health["E.0.0"] = False
+        pkt = Packet(Address(10, 0, 0, 2), Address(10, 0, 0, 3))
+        with pytest.raises(ForwardingError):
+            model.forward(pkt)
+
+    def test_local_delivery(self, net, imp):
+        model = edge_model(net, imp)
+        pkt = Packet(Address(10, 0, 0, 2), Address(10, 0, 0, 3))  # untagged
+        device, iface = model.forward(pkt)
+        assert device == "H.0.0.1" and iface == ("nic", 0)
+
+    def test_agg_strips_vlan_downward(self, net, imp):
+        model = PacketSwitchModel("A.0.0", "A.0.0", imp.agg_group_table(0), net)
+        routing = imp.routing
+        pkt = Packet(
+            Address(10, 0, 1, 2),
+            Address(10, 0, 2, 3),
+            vlan=routing.vlan_of_edge(0, 1),
+        )
+        device, _ = model.forward(pkt)
+        assert device.startswith("E.0.")
+        assert pkt.vlan is None  # stripped on the way down
+
+    def test_agg_keeps_vlan_upward(self, net, imp):
+        model = PacketSwitchModel("A.0.0", "A.0.0", imp.agg_group_table(0), net)
+        routing = imp.routing
+        vlan = routing.vlan_of_edge(0, 1)
+        pkt = Packet(Address(10, 0, 1, 2), Address(10, 3, 0, 2), vlan=vlan)
+        device, _ = model.forward(pkt)
+        assert device.startswith("C.")
+        assert pkt.vlan == vlan
+
+    def test_dark_circuit_detected(self, net, imp):
+        # disconnect the circuit feeding host0 of E.0.0
+        cable = net.cable_of("E.0.0", ("host", 0))
+        net.circuit_switches[cable.cs].disconnect(cable.port)
+        model = edge_model(net, imp)
+        pkt = Packet(Address(10, 0, 0, 3), Address(10, 0, 0, 2))
+        with pytest.raises(ForwardingError):
+            model.forward(pkt)
+
+
+class TestForwarderHelpers:
+    def build_tables(self, net, imp):
+        tables = {}
+        for pod in range(net.k):
+            tables[f"FG.edge.{pod}"] = imp.combined_edge_table(pod)
+            tables[f"FG.agg.{pod}"] = imp.agg_group_table(pod)
+        core = imp.core_group_table()
+        for j in range(net.half):
+            tables[f"FG.core.{j}"] = core
+        return tables
+
+    def test_model_for_follows_assignment(self, net, imp):
+        fwd = PhysicalForwarder(net, self.build_tables(net, imp))
+        group = net.group_of("E.0.0")
+        net.failover("E.0.0", group.allocate_spare())
+        model = fwd.model_for("E.0.0")
+        assert model.physical_name == "BE.0.0"
+        assert model.identity == "E.0.0"
+
+    def test_identity_of_unassigned_physical(self, net, imp):
+        fwd = PhysicalForwarder(net, self.build_tables(net, imp))
+        with pytest.raises(ForwardingError):
+            fwd._identity_of("BE.0.0")  # dark spare serves nothing
+
+    def test_max_hops_guard(self, net, imp):
+        fwd = PhysicalForwarder(net, self.build_tables(net, imp), max_hops=1)
+        with pytest.raises(ForwardingError):
+            fwd.send("H.0.0.0", "H.5.0.0")

@@ -1,0 +1,118 @@
+"""Trace I/O tests: coflow-benchmark format parsing and JSON round-trips."""
+
+import pytest
+
+from repro.workload import CoflowTraceGenerator, WorkloadConfig
+from repro.workload.traceio import (
+    TraceFormatError,
+    load_coflow_benchmark,
+    load_trace,
+    save_coflow_benchmark,
+    save_trace,
+)
+
+SAMPLE = """\
+150 3
+1 0 2 10 20 2 30:100.0 40:50.0
+2 1500 1 5 1 6:10.0
+3 2000 2 7 8 1 7:30.0
+"""
+
+
+class TestCoflowBenchmarkFormat:
+    def test_parse_sample(self, tmp_path):
+        path = tmp_path / "fb.txt"
+        path.write_text(SAMPLE)
+        num_racks, trace = load_coflow_benchmark(path)
+        assert num_racks == 150
+        assert len(trace) == 3
+        c1 = trace[0]
+        assert c1.coflow_id == 1 and c1.arrival == 0.0
+        # 2 mappers x 2 reducers = 4 flows
+        assert c1.width == 4
+        assert c1.total_bytes == pytest.approx(150e6)
+
+    def test_reducer_bytes_split_across_mappers(self, tmp_path):
+        path = tmp_path / "fb.txt"
+        path.write_text(SAMPLE)
+        _, trace = load_coflow_benchmark(path)
+        sizes = {
+            (f.src_rack, f.dst_rack): f.size_bytes for f in trace[0].flows
+        }
+        assert sizes[(10, 30)] == pytest.approx(50e6)  # 100 MB over 2 mappers
+        assert sizes[(20, 40)] == pytest.approx(25e6)
+
+    def test_arrival_milliseconds_converted(self, tmp_path):
+        path = tmp_path / "fb.txt"
+        path.write_text(SAMPLE)
+        _, trace = load_coflow_benchmark(path)
+        assert trace[1].arrival == pytest.approx(1.5)
+
+    def test_rack_local_flows_dropped(self, tmp_path):
+        """Coflow 3 has reducer rack 7 == one of its mapper racks."""
+        path = tmp_path / "fb.txt"
+        path.write_text(SAMPLE)
+        _, trace = load_coflow_benchmark(path)
+        c3 = trace[2]
+        assert all(f.src_rack != f.dst_rack for f in c3.flows)
+        assert c3.width == 1  # only the 8 -> 7 flow survives
+
+    def test_one_based_rack_ids_detected(self, tmp_path):
+        path = tmp_path / "fb.txt"
+        path.write_text("4 1\n1 0 1 4 1 1:10.0\n")  # rack 4 in a 4-rack file
+        num_racks, trace = load_coflow_benchmark(path)
+        assert num_racks == 4
+        flow = trace[0].flows[0]
+        assert flow.src_rack == 3 and flow.dst_rack == 0  # shifted to 0-based
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "150\n",
+            "150 1\n1 0 2 10 2 30:1.0\n",  # mapper count lies
+            "150 1\n1 0 1 10 1 30-1.0\n",  # bad reducer separator
+            "150 2\n1 0 1 10 1 30:1.0\n",  # fewer coflows than promised
+            "150 1\n1 0 0 0 0\n",  # no endpoints
+        ],
+    )
+    def test_malformed_rejected(self, tmp_path, text):
+        path = tmp_path / "bad.txt"
+        path.write_text(text)
+        with pytest.raises(TraceFormatError):
+            load_coflow_benchmark(path)
+
+    def test_roundtrip_through_benchmark_format(self, tmp_path):
+        cfg = WorkloadConfig(num_racks=32, num_coflows=40, duration=60, seed=3)
+        trace = CoflowTraceGenerator(cfg).generate()
+        path = tmp_path / "out.txt"
+        save_coflow_benchmark(path, 32, trace)
+        num_racks, loaded = load_coflow_benchmark(path)
+        assert num_racks == 32
+        assert len(loaded) == len(trace)
+        for orig, back in zip(trace, loaded):
+            assert back.coflow_id == orig.coflow_id
+            assert back.arrival == pytest.approx(orig.arrival, abs=1e-3)
+            assert back.total_bytes == pytest.approx(orig.total_bytes, rel=1e-3)
+            assert {f.src_rack for f in back.flows} == {
+                f.src_rack for f in orig.flows
+            }
+            assert {f.dst_rack for f in back.flows} == {
+                f.dst_rack for f in orig.flows
+            }
+
+
+class TestJsonForm:
+    def test_lossless_roundtrip(self, tmp_path):
+        cfg = WorkloadConfig(num_racks=16, num_coflows=25, duration=30, seed=5)
+        trace = CoflowTraceGenerator(cfg).generate()
+        path = tmp_path / "trace.json"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        assert loaded == trace  # dataclass equality: exact round-trip
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("{nope")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)

@@ -1,0 +1,158 @@
+"""Two-level routing: table construction and full logical forwarding walks."""
+
+import pytest
+
+from repro.routing import Packet, TwoLevelRouting
+from repro.topology import F10Tree, FatTree
+
+
+def walk(tree: FatTree, routing: TwoLevelRouting, src: str, dst: str) -> list[str]:
+    """Forward a packet switch-by-switch over the *logical* topology using
+    the two-level tables and the host VLAN-tagging convention."""
+    plan = tree.plan
+    _, sp, se, sh = src.split(".")
+    _, dp, de, dh = dst.split(".")
+    src_addr = tree.nodes[src].attrs["address"]
+    dst_addr = tree.nodes[dst].attrs["address"]
+    vlan = (
+        None
+        if (sp, se) == (dp, de)
+        else routing.vlan_of_edge(int(sp), int(se))
+    )
+    pkt = Packet(src_addr, dst_addr, vlan=vlan)
+    current = f"E.{sp}.{se}"
+    trail = [src, current]
+    for _ in range(8):
+        node = tree.nodes[current]
+        if node.kind.value == "edge":
+            table = routing.edge_table(node.pod, node.index)
+        elif node.kind.value == "aggregation":
+            table = routing.agg_table(node.pod)
+        else:
+            table = routing.core_table()
+        port = table.lookup(pkt)
+        nxt = routing.resolve_port(current, port)
+        if node.kind.value == "aggregation" and nxt.startswith("E."):
+            pkt.vlan = None  # agg strips the tag going down
+        trail.append(nxt)
+        if nxt.startswith("H."):
+            return trail
+        current = nxt
+    raise AssertionError(f"loop: {trail}")
+
+
+class TestTableShapes:
+    def test_edge_table_entry_count(self, ft4):
+        r = TwoLevelRouting(ft4)
+        table = r.edge_table(0, 0)
+        # k/2 in-bound + k/2 out-bound suffix entries, no prefixes
+        assert len(table.suffix_entries) == 4
+        assert len(table.prefix_entries) == 0
+
+    def test_edge_outbound_rotation_differs_per_edge(self, ft4):
+        r = TwoLevelRouting(ft4)
+        t0 = r.edge_table(0, 0, tagged=False)
+        t1 = r.edge_table(0, 1, tagged=False)
+        out0 = {(e.suffix, e.port) for e in t0.suffix_entries if e.port.startswith("up")}
+        out1 = {(e.suffix, e.port) for e in t1.suffix_entries if e.port.startswith("up")}
+        assert out0 != out1
+
+    def test_edge_inbound_shared_across_pod(self, ft4):
+        """The paper: in-bound entries are identical for all edges of a pod."""
+        r = TwoLevelRouting(ft4)
+        def inbound(e):
+            t = r.edge_table(0, e)
+            return {(x.suffix, x.port) for x in t.suffix_entries if x.port.startswith("host")}
+        assert inbound(0) == inbound(1)
+
+    def test_agg_table_shared_and_sized(self, ft6):
+        r = TwoLevelRouting(ft6)
+        t = r.agg_table(0)
+        assert len(t.prefix_entries) == 3 + 1  # k/2 subnets + /0
+        assert len(t.suffix_entries) == 3
+
+    def test_core_table_one_prefix_per_pod(self, ft6):
+        r = TwoLevelRouting(ft6)
+        assert len(r.core_table().prefix_entries) == 6
+
+    def test_vlan_ids_unique(self, ft8):
+        r = TwoLevelRouting(ft8)
+        vlans = {
+            r.vlan_of_edge(p, e) for p in range(8) for e in range(4)
+        }
+        assert len(vlans) == 32
+
+
+class TestResolvePort:
+    def test_edge_ports(self, ft4):
+        r = TwoLevelRouting(ft4)
+        assert r.resolve_port("E.1.0", "host1") == "H.1.0.1"
+        assert r.resolve_port("E.1.0", "up1") == "A.1.1"
+
+    def test_agg_ports(self, ft4):
+        r = TwoLevelRouting(ft4)
+        assert r.resolve_port("A.1.1", "down0") == "E.1.0"
+        assert r.resolve_port("A.1.1", "up0") == "C.2"
+
+    def test_core_ports(self, ft4):
+        r = TwoLevelRouting(ft4)
+        assert r.resolve_port("C.3", "pod2") == "A.2.1"
+
+    def test_bad_port_raises(self, ft4):
+        r = TwoLevelRouting(ft4)
+        with pytest.raises(ValueError):
+            r.resolve_port("E.0.0", "weird9")
+
+    def test_resolve_respects_f10_wiring(self):
+        f10 = F10Tree(6)
+        r = TwoLevelRouting(f10)
+        # pod 1 is type B: agg 1 port up0 -> core column 1 -> C.1
+        assert r.resolve_port("A.1.1", "up0") == "C.1"
+        # pod 0 is type A: agg 1 port up0 -> row 1 -> C.3
+        assert r.resolve_port("A.0.1", "up0") == "C.3"
+
+
+class TestForwardingWalks:
+    @pytest.mark.parametrize(
+        "src,dst,hops",
+        [
+            ("H.0.0.0", "H.0.0.1", 2),  # same rack
+            ("H.0.0.0", "H.0.1.1", 4),  # same pod
+            ("H.0.0.0", "H.3.1.1", 6),  # inter-pod
+            ("H.2.1.1", "H.1.0.0", 6),
+        ],
+    )
+    def test_delivery_and_path_length(self, ft4, src, dst, hops):
+        r = TwoLevelRouting(ft4)
+        trail = walk(ft4, r, src, dst)
+        assert trail[-1] == dst
+        assert len(trail) - 1 == hops
+
+    def test_all_pairs_delivered_k4(self, ft4):
+        r = TwoLevelRouting(ft4)
+        hosts = ft4.all_host_names()
+        for src in hosts[:4]:
+            for dst in hosts:
+                if src == dst:
+                    continue
+                assert walk(ft4, r, src, dst)[-1] == dst
+
+    def test_forwarding_works_on_f10(self):
+        f10 = F10Tree(6)
+        r = TwoLevelRouting(f10)
+        trail = walk(f10, r, "H.1.0.0", "H.4.2.1")
+        assert trail[-1] == "H.4.2.1"
+        assert len(trail) - 1 == 6
+
+    def test_uplink_spread(self, ft8):
+        """Different host-id suffixes leave an edge on different uplinks."""
+        r = TwoLevelRouting(ft8)
+        t = r.edge_table(0, 0, tagged=False)
+        ports = set()
+        for h in range(4):
+            pkt = Packet(
+                ft8.nodes["H.0.0.0"].attrs["address"],
+                ft8.nodes[f"H.1.0.{h}"].attrs["address"],
+            )
+            ports.add(t.lookup(pkt))
+        assert len(ports) == 4

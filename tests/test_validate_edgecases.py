@@ -1,0 +1,70 @@
+"""Edge cases of the structural validators and addressing overflow paths."""
+
+import pytest
+
+from repro.topology import FatTree, Node, NodeKind, ValidationError
+from repro.topology.validate import (
+    check_port_counts,
+    validate_fattree,
+    validate_folded_clos,
+)
+
+
+class TestValidatorDetectsCorruption:
+    def test_missing_core_link_detected(self, ft4):
+        link = ft4.links_between("A.0.0", "C.0")[0]
+        ft4.remove_link(link.link_id)
+        with pytest.raises(ValidationError):
+            validate_fattree(ft4)
+
+    def test_level_skipping_link_detected(self, ft4):
+        ft4.add_link("E.0.0", "C.0")  # edge direct to core: illegal
+        with pytest.raises(ValidationError):
+            validate_folded_clos(ft4)
+
+    def test_unexpected_parallel_link_detected(self, ft4):
+        ft4.add_link("E.0.0", "A.0.0")
+        with pytest.raises(ValidationError):
+            validate_fattree(ft4)
+
+    def test_missing_pod_mesh_detected(self, ft4):
+        link = ft4.links_between("E.0.0", "A.0.1")[0]
+        ft4.remove_link(link.link_id)
+        with pytest.raises(ValidationError):
+            validate_fattree(ft4)
+
+    def test_multi_homed_host_detected(self, ft4):
+        ft4.add_link("H.0.0.0", "E.0.1")
+        with pytest.raises(ValidationError):
+            check_port_counts(ft4)
+
+    def test_core_touching_pod_twice_detected(self, ft4):
+        # rewire: move C.0's pod-1 link onto pod 0's other agg
+        link = ft4.links_between("A.1.0", "C.0")[0]
+        ft4.remove_link(link.link_id)
+        ft4.add_link("A.0.1", "C.0")
+        with pytest.raises(ValidationError):
+            validate_fattree(ft4)
+
+    def test_core_with_edge_neighbor_detected(self, ft4):
+        # validate_fattree checks neighbors of cores are aggs
+        link = ft4.links_between("A.0.0", "C.0")[0]
+        ft4.remove_link(link.link_id)
+        ft4.add_link("E.0.0", "C.0")
+        with pytest.raises(ValidationError):
+            validate_fattree(ft4)
+
+
+class TestAddressingOverflowPaths:
+    def test_moderate_oversubscription_keeps_octets(self):
+        tree = FatTree(4, hosts_per_edge=100)
+        addr = tree.nodes["H.0.0.99"].attrs["address"]
+        assert addr.o3 == 101
+
+    def test_extreme_oversubscription_wraps_octet(self):
+        tree = FatTree(4, hosts_per_edge=300)
+        addr = tree.nodes["H.0.0.299"].attrs["address"]
+        assert 0 <= addr.o3 <= 255  # wrapped, still a legal octet
+
+    def test_extreme_oversubscription_still_validates(self):
+        validate_fattree(FatTree(4, hosts_per_edge=300))

@@ -1,0 +1,108 @@
+"""Watchdog (in-loop keep-alive detection) tests."""
+
+import math
+
+import pytest
+
+from repro.core import ShareBackupNetwork
+from repro.core.watchdog import WatchdogSimulation
+from repro.simulation import CoflowSpec, FlowSpec
+
+GBIT = 1.25e8
+
+
+def make(k=8, horizon=None):
+    net = ShareBackupNetwork(k, n=1)
+    spec = CoflowSpec(
+        1, 0.0, (FlowSpec(1, 1, "H.0.0.0", f"H.{k-1}.0.0", 100 * GBIT),)
+    )
+    return net, WatchdogSimulation(net, [spec], horizon=horizon)
+
+
+class TestDetectionSchedule:
+    def test_deadline_on_probe_boundary(self):
+        net, sim = make()
+        interval = sim.probe_interval()
+        deadline = sim.detection_deadline(0.0101)
+        assert deadline >= 0.0101 + sim.controller.miss_threshold * interval
+        # lands exactly on a probe boundary
+        assert deadline / interval == pytest.approx(round(deadline / interval))
+
+    def test_death_just_after_boundary_waits_longer(self):
+        net, sim = make()
+        interval = sim.probe_interval()
+        just_after = sim.detection_deadline(5 * interval + 1e-6)
+        just_before = sim.detection_deadline(6 * interval - 1e-6)
+        assert just_after - (5 * interval + 1e-6) > just_before - (
+            6 * interval - 1e-6
+        )
+
+
+class TestEndToEnd:
+    def test_silent_failure_detected_and_recovered(self):
+        net, sim = make()
+        path = sim.router.initial_path("H.0.0.0", "H.7.0.0", 1)
+        victim = path.nodes[3]
+        sim.inject_silent_switch_failure(3.0, victim)
+        result = sim.run()
+        record = result.flows[1]
+        assert record.finish is not None
+        assert record.reroutes == 0
+        # stall = detection (3-4 probe intervals) + sub-ms control/reconfig
+        interval = sim.probe_interval()
+        threshold = sim.controller.miss_threshold * interval
+        assert threshold <= record.stalled_time <= threshold + 2 * interval
+        assert sim.detections and sim.detections[0][0] == victim
+        net.verify_fattree_equivalence()
+
+    def test_measured_detection_latency(self):
+        net, sim = make()
+        path = sim.router.initial_path("H.0.0.0", "H.7.0.0", 1)
+        victim = path.nodes[2]
+        sim.inject_silent_switch_failure(2.0005, victim)
+        sim.run()
+        latency = sim.detection_latency(victim)
+        interval = sim.probe_interval()
+        assert latency is not None
+        assert (
+            sim.controller.miss_threshold * interval
+            <= latency
+            <= (sim.controller.miss_threshold + 1) * interval
+        )
+
+    def test_off_path_silent_failure_invisible_to_flow(self):
+        net, sim = make()
+        path = sim.router.initial_path("H.0.0.0", "H.7.0.0", 1)
+        bystander = next(
+            c for c in net.logical.core_switches() if c not in path.nodes
+        )
+        sim.inject_silent_switch_failure(3.0, bystander)
+        result = sim.run()
+        assert result.flows[1].finish == pytest.approx(10.0)
+        assert result.flows[1].stalled_time == 0.0
+        assert sim.detections  # it was still detected and recovered
+        net.verify_fattree_equivalence()
+
+    def test_two_silent_failures_different_groups(self):
+        net, sim = make()
+        sim.inject_silent_switch_failure(1.0, "A.1.0")
+        sim.inject_silent_switch_failure(2.0, "C.5")
+        result = sim.run()
+        assert result.flows[1].finish is not None
+        assert len(sim.detections) == 2
+        assert all(r.fully_recovered for r in sim.reports)
+        net.verify_fattree_equivalence()
+
+    def test_detection_of_replacement_backup(self):
+        """A spare that took over and then dies silently is detected too
+        (the watchdog follows the assignment, not the original names)."""
+        net, sim = make()
+        sim.inject_silent_switch_failure(1.0, "A.0.0")  # BA.0.0 takes over
+        result_unused = None
+        sim.inject_silent_switch_failure(5.0, "A.0.0")  # now kills BA.0.0
+        result_unused = sim.run()
+        physicals = [d[0] for d in sim.detections]
+        assert physicals[0] == "A.0.0"
+        assert physicals[1] == "BA.0.0"
+        # second failure found the spare pool empty -> unrecovered
+        assert not sim.reports[1].fully_recovered

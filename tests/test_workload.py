@@ -1,0 +1,210 @@
+"""Workload generator tests: structure, statistics, materialisation."""
+
+import numpy as np
+import pytest
+
+from repro.topology import FatTree
+from repro.workload import (
+    CoflowTraceGenerator,
+    WorkloadConfig,
+    bounded_pareto_bytes,
+    categorical,
+    exponential_gaps,
+    lognormal_bytes,
+    materialize_hosts,
+    partition_trace,
+    sample_without_replacement,
+)
+
+
+class TestDistributions:
+    def setup_method(self):
+        self.rng = np.random.default_rng(42)
+
+    def test_exponential_gaps_positive(self):
+        gaps = exponential_gaps(self.rng, rate=2.0, n=100)
+        assert len(gaps) == 100 and (gaps > 0).all()
+
+    def test_exponential_gaps_mean(self):
+        gaps = exponential_gaps(self.rng, rate=2.0, n=20000)
+        assert np.mean(gaps) == pytest.approx(0.5, rel=0.05)
+
+    def test_exponential_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            exponential_gaps(self.rng, rate=0.0, n=10)
+
+    def test_lognormal_median(self):
+        vals = [lognormal_bytes(self.rng, median=1e6) for _ in range(5001)]
+        assert np.median(vals) == pytest.approx(1e6, rel=0.15)
+
+    def test_lognormal_floor(self):
+        v = lognormal_bytes(self.rng, median=2.0, sigma=3.0, floor=1.0)
+        assert v >= 1.0
+
+    def test_lognormal_rejects_bad_median(self):
+        with pytest.raises(ValueError):
+            lognormal_bytes(self.rng, median=0.0)
+
+    def test_bounded_pareto_in_range(self):
+        for _ in range(500):
+            v = bounded_pareto_bytes(self.rng, 1e6, 1e9)
+            assert 1e6 <= v <= 1e9 * (1 + 1e-9)
+
+    def test_bounded_pareto_heavy_tailed(self):
+        # analytic mean/median ratio for alpha=1.2 bounded at 1e10 is ~2.8
+        vals = [bounded_pareto_bytes(self.rng, 1e6, 1e10, alpha=1.2) for _ in range(5000)]
+        assert np.mean(vals) > 2 * np.median(vals)  # elephants dominate bytes
+
+    def test_bounded_pareto_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            bounded_pareto_bytes(self.rng, 10.0, 5.0)
+
+    def test_categorical_respects_weights(self):
+        picks = [categorical(self.rng, {"a": 0.9, "b": 0.1}) for _ in range(2000)]
+        assert 0.85 < picks.count("a") / len(picks) < 0.95
+
+    def test_categorical_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            categorical(self.rng, {"a": 0.0})
+
+    def test_sample_without_replacement(self):
+        picks = sample_without_replacement(self.rng, 10, 5)
+        assert len(set(picks)) == 5 and all(0 <= p < 10 for p in picks)
+
+    def test_sample_caps_at_population(self):
+        assert len(sample_without_replacement(self.rng, 3, 10)) == 3
+
+
+class TestGenerator:
+    def make(self, **kw):
+        defaults = dict(num_racks=32, num_coflows=120, duration=100.0, seed=7)
+        defaults.update(kw)
+        return CoflowTraceGenerator(WorkloadConfig(**defaults)).generate()
+
+    def test_count_and_ordering(self):
+        trace = self.make()
+        assert len(trace) == 120
+        arrivals = [c.arrival for c in trace]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] <= 100.0
+
+    def test_deterministic_from_seed(self):
+        a, b = self.make(), self.make()
+        assert [(c.arrival, c.width, c.total_bytes) for c in a] == [
+            (c.arrival, c.width, c.total_bytes) for c in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a, b = self.make(), self.make(seed=8)
+        assert [c.width for c in a] != [c.width for c in b]
+
+    def test_flow_ids_globally_unique(self):
+        trace = self.make()
+        ids = [f.flow_id for c in trace for f in c.flows]
+        assert len(ids) == len(set(ids))
+
+    def test_flows_are_mapper_reducer_products(self):
+        trace = self.make()
+        for c in trace:
+            srcs = {f.src_rack for f in c.flows}
+            dsts = {f.dst_rack for f in c.flows}
+            assert len(c.flows) == len(srcs) * len(dsts)
+            assert not srcs & dsts  # mappers and reducers are disjoint racks
+
+    def test_racks_within_range(self):
+        trace = self.make()
+        for c in trace:
+            for f in c.flows:
+                assert 0 <= f.src_rack < 32 and 0 <= f.dst_rack < 32
+
+    def test_category_mix_roughly_matches_shares(self):
+        trace = self.make(num_coflows=2000, duration=1000.0)
+        frac_narrow = sum(
+            1 for c in trace if c.category.endswith("narrow")
+        ) / len(trace)
+        assert 0.58 < frac_narrow < 0.78  # target 0.68
+
+    def test_wide_coflows_are_wider(self):
+        trace = self.make(num_coflows=1000, duration=500.0)
+        narrow = [c.width for c in trace if c.category.endswith("narrow")]
+        wide = [c.width for c in trace if c.category.endswith("wide")]
+        assert np.mean(wide) > 5 * np.mean(narrow)
+
+    def test_long_coflows_carry_most_bytes(self):
+        trace = self.make(num_coflows=1000, duration=500.0)
+        long_bytes = sum(c.total_bytes for c in trace if c.category.startswith("long"))
+        total = sum(c.total_bytes for c in trace)
+        assert long_bytes / total > 0.9  # heavy tail dominates
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_racks=1)
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_coflows=0)
+
+
+class TestMaterialization:
+    def test_hosts_bound_to_right_racks(self):
+        tree = FatTree(8)
+        trace = CoflowTraceGenerator(
+            WorkloadConfig(num_racks=tree.num_racks, num_coflows=50, duration=50, seed=1)
+        ).generate()
+        specs = materialize_hosts(trace, tree)
+        by_id = {f.flow_id: f for c in trace for f in c.flows}
+        for spec in specs:
+            for f in spec.flows:
+                rack_flow = by_id[f.flow_id]
+                assert tree.rack_of(f.src) == rack_flow.src_rack
+                assert tree.rack_of(f.dst) == rack_flow.dst_rack
+
+    def test_round_robin_spreads_hosts(self):
+        tree = FatTree(8)
+        trace = CoflowTraceGenerator(
+            WorkloadConfig(num_racks=tree.num_racks, num_coflows=200, duration=50, seed=2)
+        ).generate()
+        specs = materialize_hosts(trace, tree)
+        hosts_used = {f.src for c in specs for f in c.flows}
+        assert len(hosts_used) > tree.num_racks  # more than one host per rack
+
+    def test_rejects_rack_overflow(self):
+        tree = FatTree(4)  # 8 racks
+        trace = CoflowTraceGenerator(
+            WorkloadConfig(num_racks=32, num_coflows=30, duration=50, seed=3)
+        ).generate()
+        with pytest.raises(ValueError):
+            materialize_hosts(trace, tree)
+
+    def test_sizes_preserved(self):
+        tree = FatTree(8)
+        trace = CoflowTraceGenerator(
+            WorkloadConfig(num_racks=tree.num_racks, num_coflows=40, duration=50, seed=4)
+        ).generate()
+        specs = materialize_hosts(trace, tree)
+        assert sum(f.size_bytes for c in specs for f in c.flows) == pytest.approx(
+            sum(c.total_bytes for c in trace)
+        )
+
+
+class TestPartitioning:
+    def test_partition_boundaries(self):
+        trace = CoflowTraceGenerator(
+            WorkloadConfig(num_racks=16, num_coflows=300, duration=900, seed=5)
+        ).generate()
+        parts = partition_trace(trace, 300.0)
+        assert sum(len(p) for p in parts) == 300
+        for part in parts:
+            for c in part:
+                assert 0 <= c.arrival < 300.0
+
+    def test_partition_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            partition_trace([], 0.0)
+
+    def test_partition_preserves_flows(self):
+        trace = CoflowTraceGenerator(
+            WorkloadConfig(num_racks=16, num_coflows=100, duration=600, seed=6)
+        ).generate()
+        parts = partition_trace(trace, 300.0)
+        got = {f.flow_id for p in parts for c in p for f in c.flows}
+        want = {f.flow_id for c in trace for f in c.flows}
+        assert got == want

@@ -1,0 +1,77 @@
+"""Custom workload-category coverage (user-defined traffic mixes)."""
+
+import pytest
+
+from repro.workload import CoflowCategory, CoflowTraceGenerator, WorkloadConfig
+
+
+class TestCustomCategories:
+    def test_single_category_all_coflows(self):
+        only_wide = (
+            CoflowCategory("wide", 1.0, mappers=(4, 4), reducers=(8, 8), short=True),
+        )
+        cfg = WorkloadConfig(
+            num_racks=32, num_coflows=30, duration=10, seed=1, categories=only_wide
+        )
+        trace = CoflowTraceGenerator(cfg).generate()
+        assert all(c.category == "wide" for c in trace)
+        assert all(c.width == 32 for c in trace)  # 4 mappers x 8 reducers
+
+    def test_shares_must_sum_to_one(self):
+        bad = (
+            CoflowCategory("a", 0.6, (1, 1), (1, 1), True),
+            CoflowCategory("b", 0.6, (1, 1), (1, 1), True),
+        )
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_racks=8, categories=bad)
+
+    def test_widths_capped_by_rack_count(self):
+        huge = (
+            CoflowCategory("huge", 1.0, mappers=(50, 50), reducers=(50, 50), short=True),
+        )
+        cfg = WorkloadConfig(
+            num_racks=10, num_coflows=10, duration=5, seed=2, categories=huge
+        )
+        trace = CoflowTraceGenerator(cfg).generate()
+        for coflow in trace:
+            racks = {f.src_rack for f in coflow.flows} | {
+                f.dst_rack for f in coflow.flows
+            }
+            assert len(racks) <= 10
+
+    def test_long_category_uses_pareto_range(self):
+        long_only = (
+            CoflowCategory("elephant", 1.0, (1, 1), (1, 1), short=False),
+        )
+        cfg = WorkloadConfig(
+            num_racks=8,
+            num_coflows=60,
+            duration=10,
+            seed=3,
+            categories=long_only,
+            long_flow_low=5e7,
+            long_flow_high=5e8,
+        )
+        trace = CoflowTraceGenerator(cfg).generate()
+        for coflow in trace:
+            for flow in coflow.flows:
+                assert 5e7 <= flow.size_bytes <= 5e8 * 1.001
+
+    def test_short_category_uses_lognormal_median(self):
+        import numpy as np
+
+        short_only = (
+            CoflowCategory("mouse", 1.0, (1, 1), (1, 1), short=True),
+        )
+        cfg = WorkloadConfig(
+            num_racks=8,
+            num_coflows=600,
+            duration=10,
+            seed=4,
+            categories=short_only,
+            short_flow_median=1e5,
+            short_flow_sigma=0.5,
+        )
+        trace = CoflowTraceGenerator(cfg).generate()
+        sizes = [f.size_bytes for c in trace for f in c.flows]
+        assert np.median(sizes) == pytest.approx(1e5, rel=0.2)
