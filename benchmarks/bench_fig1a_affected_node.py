@@ -13,10 +13,14 @@ Shape assertions (the paper's findings):
 * a single node failure already affects a large share of coflows
   (paper: 29.6%).
 
-The pipeline itself lives in :mod:`repro.experiments.affected`.
+The pipeline itself lives in :mod:`repro.experiments.affected`; the
+scenario evaluations are dispatched through :mod:`repro.runner` (see the
+session ``runner`` fixture in ``conftest.py`` for the knobs), which is
+bit-identical to the serial ``AffectedSweepStudy.run`` path.
 """
 
-from repro.experiments import AffectedSweepStudy, StudyConfig, series_to_csv
+from repro.experiments import StudyConfig, series_to_csv
+from repro.runner import run_affected_sweep
 
 
 def study_config(profile) -> StudyConfig:
@@ -60,11 +64,18 @@ def assert_shape(results) -> None:
         assert 2.0 < results[arch].points[0].amplification < 120.0
 
 
-def test_fig1a_affected_vs_node_failures(benchmark, emit, profile):
-    study = AffectedSweepStudy(study_config(profile))
-    results = benchmark.pedantic(study.run, args=("node",), rounds=1, iterations=1)
+def test_fig1a_affected_vs_node_failures(benchmark, emit, profile, runner):
+    outcome = benchmark.pedantic(
+        run_affected_sweep,
+        args=(study_config(profile), "node"),
+        kwargs={"runner": runner},
+        rounds=1,
+        iterations=1,
+    )
+    results = outcome.values
     text, csv = render(results, "node")
     emit("fig1a_affected_node", text, csv=csv)
+    print(outcome.summary.table())
     assert_shape(results)
     # a single switch failure hits a sizable share of coflows (paper: ~30%)
     assert results["fat-tree"].worst_single > 0.10

@@ -8,21 +8,34 @@ numbers: 17% vs 29.6%), because one switch carries many links.
 
 from bench_fig1a_affected_node import assert_shape, render, study_config
 
-from repro.experiments import AffectedSweepStudy
+from repro.runner import run_affected_sweep
 
 
-def test_fig1b_affected_vs_link_failures(benchmark, emit, profile):
-    study = AffectedSweepStudy(study_config(profile))
-    results = benchmark.pedantic(study.run, args=("link",), rounds=1, iterations=1)
+def test_fig1b_affected_vs_link_failures(benchmark, emit, profile, runner):
+    outcome = benchmark.pedantic(
+        run_affected_sweep,
+        args=(study_config(profile), "link"),
+        kwargs={"runner": runner},
+        rounds=1,
+        iterations=1,
+    )
+    results = outcome.values
     text, csv = render(results, "link")
     emit("fig1b_affected_link", text, csv=csv)
+    print(outcome.summary.table())
     assert_shape(results)
 
 
-def test_fig1ab_single_node_beats_single_link(benchmark, emit, profile):
-    study = AffectedSweepStudy(study_config(profile), rates=(0.01,))
-    node = benchmark.pedantic(study.run, args=("node",), rounds=1, iterations=1)
-    link = study.run("link")
+def test_fig1ab_single_node_beats_single_link(benchmark, emit, profile, runner):
+    config = study_config(profile)
+    node = benchmark.pedantic(
+        run_affected_sweep,
+        args=(config, "node"),
+        kwargs={"rates": (0.01,), "runner": runner},
+        rounds=1,
+        iterations=1,
+    ).values
+    link = run_affected_sweep(config, "link", rates=(0.01,), runner=runner).values
     node_avg = node["fat-tree"].mean_single
     link_avg = link["fat-tree"].mean_single
     emit(

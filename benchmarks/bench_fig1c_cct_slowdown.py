@@ -21,16 +21,17 @@ extremes come from the Facebook trace's hotspots; the synthetic trace at
 The pipeline lives in :mod:`repro.experiments.slowdown`; failure samples
 per architecture are random aggregation/core switches plus the hottest
 pod's aggregation switch (the unlucky draw that dominates the paper's
-CDF) plus one agg–core link.
+CDF) plus one agg–core link.  Each replay (one fluid simulation) is a
+runner task, so ``REPRO_BENCH_JOBS`` parallelises the dominant cost of
+this benchmark without changing a single output bit.
 """
 
-import math
-
 from repro.analysis import percentile
-from repro.experiments import SlowdownStudy, StudyConfig, cdf_text, cdf_to_csv
+from repro.experiments import StudyConfig, cdf_text, cdf_to_csv
+from repro.runner import run_slowdown_study
 
 
-def test_fig1c_cct_slowdown(benchmark, emit, profile):
+def test_fig1c_cct_slowdown(benchmark, emit, profile, runner):
     config = StudyConfig(
         k=profile.k,
         hosts_per_edge=profile.hosts_per_edge,
@@ -40,8 +41,15 @@ def test_fig1c_cct_slowdown(benchmark, emit, profile):
         failure_seed=5,
         failure_samples=profile.failure_samples,
     )
-    study = SlowdownStudy(config)
-    results = benchmark.pedantic(study.run, rounds=1, iterations=1)
+    outcome = benchmark.pedantic(
+        run_slowdown_study,
+        args=(config,),
+        kwargs={"runner": runner},
+        rounds=1,
+        iterations=1,
+    )
+    results = outcome.values
+    print(outcome.summary.table())
 
     lines = [
         "Figure 1(c): CCT slowdown of affected coflows under single failures",

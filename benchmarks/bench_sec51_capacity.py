@@ -73,20 +73,22 @@ def test_sec51_capacity(benchmark, emit):
     assert outcome["refused"] == outcome["groups"]
 
 
-def test_sec51_time_domain_availability(benchmark, emit):
+def test_sec51_time_domain_availability(benchmark, emit, runner):
     """§5.1 made temporal: a 200-simulated-year Monte Carlo of one k=48
     failure group with repair dynamics (MTBF from 99.99% availability,
     log-normal minutes-scale repairs).  The time-domain exposure
-    probability must reproduce the snapshot binomial."""
-    from repro.experiments import simulate_group_availability
+    probability must reproduce the snapshot binomial.  Dispatched as a
+    runner task so the Monte Carlo result is cached content-addressed."""
+    from repro.runner import AvailabilityPoint, run_availability_sweep
 
-    result = benchmark.pedantic(
-        simulate_group_availability,
-        args=(24, 1),
-        kwargs={"years": 200, "seed": 4},
+    outcome = benchmark.pedantic(
+        run_availability_sweep,
+        args=([AvailabilityPoint(24, 1, years=200, seed=4)],),
+        kwargs={"runner": runner},
         rounds=1,
         iterations=1,
     )
+    result = outcome.values[0]
     analytic = DEFAULT_FAILURE_MODEL.concurrent_failure_probability(24, 1)
     mean_episode = (
         result.exposed_time / result.exposure_episodes

@@ -15,7 +15,15 @@ DESIGN.md's per-experiment index).  Conventions:
   packet simulator and the raw Facebook trace;
 * ``REPRO_BENCH_PROFILE=quick|full`` scales the experiment: ``quick``
   (default) finishes in a few minutes total, ``full`` runs paper-scale
-  parameters (k=16 with 10:1 oversubscription, more failure samples).
+  parameters (k=16 with 10:1 oversubscription, more failure samples);
+* the scenario-sweep benchmarks (Fig 1a/1b/1c, §5.1 time-domain) run
+  through :mod:`repro.runner`: ``REPRO_BENCH_JOBS`` sets the worker
+  count (default: CPUs capped at 8, ``1`` forces serial),
+  ``REPRO_BENCH_CACHE=0`` disables the content-addressed result cache
+  (default: ``.repro-cache/`` at the repo root, making warm re-runs
+  near-instant), and every orchestration event is journalled to
+  ``benchmarks/results/run_journal.jsonl``.  Results are bit-identical
+  to the serial path either way — only wall-clock changes.
 """
 
 from __future__ import annotations
@@ -72,6 +80,29 @@ def profile() -> BenchProfile:
     if choice not in ("quick", "full"):
         raise ValueError(f"REPRO_BENCH_PROFILE must be quick|full, got {choice!r}")
     return FULL if choice == "full" else QUICK
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """The shared sweep runner: parallel, cached, journalled (env-tunable)."""
+    from repro.runner import (
+        NullCache,
+        ResultCache,
+        RunJournal,
+        SweepRunner,
+        default_jobs,
+    )
+
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or default_jobs()
+    if os.environ.get("REPRO_BENCH_CACHE", "1") == "0":
+        cache = NullCache()
+    else:
+        cache = ResultCache(Path(__file__).parent.parent / ".repro-cache")
+    journal = RunJournal(RESULTS_DIR / "run_journal.jsonl")
+    try:
+        yield SweepRunner(jobs=jobs, cache=cache, journal=journal)
+    finally:
+        journal.close()
 
 
 @pytest.fixture(scope="session")

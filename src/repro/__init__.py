@@ -18,6 +18,12 @@ Package map:
 * :mod:`repro.cost` — Table 2 cost equations and Figure 5 curves.
 * :mod:`repro.analysis` — affected-flow/coflow metrics, CCT slowdown,
   and the measured Table 3 characteristics probe.
+* :mod:`repro.experiments` — the Figure 1 / §5.1 study pipelines
+  (plan → evaluate → aggregate).
+* :mod:`repro.runner` — parallel scenario-sweep orchestration: result
+  caching, fault tolerance, and a JSONL run journal (``docs/runner.md``).
+* :mod:`repro.rng` — explicit seed plumbing (``ensure_rng``,
+  ``derive_seed``); the single place randomness enters the system.
 
 Quick taste (see ``examples/quickstart.py`` for the narrated version)::
 
@@ -35,8 +41,11 @@ __all__ = [
     "analysis",
     "core",
     "cost",
+    "experiments",
     "failures",
+    "rng",
     "routing",
+    "runner",
     "simulation",
     "topology",
     "workload",

@@ -10,10 +10,19 @@ Commands map onto the library's main entry points:
 * ``trace``     — generate synthetic coflow traces and convert between
   the JSON form and the coflow-benchmark text format;
 * ``study``     — a small end-to-end failure study (affected fractions +
-  recovery comparison) suitable for a quick demo.
+  recovery comparison) suitable for a quick demo;
+* ``sweep``     — the paper's scenario sweeps (Fig 1a/1b/1c, §5.1
+  availability) through the parallel runner: ``--jobs`` fans scenarios
+  over a process pool, results are cached content-addressed under
+  ``--cache-dir``, and ``--journal`` records every orchestration event
+  as JSONL.
 
 The CLI is deliberately a thin shell over the public API — each command
 body doubles as usage documentation for the corresponding library calls.
+
+Exit codes: ``0`` success, ``1`` a run failed, ``2`` invalid arguments
+(matching argparse).  Command bodies raise freely; :func:`main` converts
+any exception into a one-line stderr message and a nonzero code.
 """
 
 from __future__ import annotations
@@ -24,11 +33,18 @@ from collections.abc import Sequence
 
 __all__ = ["main", "build_parser"]
 
+SWEEP_STUDIES = ("fig1a", "fig1b", "fig1c", "availability")
+
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ShareBackup (HotNets'17) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -66,6 +82,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_study.add_argument("--k", type=int, default=6)
     p_study.add_argument("--coflows", type=int, default=60)
     p_study.add_argument("--seed", type=int, default=7)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="parallel scenario sweeps through repro.runner"
+    )
+    p_sweep.add_argument(
+        "--study", choices=SWEEP_STUDIES, default="fig1a",
+        help="which experiment to sweep",
+    )
+    p_sweep.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: CPUs, capped at 8; "
+                              "1 = serial)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="bypass the result cache entirely")
+    p_sweep.add_argument("--cache-dir", default=".repro-cache",
+                         help="result-cache directory")
+    p_sweep.add_argument("--journal", default=None, metavar="PATH",
+                         help="append JSONL run-journal events to PATH")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         help="per-shard timeout in seconds")
+    p_sweep.add_argument("--retries", type=int, default=2,
+                         help="pool retries per shard before serial fallback")
+    # study sizing (fig1a/fig1b/fig1c)
+    p_sweep.add_argument("--k", type=int, default=6)
+    p_sweep.add_argument("--hosts-per-edge", type=int, default=30)
+    p_sweep.add_argument("--coflows", type=int, default=90)
+    p_sweep.add_argument("--duration", type=float, default=12.0)
+    p_sweep.add_argument("--seed", type=int, default=97)
+    p_sweep.add_argument("--failure-seed", type=int, default=5)
+    p_sweep.add_argument("--samples", type=int, default=3)
+    p_sweep.add_argument("--rates", default=None,
+                         help="comma-separated failure rates (fig1a/fig1b)")
+    # availability sizing
+    p_sweep.add_argument("--group", type=int, default=24,
+                         help="failure-group size (availability)")
+    p_sweep.add_argument("--spares", type=int, default=1,
+                         help="spares per group (availability)")
+    p_sweep.add_argument("--years", type=float, default=50.0,
+                         help="simulated years per replica (availability)")
+    p_sweep.add_argument("--replicas", type=int, default=4,
+                         help="independent Monte Carlo replicas (availability)")
 
     return parser
 
@@ -270,6 +326,92 @@ def cmd_study(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from repro.experiments import StudyConfig
+    from repro.rng import derive_seed
+    from repro.runner import (
+        AvailabilityPoint,
+        NullCache,
+        ResultCache,
+        RunJournal,
+        SweepRunner,
+        run_affected_sweep,
+        run_availability_sweep,
+        run_slowdown_study,
+    )
+
+    rates = None
+    if args.rates:
+        try:
+            rates = tuple(float(r) for r in args.rates.split(","))
+        except ValueError:
+            print(f"error: --rates must be comma-separated floats, "
+                  f"got {args.rates!r}", file=sys.stderr)
+            return 2
+    if args.replicas < 1:
+        print("error: --replicas must be >= 1", file=sys.stderr)
+        return 2
+
+    journal = RunJournal(args.journal)
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache=NullCache() if args.no_cache else ResultCache(args.cache_dir),
+        journal=journal,
+        shard_timeout=args.timeout,
+        max_retries=args.retries,
+    )
+    try:
+        if args.study == "availability":
+            points = [
+                AvailabilityPoint(
+                    group_size=args.group, spares=args.spares, years=args.years,
+                    seed=derive_seed(args.seed, "availability", i),
+                )
+                for i in range(args.replicas)
+            ]
+            outcome = run_availability_sweep(points, runner=runner)
+            print(f"availability sweep: group={args.group} spares={args.spares} "
+                  f"{args.replicas} x {args.years:g} simulated years")
+            for result in outcome.values:
+                print(f"  exposure {result.exposure_probability:.3e}  "
+                      f"({result.exposure_episodes} episodes, "
+                      f"{result.failures:,} failures)")
+            mean = sum(r.exposure_probability for r in outcome.values) / len(
+                outcome.values
+            )
+            print(f"  mean exposure probability: {mean:.3e}")
+        else:
+            config = StudyConfig(
+                k=args.k,
+                hosts_per_edge=args.hosts_per_edge,
+                num_coflows=args.coflows,
+                duration=args.duration,
+                seed=args.seed,
+                failure_seed=args.failure_seed,
+                failure_samples=args.samples,
+            )
+            if args.study == "fig1c":
+                outcome = run_slowdown_study(config, runner=runner)
+                print("CCT slowdown under single failures "
+                      f"(k={args.k}, {args.coflows} coflows)")
+                for digest in outcome.values.values():
+                    print("  " + digest.row())
+            else:
+                kind = "node" if args.study == "fig1a" else "link"
+                outcome = run_affected_sweep(
+                    config, kind,
+                    **({"rates": rates} if rates is not None else {}),
+                    runner=runner,
+                )
+                for arch in sorted(outcome.values):
+                    print(outcome.values[arch].table())
+                    print()
+        print(outcome.summary.table())
+        return 0
+    finally:
+        journal.close()
+
+
 _COMMANDS = {
     "info": cmd_info,
     "cost": cmd_cost,
@@ -277,12 +419,30 @@ _COMMANDS = {
     "failover": cmd_failover,
     "trace": cmd_trace,
     "study": cmd_study,
+    "sweep": cmd_sweep,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Parse and dispatch; never lets a command escape as a traceback.
+
+    Argument problems exit ``2`` (argparse's own convention, kept for
+    command-body validation too); failed runs exit ``1``.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except ValueError as exc:
+        # Invalid parameter combinations surface as ValueError from the
+        # library's constructors (odd k, bad rates, empty traces, ...).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

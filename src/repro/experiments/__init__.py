@@ -6,11 +6,25 @@ against the real coflow-benchmark trace loaded via
 :func:`repro.workload.load_coflow_benchmark`.
 """
 
-from .affected import AffectedSweepResult, AffectedSweepStudy, SweepPoint
-from .availability import AvailabilityResult, simulate_group_availability
+from .affected import (
+    AffectedSweepResult,
+    AffectedSweepStudy,
+    SweepPoint,
+    evaluate_affected_payload,
+)
+from .availability import (
+    AvailabilityResult,
+    evaluate_availability_payload,
+    simulate_group_availability,
+)
 from .config import StudyConfig
 from .report import cdf_text, cdf_to_csv, csv_table, series_to_csv
-from .slowdown import SlowdownDigest, SlowdownStudy, hottest_pod
+from .slowdown import (
+    SlowdownDigest,
+    SlowdownStudy,
+    evaluate_slowdown_payload,
+    hottest_pod,
+)
 
 __all__ = [
     "AffectedSweepResult",
@@ -24,6 +38,9 @@ __all__ = [
     "cdf_text",
     "cdf_to_csv",
     "csv_table",
+    "evaluate_affected_payload",
+    "evaluate_availability_payload",
+    "evaluate_slowdown_payload",
     "hottest_pod",
     "series_to_csv",
 ]

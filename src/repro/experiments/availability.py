@@ -27,13 +27,17 @@ short, which is itself the §5.1 claim made quantitative.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from ..failures.models import DEFAULT_FAILURE_MODEL, FailureModel
 
-__all__ = ["AvailabilityResult", "simulate_group_availability"]
+__all__ = [
+    "AvailabilityResult",
+    "simulate_group_availability",
+    "evaluate_availability_payload",
+]
 
 YEAR = 365.25 * 24 * 3600.0
 
@@ -127,3 +131,24 @@ def simulate_group_availability(
         exposure_episodes=episodes,
         exposed_time=exposed_time,
     )
+
+
+def evaluate_availability_payload(payload: dict) -> dict:
+    """One Monte Carlo point; the ``availability`` worker of :mod:`repro.runner`.
+
+    Payload: ``group_size``, ``spares``, optional ``years`` and ``seed``,
+    and optionally ``model`` (the :class:`FailureModel` fields).  The
+    seed lives *in* the payload so the point is cacheable and
+    reproducible regardless of which shard executes it.
+    """
+    model = (
+        FailureModel(**payload["model"]) if "model" in payload else DEFAULT_FAILURE_MODEL
+    )
+    result = simulate_group_availability(
+        int(payload["group_size"]),
+        int(payload["spares"]),
+        years=float(payload.get("years", 50.0)),
+        model=model,
+        seed=int(payload.get("seed", 0)),
+    )
+    return asdict(result)

@@ -14,10 +14,12 @@ for the Section 5.1 capacity benchmarks).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..topology.base import NodeKind, Topology
 
 __all__ = ["FailureScenario", "FailureInjector"]
@@ -62,12 +64,17 @@ class FailureInjector:
     single-homed rack under *every* rerouting scheme, so including it
     measures wiring, not recovery policy — see the Figure 1(c) bench).
     ``link_scope`` is ``"all"`` or ``"switch"`` (exclude host links).
+
+    ``seed`` is anything :func:`repro.rng.ensure_rng` accepts — an int,
+    a ``numpy.random.Generator``, or a stdlib :class:`random.Random` —
+    so callers (and sweep shards) thread one explicit stream end to end;
+    the injector never touches module-global randomness.
     """
 
     def __init__(
         self,
         topo: Topology,
-        seed: int = 0,
+        seed: int | np.random.Generator | random.Random = 0,
         switch_kinds: tuple[NodeKind, ...] = (
             NodeKind.EDGE,
             NodeKind.AGGREGATION,
@@ -78,7 +85,7 @@ class FailureInjector:
         if link_scope not in ("all", "switch"):
             raise ValueError(f"link_scope must be 'all' or 'switch', got {link_scope}")
         self.topo = topo
-        self.rng = np.random.default_rng(seed)
+        self.rng = ensure_rng(seed)
         self._switch_pool = sorted(
             n.name
             for n in topo.nodes.values()

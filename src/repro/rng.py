@@ -1,0 +1,68 @@
+"""Seed plumbing shared by every stochastic component.
+
+Reproducibility is a structural property here, not a convention: the
+sweep runner (:mod:`repro.runner`) re-executes arbitrary slices of an
+experiment in arbitrary worker processes and must land on bit-identical
+results.  That only works if every random draw flows from an explicit
+seed, so this module is the single place randomness enters the system:
+
+* :func:`ensure_rng` normalises "whatever the caller has" — an int seed,
+  a :class:`numpy.random.Generator`, a stdlib :class:`random.Random`, or
+  ``None`` — into a NumPy generator.  Passing a stdlib ``Random``
+  *derives* a NumPy generator from it deterministically, so callers
+  holding legacy RNGs interoperate without two parallel seed arguments.
+* :func:`derive_seed` maps (root seed, label) to an independent child
+  seed via SHA-256, the standard trick for giving each shard of a
+  parallel sweep its own stream without coordination (no shared
+  generator state to serialise, no overlap between shards).
+
+Nothing in ``src/repro`` may call the module-global ``random.*`` or
+``numpy.random.*`` functions; they would be invisible to the runner.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import numpy as np
+
+__all__ = ["ensure_rng", "derive_seed"]
+
+#: Anything :func:`ensure_rng` accepts.
+SeedLike = "int | None | np.random.Generator | random.Random"
+
+
+def ensure_rng(
+    seed: int | None | np.random.Generator | random.Random,
+) -> np.random.Generator:
+    """A :class:`numpy.random.Generator` from any seed-like value.
+
+    * ``Generator`` — returned as-is (caller keeps stream ownership);
+    * ``int`` / ``None`` — seeds a fresh generator (NumPy treats ``None``
+      as OS entropy, so only use it where reproducibility is not needed);
+    * :class:`random.Random` — a fresh generator seeded from the next 64
+      bits of the stdlib stream (deterministic given the caller's seed).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, random.Random):
+        return np.random.default_rng(seed.getrandbits(64))
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"cannot build a Generator from {type(seed).__name__!r}; "
+        "pass an int, None, random.Random, or numpy Generator"
+    )
+
+
+def derive_seed(root: int, *labels: object) -> int:
+    """A child seed, deterministic in ``root`` and the label path.
+
+    Distinct label paths give statistically independent 63-bit seeds
+    (SHA-256 of the rendered path), so shards of one sweep never share a
+    stream while the whole sweep remains a pure function of ``root``.
+    """
+    text = repr((int(root),) + tuple(str(label) for label in labels))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

@@ -1,0 +1,134 @@
+"""Content-addressed result cache for sweep tasks.
+
+A task's cache key is the SHA-256 of its canonical JSON description:
+worker kind, full payload (topology parameters, failure scenario,
+workload seed — everything the worker reads), and a code-version tag.
+Two consequences:
+
+* re-running any benchmark after an *unrelated* change is near-instant —
+  every task keys to the same entry and the runner never touches a
+  simulator;
+* any change that *does* alter a task's inputs changes its key, so stale
+  results cannot be served by construction.  Changes to the simulation
+  *code* itself are not visible in payloads, which is what
+  :data:`CACHE_VERSION` is for — bump it whenever the semantics of any
+  worker change.
+
+Entries are one JSON file each under ``.repro-cache/<kind>/<kk>/<key>.json``
+(two-level fan-out keeps directories small), written atomically via a
+temp file + rename so concurrent runs can share a cache directory.
+Corrupt or truncated entries read as misses and are deleted.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["CACHE_VERSION", "MISS", "cache_key", "ResultCache", "NullCache"]
+
+#: Bump when the meaning of any worker's (payload → result) map changes.
+CACHE_VERSION = 1
+
+#: Sentinel distinguishing "no entry" from a legitimately-None result.
+MISS = object()
+
+
+def cache_key(kind: str, payload: dict, version: int = CACHE_VERSION) -> str:
+    """The content address of one task."""
+    canonical = json.dumps(
+        {"kind": kind, "payload": payload, "version": version},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed task-result store."""
+
+    def __init__(self, root: str | Path = ".repro-cache") -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+
+    def _path(self, kind: str, key: str) -> Path:
+        safe_kind = kind.replace(":", "_").replace("/", "_").replace(".", "_")
+        return self.root / safe_kind / key[:2] / f"{key}.json"
+
+    def get(self, kind: str, key: str):
+        """The cached result for ``key``, or :data:`MISS`."""
+        path = self._path(kind, key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            return entry["result"]
+        except FileNotFoundError:
+            return MISS
+        except (json.JSONDecodeError, KeyError, OSError):
+            # Truncated write from a killed run; purge and recompute.
+            with contextlib.suppress(OSError):
+                path.unlink()
+            return MISS
+
+    def put(self, kind: str, key: str, payload: dict, result) -> None:
+        """Store ``result`` atomically (concurrent writers both win)."""
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "kind": kind, "payload": payload, "result": result}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(
+            1 for p in self.root.rglob("*.json") if not p.name.startswith(".tmp-")
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+class NullCache:
+    """Cache interface that never hits and never stores (``--no-cache``)."""
+
+    root = None
+
+    def get(self, kind: str, key: str):
+        return MISS
+
+    def put(self, kind: str, key: str, payload: dict, result) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> int:
+        return 0

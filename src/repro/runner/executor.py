@@ -1,0 +1,351 @@
+"""The parallel sweep executor.
+
+:class:`SweepRunner` takes a flat list of :class:`~repro.runner.shards.Task`
+objects and returns every task's result, orchestrating four concerns the
+serial experiment pipelines never had to think about:
+
+* **caching** — each task is looked up in the content-addressed result
+  cache first; only misses are executed, and every computed result is
+  stored back (see :mod:`repro.runner.cache`);
+* **parallelism** — misses are sharded
+  (:func:`~repro.runner.shards.plan_shards`) and fanned out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`;
+* **fault tolerance** — a shard that raises, breaks its worker process,
+  or exceeds the per-shard timeout is retried with exponential backoff
+  up to ``max_retries`` times; a shard that keeps crashing degrades to
+  one final *serial* attempt in the parent process (a crash-looping
+  subprocess must not take the whole sweep down).  Only if that also
+  fails is the shard marked failed and :class:`RunnerError` raised;
+* **observability** — every step lands in the JSONL run journal, and a
+  :class:`~repro.runner.summary.RunSummary` comes back with the results.
+
+Determinism: the executor never reorders *results*.  Tasks carry stable
+ids, results are keyed by id, and aggregation happens caller-side in
+plan order — so a parallel run is bit-identical to a serial run of the
+same plan, regardless of shard scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from collections.abc import Sequence
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+
+from .cache import MISS, NullCache, ResultCache, cache_key
+from .journal import RunJournal
+from .shards import Shard, Task, plan_shards
+from .summary import RunSummary
+from .workers import execute_shard
+
+__all__ = ["SweepRunner", "RunResult", "RunnerError", "default_jobs"]
+
+#: Scheduler poll interval while a per-shard timeout is armed.
+_POLL_SECONDS = 0.05
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose: CPUs, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+class RunnerError(RuntimeError):
+    """One or more shards failed every attempt, including serial fallback."""
+
+    def __init__(self, failures: dict[int, str], summary: RunSummary) -> None:
+        self.failures = failures
+        self.summary = summary
+        ids = ", ".join(str(i) for i in sorted(failures))
+        first = failures[min(failures)]
+        super().__init__(
+            f"{len(failures)} shard(s) failed after retries (shards {ids}); "
+            f"first error: {first}"
+        )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Results by task id, plus the orchestration summary."""
+
+    results: dict[str, object]
+    summary: RunSummary
+
+    def __getitem__(self, task_id: str) -> object:
+        return self.results[task_id]
+
+
+@dataclass
+class _Counters:
+    retries: int = 0
+    serial_fallbacks: int = 0
+    hits: int = 0
+    misses: int = 0
+    failures: dict[int, str] = field(default_factory=dict)
+
+
+class SweepRunner:
+    """Cached, fault-tolerant, parallel executor for scenario sweeps.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (or ``0``) runs everything in-process —
+        same retry semantics, no pool.  Default: :func:`default_jobs`.
+    cache:
+        A :class:`ResultCache` (default: ``.repro-cache/`` under the
+        current directory), a :class:`NullCache`, or ``None`` for the
+        default.  Pass ``NullCache()`` for ``--no-cache`` behaviour.
+    journal:
+        A :class:`RunJournal`; default is an in-memory journal (counters
+        and events, no file).
+    shard_timeout:
+        Seconds one shard attempt may run before it is declared hung and
+        retried.  ``None`` disables the deadline.  A timed-out pool
+        cannot reclaim its worker without rebuilding, so timeouts also
+        recycle the pool (in-flight innocents are resubmitted without an
+        attempt penalty).
+    max_retries:
+        Pool attempts per shard beyond the first, before the serial
+        fallback.  Backoff before retry *i* is ``backoff_base * 2**i``.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache: ResultCache | NullCache | None = None,
+        journal: RunJournal | None = None,
+        shard_timeout: float | None = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.5,
+        shards_per_job: int = 4,
+        max_shard_size: int | None = None,
+        root_seed: int = 0,
+        sleep=time.sleep,
+    ) -> None:
+        if jobs is not None and jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError(f"shard_timeout must be positive, got {shard_timeout}")
+        self.jobs = default_jobs() if jobs is None else max(1, jobs)
+        self.cache = ResultCache() if cache is None else cache
+        self.journal = journal if journal is not None else RunJournal(None)
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.shards_per_job = shards_per_job
+        self.max_shard_size = max_shard_size
+        self.root_seed = root_seed
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, tasks: Sequence[Task], raise_on_failure: bool = True) -> RunResult:
+        """Execute ``tasks``; returns every result keyed by task id."""
+        started = time.perf_counter()
+        counters = _Counters()
+        self.journal.record("run_start", tasks=len(tasks), jobs=self.jobs)
+
+        # Cache phase: split tasks into hits (done) and misses (to run).
+        results: dict[str, object] = {}
+        keys: dict[str, str] = {}
+        misses: list[Task] = []
+        for task in tasks:
+            key = keys[task.task_id] = cache_key(task.kind, dict(task.payload))
+            hit = self.cache.get(task.kind, key)
+            if hit is not MISS:
+                results[task.task_id] = hit
+                counters.hits += 1
+                self.journal.record("cache_hit", task_id=task.task_id, key=key)
+            else:
+                misses.append(task)
+                counters.misses += 1
+                self.journal.record("cache_miss", task_id=task.task_id, key=key)
+
+        shards = plan_shards(
+            misses,
+            jobs=self.jobs,
+            root_seed=self.root_seed,
+            shards_per_job=self.shards_per_job,
+            max_shard_size=self.max_shard_size,
+        )
+        if shards:
+            if self.jobs == 1:
+                self._run_serial(shards, results, counters)
+            else:
+                self._run_pool(shards, results, counters)
+
+        # Store phase: persist every freshly-computed result.
+        for task in misses:
+            if task.task_id in results:
+                self.cache.put(
+                    task.kind, keys[task.task_id], dict(task.payload),
+                    results[task.task_id],
+                )
+                self.journal.record("cache_store", task_id=task.task_id)
+
+        summary = RunSummary(
+            tasks=len(tasks),
+            cache_hits=counters.hits,
+            cache_misses=counters.misses,
+            shards=len(shards),
+            retries=counters.retries,
+            serial_fallbacks=counters.serial_fallbacks,
+            failed_shards=len(counters.failures),
+            jobs=self.jobs,
+            wall_clock=time.perf_counter() - started,
+        )
+        self.journal.record("run_finish", **summary.to_dict())
+        if counters.failures and raise_on_failure:
+            raise RunnerError(counters.failures, summary)
+        return RunResult(results=results, summary=summary)
+
+    # ------------------------------------------------------------------
+    # serial execution (jobs=1, and the last-resort fallback)
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, shards, results, counters) -> None:
+        for shard in shards:
+            attempt = 0
+            while True:
+                self.journal.record(
+                    "shard_start", shard_id=shard.shard_id, attempt=attempt,
+                    tasks=shard.size, mode="serial",
+                )
+                t0 = time.perf_counter()
+                try:
+                    results.update(execute_shard(shard.to_dict()))
+                    self.journal.record(
+                        "shard_finish", shard_id=shard.shard_id, attempt=attempt,
+                        wall_clock=time.perf_counter() - t0, mode="serial",
+                    )
+                    break
+                except Exception as exc:
+                    if attempt >= self.max_retries:
+                        counters.failures[shard.shard_id] = repr(exc)
+                        self.journal.record(
+                            "shard_failed", shard_id=shard.shard_id,
+                            attempt=attempt, error=repr(exc),
+                        )
+                        break
+                    self._backoff(shard, attempt, exc, counters)
+                    attempt += 1
+
+    def _serial_fallback(self, shard: Shard, results, counters) -> None:
+        """Final in-process attempt for a shard the pool cannot run."""
+        counters.serial_fallbacks += 1
+        self.journal.record(
+            "shard_serial_fallback", shard_id=shard.shard_id, tasks=shard.size,
+        )
+        t0 = time.perf_counter()
+        try:
+            results.update(execute_shard(shard.to_dict()))
+            self.journal.record(
+                "shard_finish", shard_id=shard.shard_id, attempt=-1,
+                wall_clock=time.perf_counter() - t0, mode="serial-fallback",
+            )
+        except Exception as exc:
+            counters.failures[shard.shard_id] = repr(exc)
+            self.journal.record(
+                "shard_failed", shard_id=shard.shard_id, attempt=-1,
+                error=repr(exc),
+            )
+
+    def _backoff(self, shard: Shard, attempt: int, exc: Exception, counters) -> None:
+        delay = self.backoff_base * (2**attempt)
+        counters.retries += 1
+        self.journal.record(
+            "shard_retry", shard_id=shard.shard_id, attempt=attempt,
+            error=repr(exc), backoff=delay,
+        )
+        self._sleep(delay)
+
+    # ------------------------------------------------------------------
+    # pool execution
+    # ------------------------------------------------------------------
+
+    def _run_pool(self, shards, results, counters) -> None:
+        queue: deque[tuple[Shard, int]] = deque((s, 0) for s in shards)
+        inflight: dict = {}  # future -> (shard, attempt, submitted_at)
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            while queue or inflight:
+                while queue and len(inflight) < self.jobs * 2:
+                    shard, attempt = queue.popleft()
+                    self.journal.record(
+                        "shard_start", shard_id=shard.shard_id, attempt=attempt,
+                        tasks=shard.size, mode="pool",
+                    )
+                    future = pool.submit(execute_shard, shard.to_dict())
+                    inflight[future] = (shard, attempt, time.perf_counter())
+
+                timeout = _POLL_SECONDS if self.shard_timeout else None
+                done, _ = wait(
+                    list(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+
+                rebuild = False
+                for future in done:
+                    shard, attempt, t0 = inflight.pop(future)
+                    try:
+                        results.update(future.result())
+                        self.journal.record(
+                            "shard_finish", shard_id=shard.shard_id,
+                            attempt=attempt,
+                            wall_clock=time.perf_counter() - t0, mode="pool",
+                        )
+                    except Exception as exc:
+                        if isinstance(exc, BrokenExecutor):
+                            rebuild = True
+                        self._retry_or_fallback(
+                            shard, attempt, exc, queue, results, counters
+                        )
+
+                if self.shard_timeout is not None:
+                    now = time.perf_counter()
+                    expired = [
+                        f for f, (_, _, t0) in inflight.items()
+                        if now - t0 > self.shard_timeout
+                    ]
+                    for future in expired:
+                        shard, attempt, t0 = inflight.pop(future)
+                        future.cancel()
+                        rebuild = True  # its worker is still busy; recycle
+                        self._retry_or_fallback(
+                            shard, attempt,
+                            TimeoutError(
+                                f"shard {shard.shard_id} exceeded "
+                                f"{self.shard_timeout}s"
+                            ),
+                            queue, results, counters,
+                        )
+
+                if rebuild:
+                    # Resubmit in-flight innocents with no attempt penalty.
+                    for future, (shard, attempt, _) in inflight.items():
+                        future.cancel()
+                        queue.append((shard, attempt))
+                    inflight.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=self.jobs)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _retry_or_fallback(
+        self, shard, attempt, exc, queue, results, counters
+    ) -> None:
+        if attempt < self.max_retries:
+            self._backoff(shard, attempt, exc, counters)
+            queue.append((shard, attempt + 1))
+        else:
+            self._serial_fallback(shard, results, counters)

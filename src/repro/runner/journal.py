@@ -1,0 +1,90 @@
+"""The run journal: an append-only JSONL record of one sweep execution.
+
+Every orchestration event — run start/finish, per-shard start, finish,
+retry, serial fallback, failure, and per-task cache hits/misses — is one
+JSON object on one line, so a run can be audited (or tailed live) with
+nothing fancier than ``jq``.  Schema (see ``docs/runner.md`` for the
+full field tables):
+
+* every record has ``ts`` (epoch seconds, float) and ``event`` (one of
+  :data:`EVENTS`);
+* shard-scoped records add ``shard_id``/``attempt``; task-scoped records
+  add ``task_id``/``key``; ``run_finish`` embeds the
+  :class:`~repro.runner.summary.RunSummary` fields.
+
+The journal also keeps in-memory per-event counters — the summary is
+assembled from those, so a journal *file* is optional (pass
+``path=None`` for counters-only operation).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from collections import Counter
+from pathlib import Path
+
+__all__ = ["EVENTS", "RunJournal"]
+
+#: The journal's event vocabulary, in roughly lifecycle order.
+EVENTS = (
+    "run_start",
+    "cache_hit",
+    "cache_miss",
+    "shard_start",
+    "shard_finish",
+    "shard_retry",
+    "shard_serial_fallback",
+    "shard_failed",
+    "cache_store",
+    "run_finish",
+)
+
+
+class RunJournal:
+    """Appends structured events to a JSONL file and counts them."""
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        clock=time.time,
+        keep_events: bool = True,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.counters: Counter[str] = Counter()
+        self.events: list[dict] = []
+        self._keep_events = keep_events
+        self._clock = clock
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+
+    def record(self, event: str, **fields) -> dict:
+        """Append one event; returns the record written."""
+        if event not in EVENTS:
+            raise ValueError(f"unknown journal event {event!r}")
+        record = {"ts": self._clock(), "event": event, **fields}
+        self.counters[event] += 1
+        if self._keep_events:
+            self.events.append(record)
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+        return record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        with contextlib.suppress(Exception):
+            self.close()

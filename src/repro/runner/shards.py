@@ -1,0 +1,128 @@
+"""Scenario sharding: splitting a sweep into parallel units of work.
+
+A sweep is a flat list of :class:`Task` objects — one per (scenario,
+architecture) evaluation.  The planner groups contiguous runs of tasks
+into :class:`Shard` objects sized for the worker pool.  Contiguity
+matters: tasks that share an architecture/config sit next to each other
+in every study's plan, so a contiguous shard lets the worker process
+reuse its memoised topology/trace context instead of rebuilding it per
+task.
+
+Each shard carries an independent seed derived from the run's root seed
+(:func:`repro.rng.derive_seed`), so any worker-local randomness is
+reproducible by construction — re-running shard 7 of 32 alone draws the
+same stream it drew inside the full sweep.  The studies shipped here
+pre-draw their failure scenarios into the task payloads (that is what
+makes parallel results bit-identical to serial), so the shard seed is
+only consumed by workers that need *fresh* randomness, e.g. Monte Carlo
+replicas.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..rng import derive_seed
+
+__all__ = ["Task", "Shard", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One cacheable unit of work.
+
+    ``kind`` names the worker (an alias from
+    :data:`repro.runner.workers.WORKERS` or an explicit
+    ``"module:function"`` path); ``payload`` must be JSON-serialisable —
+    it is the cache key, the subprocess message, and the journal record
+    all at once.
+    """
+
+    task_id: str
+    kind: str
+    payload: Mapping[str, object]
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise ValueError("task_id must be non-empty")
+        if not self.kind:
+            raise ValueError(f"task {self.task_id}: kind must be non-empty")
+
+    def to_dict(self) -> dict:
+        return {
+            "task_id": self.task_id,
+            "kind": self.kind,
+            "payload": dict(self.payload),
+        }
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A contiguous slice of a sweep, executed as one subprocess call."""
+
+    shard_id: int
+    seed: int
+    tasks: tuple[Task, ...] = field(default_factory=tuple)
+
+    @property
+    def size(self) -> int:
+        return len(self.tasks)
+
+    def to_dict(self) -> dict:
+        """The pickle-friendly message sent to the worker process."""
+        return {
+            "shard_id": self.shard_id,
+            "seed": self.seed,
+            "tasks": [t.to_dict() for t in self.tasks],
+        }
+
+
+def plan_shards(
+    tasks: Sequence[Task],
+    jobs: int,
+    root_seed: int = 0,
+    shards_per_job: int = 4,
+    max_shard_size: int | None = None,
+) -> list[Shard]:
+    """Split ``tasks`` into contiguous, independently-seeded shards.
+
+    The default target is ``jobs * shards_per_job`` shards — enough
+    slack that an unlucky slow shard does not straggle the whole pool,
+    while keeping per-shard dispatch overhead negligible.  Shard sizes
+    differ by at most one task; ``max_shard_size`` caps them (useful to
+    bound the blast radius of a timeout, which retries a whole shard).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if shards_per_job < 1:
+        raise ValueError(f"shards_per_job must be >= 1, got {shards_per_job}")
+    if max_shard_size is not None and max_shard_size < 1:
+        raise ValueError(f"max_shard_size must be >= 1, got {max_shard_size}")
+    seen: set[str] = set()
+    for task in tasks:
+        if task.task_id in seen:
+            raise ValueError(f"duplicate task_id {task.task_id!r}")
+        seen.add(task.task_id)
+    if not tasks:
+        return []
+
+    target = min(len(tasks), jobs * shards_per_job)
+    if max_shard_size is not None:
+        target = max(target, -(-len(tasks) // max_shard_size))
+
+    base, extra = divmod(len(tasks), target)
+    shards: list[Shard] = []
+    cursor = 0
+    for shard_id in range(target):
+        size = base + (1 if shard_id < extra else 0)
+        chunk = tuple(tasks[cursor : cursor + size])
+        cursor += size
+        shards.append(
+            Shard(
+                shard_id=shard_id,
+                seed=derive_seed(root_seed, "shard", shard_id),
+                tasks=chunk,
+            )
+        )
+    return shards

@@ -1,0 +1,56 @@
+"""The :class:`RunSummary` a sweep hands back next to its results.
+
+One frozen dataclass holding the orchestration-level outcome — task and
+shard counts, cache hit/miss split, retries, serial fallbacks, failures,
+and wall-clock — plus a terminal rendering the CLI prints.  The summary
+is also embedded verbatim in the journal's ``run_finish`` record so the
+JSONL file is self-contained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["RunSummary"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """What one :meth:`repro.runner.SweepRunner.run` call did."""
+
+    tasks: int
+    cache_hits: int
+    cache_misses: int
+    shards: int
+    retries: int
+    serial_fallbacks: int
+    failed_shards: int
+    jobs: int
+    wall_clock: float
+
+    @property
+    def executed(self) -> int:
+        """Tasks that actually ran a simulation (cache misses)."""
+        return self.cache_misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.tasks if self.tasks else 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def table(self) -> str:
+        lines = [
+            f"sweep: {self.tasks} tasks in {self.shards} shards "
+            f"({self.jobs} jobs), {self.wall_clock:.2f}s",
+            f"  cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({self.hit_rate:.0%} hit rate)",
+        ]
+        if self.retries or self.serial_fallbacks or self.failed_shards:
+            lines.append(
+                f"  faults: {self.retries} retries, "
+                f"{self.serial_fallbacks} serial fallbacks, "
+                f"{self.failed_shards} failed shards"
+            )
+        return "\n".join(lines)

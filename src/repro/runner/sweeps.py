@@ -1,0 +1,122 @@
+"""High-level sweep entry points: one call per paper experiment.
+
+Each function plans a study (:mod:`repro.experiments`), hands the flat
+task list to a :class:`~repro.runner.executor.SweepRunner`, and folds
+the results back through the study's own aggregator — so the output
+objects are *exactly* the ones the serial ``run()`` methods return,
+bit-identical for a fixed seed, plus the orchestration
+:class:`~repro.runner.summary.RunSummary`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import asdict, dataclass, field
+
+from ..experiments.affected import (
+    DEFAULT_RATES,
+    AffectedSweepResult,
+    AffectedSweepStudy,
+)
+from ..experiments.availability import AvailabilityResult
+from ..experiments.config import StudyConfig
+from ..experiments.slowdown import SlowdownDigest, SlowdownStudy
+from ..failures.models import FailureModel
+from .executor import SweepRunner
+from .shards import Task
+from .summary import RunSummary
+
+__all__ = [
+    "SweepOutcome",
+    "AvailabilityPoint",
+    "run_affected_sweep",
+    "run_slowdown_study",
+    "run_availability_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """A study's aggregated values plus the runner's orchestration summary."""
+
+    values: object
+    summary: RunSummary
+
+
+def run_affected_sweep(
+    config: StudyConfig,
+    kind: str,
+    rates: Sequence[float] = DEFAULT_RATES,
+    runner: SweepRunner | None = None,
+) -> SweepOutcome:
+    """Figure 1(a)/(b) through the runner.
+
+    ``values`` is the ``{architecture: AffectedSweepResult}`` dict of
+    :meth:`AffectedSweepStudy.run` — bit-identical to the serial path.
+    """
+    study = AffectedSweepStudy(config, rates=tuple(rates))
+    plan = study.plan(kind)
+    tasks = [Task(p.task_id, "affected", p.payload(config)) for p in plan]
+    runner = runner if runner is not None else SweepRunner()
+    run = runner.run(tasks)
+    values: dict[str, AffectedSweepResult] = study.aggregate(kind, run.results)
+    return SweepOutcome(values=values, summary=run.summary)
+
+
+def run_slowdown_study(
+    config: StudyConfig,
+    victims: tuple[str, ...] = SlowdownStudy.DEFAULT_VICTIMS,
+    runner: SweepRunner | None = None,
+) -> SweepOutcome:
+    """Figure 1(c) through the runner: one task per failure replay."""
+    study = SlowdownStudy(config, victims=victims)
+    plan = study.plan()
+    tasks = [Task(p.task_id, "slowdown", p.payload(config)) for p in plan]
+    runner = runner if runner is not None else SweepRunner()
+    run = runner.run(tasks)
+    values: dict[str, SlowdownDigest] = study.aggregate(plan, run.results)
+    return SweepOutcome(values=values, summary=run.summary)
+
+
+@dataclass(frozen=True)
+class AvailabilityPoint:
+    """One Monte Carlo configuration of the §5.1 time-domain study."""
+
+    group_size: int
+    spares: int
+    years: float = 50.0
+    seed: int = 0
+    model: FailureModel | None = None
+    label: str = field(default="")
+
+    def task(self, index: int) -> Task:
+        payload = {
+            "group_size": self.group_size,
+            "spares": self.spares,
+            "years": self.years,
+            "seed": self.seed,
+        }
+        if self.model is not None:
+            payload["model"] = asdict(self.model)
+        name = self.label or (
+            f"g{self.group_size}-n{self.spares}-y{self.years}-s{self.seed}"
+        )
+        return Task(f"availability/{index}/{name}", "availability", payload)
+
+
+def run_availability_sweep(
+    points: Sequence[AvailabilityPoint],
+    runner: SweepRunner | None = None,
+) -> SweepOutcome:
+    """§5.1 Monte Carlo replicas through the runner, one task per point.
+
+    ``values`` is a list of :class:`AvailabilityResult`, in ``points``
+    order.
+    """
+    tasks = [point.task(index) for index, point in enumerate(points)]
+    runner = runner if runner is not None else SweepRunner()
+    run = runner.run(tasks)
+    values = [
+        AvailabilityResult(**run.results[task.task_id]) for task in tasks
+    ]
+    return SweepOutcome(values=values, summary=run.summary)

@@ -1,0 +1,69 @@
+"""Fault-injection workers for exercising the sweep executor.
+
+These live in the package (not in the test suite) so worker processes
+can import them under any multiprocessing start method, and so users
+validating a deployment of the runner — new machine, new Python, a
+container — can smoke-test the retry/timeout/fallback machinery without
+running a real study.  Every worker coordinates through the filesystem
+(the payload names a scratch file), because retries may land in
+different processes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+__all__ = [
+    "flaky_payload",
+    "subprocess_crash_payload",
+    "sleep_payload",
+    "attempt_count",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by the fault-injection workers; never by real studies."""
+
+
+def attempt_count(counter_file: str | Path) -> int:
+    """How many times a flaky payload has been attempted so far."""
+    try:
+        return len(Path(counter_file).read_bytes())
+    except FileNotFoundError:
+        return 0
+
+
+def flaky_payload(payload: dict) -> dict:
+    """Fail the first ``payload["fail_times"]`` attempts, then succeed.
+
+    Attempts are counted in ``payload["counter_file"]`` (one byte
+    appended per call), shared across processes.
+    """
+    counter = Path(payload["counter_file"])
+    with counter.open("ab") as fh:
+        fh.write(b".")
+    attempt = attempt_count(counter)
+    if attempt <= int(payload["fail_times"]):
+        raise InjectedFault(
+            f"injected failure on attempt {attempt} (pid {os.getpid()})"
+        )
+    return {"attempts": attempt, "value": payload.get("value", "ok")}
+
+
+def subprocess_crash_payload(payload: dict) -> dict:
+    """Crash whenever executed outside ``payload["main_pid"]``.
+
+    Models a shard that is poisonous to the worker pool but fine
+    in-process — the case the executor's serial fallback exists for.
+    """
+    if os.getpid() != int(payload["main_pid"]):
+        raise InjectedFault(f"injected subprocess crash (pid {os.getpid()})")
+    return {"value": payload.get("value", "ok"), "pid": os.getpid()}
+
+
+def sleep_payload(payload: dict) -> dict:
+    """Sleep ``payload["seconds"]`` — a hung shard for timeout tests."""
+    time.sleep(float(payload["seconds"]))
+    return {"slept": float(payload["seconds"])}

@@ -1,0 +1,88 @@
+"""Worker dispatch: mapping a task ``kind`` to the function that runs it.
+
+A kind is either one of the built-in aliases below or an explicit
+``"module:function"`` path.  Resolution happens *by name inside the
+worker process* (`importlib`), not by pickling callables — so shards
+survive any multiprocessing start method and the registry never has to
+be shipped across the process boundary.
+
+A worker function takes the task payload (a JSON-safe dict) and returns
+a JSON-safe result.  Workers must be pure given their payload: the
+payload is the cache key, so anything else a worker reads would poison
+the cache.  Process-local memoisation (e.g. of a topology + trace built
+from config fields in the payload) is encouraged — shards are
+contiguous slices of a study plan precisely so those memos hit.
+
+``execute_shard`` is the subprocess entry point: it runs every task of a
+shard in order and returns ``{task_id: result}``.  The shard's derived
+seed is available to workers through :func:`shard_seed`; note that a
+result depending on it must not be cached (the seed is not part of the
+payload, hence not part of the cache key) — the shipped studies instead
+put explicit per-task seeds *in* the payload, which is both cacheable
+and reproducible.
+"""
+
+from __future__ import annotations
+
+import importlib
+from collections.abc import Callable
+
+__all__ = [
+    "WORKERS",
+    "resolve_worker",
+    "execute_task",
+    "execute_shard",
+    "shard_seed",
+]
+
+_CURRENT_SHARD_SEED: int | None = None
+
+
+def shard_seed() -> int | None:
+    """The derived seed of the shard currently executing (else ``None``)."""
+    return _CURRENT_SHARD_SEED
+
+
+#: Built-in worker aliases (values are ``module:function`` paths).
+WORKERS: dict[str, str] = {
+    "affected": "repro.experiments.affected:evaluate_affected_payload",
+    "slowdown": "repro.experiments.slowdown:evaluate_slowdown_payload",
+    "availability": "repro.experiments.availability:evaluate_availability_payload",
+    # Fault-injection workers for exercising the executor itself.
+    "testing-flaky": "repro.runner.testing:flaky_payload",
+    "testing-subprocess-crash": "repro.runner.testing:subprocess_crash_payload",
+    "testing-sleep": "repro.runner.testing:sleep_payload",
+}
+
+
+def resolve_worker(kind: str) -> Callable[[dict], object]:
+    """The callable behind ``kind`` (alias or ``module:function`` path)."""
+    path = WORKERS.get(kind, kind)
+    module_name, sep, attr = path.partition(":")
+    if not sep or not module_name or not attr:
+        raise ValueError(
+            f"unknown worker kind {kind!r} (not an alias, not module:function)"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attr)
+    except AttributeError as exc:
+        raise ValueError(f"worker {path!r} does not exist") from exc
+
+
+def execute_task(kind: str, payload: dict) -> object:
+    """Run one task in the current process."""
+    return resolve_worker(kind)(payload)
+
+
+def execute_shard(shard: dict) -> dict[str, object]:
+    """Subprocess entry point: run a shard dict, return results by task id."""
+    global _CURRENT_SHARD_SEED
+    _CURRENT_SHARD_SEED = shard.get("seed")
+    try:
+        results: dict[str, object] = {}
+        for task in shard["tasks"]:
+            results[task["task_id"]] = execute_task(task["kind"], task["payload"])
+        return results
+    finally:
+        _CURRENT_SHARD_SEED = None

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..simulation.flow import CoflowSpec, FlowSpec
 from ..topology.fattree import FatTree
 from .distributions import (
@@ -149,11 +150,17 @@ class RackCoflow:
 
 
 class CoflowTraceGenerator:
-    """Seeded generator of rack-level coflow traces."""
+    """Seeded generator of rack-level coflow traces.
 
-    def __init__(self, config: WorkloadConfig) -> None:
+    The stream defaults to ``config.seed``; pass ``rng`` (anything
+    :func:`repro.rng.ensure_rng` accepts — an int, a numpy ``Generator``,
+    or a stdlib ``random.Random``) to thread an external stream instead,
+    e.g. a sweep shard's derived seed.
+    """
+
+    def __init__(self, config: WorkloadConfig, rng=None) -> None:
         self.config = config
-        self._rng = np.random.default_rng(config.seed)
+        self._rng = ensure_rng(config.seed if rng is None else rng)
 
     def generate(self) -> list[RackCoflow]:
         """One trace of ``num_coflows`` coflows over ``duration`` seconds."""

@@ -9,13 +9,21 @@ all standard in data center traffic modelling:
   the bytes — the defining property of the Facebook trace the paper
   replays).
 
-All functions take a ``numpy.random.Generator`` so that every experiment
-is reproducible from one seed.
+Every function takes an explicit RNG — anything
+:func:`repro.rng.ensure_rng` accepts: a ``numpy.random.Generator``, an
+int seed, or a stdlib :class:`random.Random` — so every experiment is
+reproducible from one seed and the sweep runner can re-execute any
+slice of a workload in any worker process.  Nothing here reads
+module-global randomness.
 """
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
+
+from ..rng import ensure_rng
 
 __all__ = [
     "exponential_gaps",
@@ -25,16 +33,21 @@ __all__ = [
     "sample_without_replacement",
 ]
 
+#: What every ``rng`` argument below accepts.
+RngLike = "np.random.Generator | int | random.Random"
 
-def exponential_gaps(rng: np.random.Generator, rate: float, n: int) -> np.ndarray:
+
+def exponential_gaps(
+    rng: np.random.Generator | int | random.Random, rate: float, n: int
+) -> np.ndarray:
     """``n`` exponential inter-arrival gaps for a Poisson process of ``rate``/s."""
     if rate <= 0:
         raise ValueError(f"arrival rate must be positive, got {rate}")
-    return rng.exponential(scale=1.0 / rate, size=n)
+    return ensure_rng(rng).exponential(scale=1.0 / rate, size=n)
 
 
 def lognormal_bytes(
-    rng: np.random.Generator,
+    rng: np.random.Generator | int | random.Random,
     median: float,
     sigma: float = 1.0,
     floor: float = 1.0,
@@ -42,12 +55,12 @@ def lognormal_bytes(
     """One log-normal size with the given median (bytes)."""
     if median <= 0:
         raise ValueError(f"median must be positive, got {median}")
-    value = float(rng.lognormal(mean=np.log(median), sigma=sigma))
+    value = float(ensure_rng(rng).lognormal(mean=np.log(median), sigma=sigma))
     return max(floor, value)
 
 
 def bounded_pareto_bytes(
-    rng: np.random.Generator,
+    rng: np.random.Generator | int | random.Random,
     low: float,
     high: float,
     alpha: float = 1.2,
@@ -59,24 +72,26 @@ def bounded_pareto_bytes(
     """
     if not 0 < low < high:
         raise ValueError(f"need 0 < low < high, got [{low}, {high}]")
-    u = float(rng.uniform())
+    u = float(ensure_rng(rng).uniform())
     la, ha = low**alpha, high**alpha
     return (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
 
 
-def categorical(rng: np.random.Generator, weights: dict[str, float]) -> str:
+def categorical(
+    rng: np.random.Generator | int | random.Random, weights: dict[str, float]
+) -> str:
     """Draw a key of ``weights`` with probability proportional to its value."""
     keys = sorted(weights)
     probs = np.array([weights[k] for k in keys], dtype=float)
     if (probs < 0).any() or probs.sum() <= 0:
         raise ValueError(f"bad category weights {weights}")
     probs = probs / probs.sum()
-    return keys[int(rng.choice(len(keys), p=probs))]
+    return keys[int(ensure_rng(rng).choice(len(keys), p=probs))]
 
 
 def sample_without_replacement(
-    rng: np.random.Generator, population: int, count: int
+    rng: np.random.Generator | int | random.Random, population: int, count: int
 ) -> list[int]:
     """``count`` distinct integers from ``range(population)``."""
     count = min(count, population)
-    return [int(x) for x in rng.choice(population, size=count, replace=False)]
+    return [int(x) for x in ensure_rng(rng).choice(population, size=count, replace=False)]

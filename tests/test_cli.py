@@ -20,6 +20,40 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """Every failure mode maps to a nonzero code, never a traceback."""
+
+    def test_invalid_library_params_exit_2(self, capsys):
+        assert main(["info", "--k", "7"]) == 2  # odd k → ValueError
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_sweep_bad_rates_exit_2(self, capsys):
+        assert main(["sweep", "--study", "fig1a", "--rates", "a,b"]) == 2
+        assert "--rates" in capsys.readouterr().err
+
+    def test_sweep_bad_replicas_exit_2(self, capsys):
+        code = main(["sweep", "--study", "availability", "--replicas", "0"])
+        assert code == 2
+
+    def test_sweep_odd_k_exit_2(self, capsys):
+        assert main(["sweep", "--study", "fig1a", "--k", "7"]) == 2
+
+    def test_unexpected_failure_exit_1(self, capsys, tmp_path):
+        # unreadable trace file → OSError inside the command body
+        assert main(["trace", "convert", "--in", str(tmp_path / "nope.json"),
+                     "--out", str(tmp_path / "out.txt")]) == 1
+        assert "error:" in capsys.readouterr().err
+
 
 class TestInfo:
     def test_info_summary(self, capsys):
@@ -107,3 +141,43 @@ class TestStudy:
         out = run(capsys, "study", "--k", "6", "--coflows", "20")
         assert "affected coflows" in out
         assert "ShareBackup recovery" in out
+
+
+class TestSweep:
+    def _base(self, tmp_path, *extra):
+        return (
+            "sweep", "--study", "fig1a", "--k", "4", "--hosts-per-edge", "4",
+            "--coflows", "12", "--duration", "4", "--samples", "1",
+            "--rates", "0.02,0.05", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"), *extra,
+        )
+
+    def test_fig1a_sweep_end_to_end(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        out = run(capsys, *self._base(tmp_path, "--journal", str(journal)))
+        assert "fat-tree" in out and "f10" in out
+        assert "sweep:" in out and "cache:" in out  # the RunSummary table
+        import json
+
+        records = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        assert records[0]["event"] == "run_start"
+        assert records[-1]["event"] == "run_finish"
+
+    def test_warm_rerun_is_all_cache_hits(self, tmp_path, capsys):
+        run(capsys, *self._base(tmp_path))
+        out = run(capsys, *self._base(tmp_path))
+        assert "(100% hit rate)" in out
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        run(capsys, *self._base(tmp_path))
+        out = run(capsys, *self._base(tmp_path, "--no-cache"))
+        assert "0 hits" in out
+
+    def test_availability_sweep(self, tmp_path, capsys):
+        out = run(
+            capsys, "sweep", "--study", "availability", "--group", "4",
+            "--spares", "1", "--years", "0.5", "--replicas", "2",
+            "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert "mean exposure probability" in out
