@@ -110,7 +110,9 @@ def test_sec51_time_domain_availability(benchmark, emit, runner):
 def test_sec51_link_failure_capacity(benchmark, emit):
     """kn link failures rooted at n switches per group: replace-both then
     exonerate-one leaves the group able to absorb repeated link failures."""
-    net = benchmark.pedantic(ShareBackupNetwork, args=(6,), kwargs={"n": 1}, rounds=1, iterations=1)
+    net = benchmark.pedantic(
+        ShareBackupNetwork, args=(6,), kwargs={"n": 1}, rounds=1, iterations=1
+    )
     ctrl = ShareBackupController(net)
     # Three successive link failures on different uplinks of pod 0, each
     # with the *aggregation* side at fault; the edge side is exonerated

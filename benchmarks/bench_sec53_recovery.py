@@ -50,7 +50,9 @@ def test_sec53_recovery_model(benchmark, emit):
     assert model.sharebackup("mems").reconfiguration == 40e-6
 
 
-@pytest.mark.parametrize("technology,reconfig", [("crosspoint", 70e-9), ("mems", 40e-6)])
+@pytest.mark.parametrize(
+    "technology,reconfig", [("crosspoint", 70e-9), ("mems", 40e-6)]
+)
 def test_live_controller_matches_model(benchmark, technology, reconfig, emit):
     net = ShareBackupNetwork(8, n=1, reconfig_latency=reconfig)
     ctrl = ShareBackupController(net, technology=technology)

@@ -60,7 +60,9 @@ def test_sec53_scalability(benchmark, emit):
 def test_builder_respects_port_limit(benchmark, emit):
     """A k=12, n=1 build fits 32-port optics with room to spare; the
     builder's reported per-side port count matches the formula."""
-    net = benchmark.pedantic(ShareBackupNetwork, args=(12,), kwargs={"n": 1}, rounds=1, iterations=1)
+    net = benchmark.pedantic(
+        ShareBackupNetwork, args=(12,), kwargs={"n": 1}, rounds=1, iterations=1
+    )
     assert net.circuit_ports_per_side == 6 + 1 + 2
     for cs in net.circuit_switches.values():
         assert cs.ports_per_side == net.circuit_ports_per_side

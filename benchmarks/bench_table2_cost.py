@@ -27,14 +27,16 @@ def render_table(k: int, n: int) -> str:
     rows = [
         ("sharebackup extra", sharebackup_extra_cost(k, n, E_DC).total,
          sharebackup_extra_cost(k, n, O_DC).total),
-        ("aspen extra", aspen_extra_cost(k, E_DC).total, aspen_extra_cost(k, O_DC).total),
+        ("aspen extra", aspen_extra_cost(k, E_DC).total,
+         aspen_extra_cost(k, O_DC).total),
         ("1:1 backup extra", one_to_one_extra_cost(k, E_DC).total,
          one_to_one_extra_cost(k, O_DC).total),
     ]
     for name, e, o in rows:
         lines.append(f"{name:<22}{e:>16,.0f}{o:>16,.0f}")
     lines.append("")
-    lines.append(f"prices: a=${E_DC.circuit_port}/{O_DC.circuit_port} per circuit port, "
+    lines.append(f"prices: a=${E_DC.circuit_port}/{O_DC.circuit_port} "
+                 f"per circuit port, "
                  f"b=${E_DC.switch_port} per switch port, "
                  f"c=${E_DC.cable}/{O_DC.cable} per cable")
     return "\n".join(lines)

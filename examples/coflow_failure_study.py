@@ -101,7 +101,8 @@ def main() -> None:
         t1, GlobalOptimalRerouteRouter(t1), specs, horizon=3600.0
     )
     sim1.fail_node_at(0.0, victim)
-    r1 = cct_slowdowns(b1, sim1.run(), affected_ids_for(FatTree(K, hosts_per_edge=HOSTS_PER_EDGE)))
+    affected1 = affected_ids_for(FatTree(K, hosts_per_edge=HOSTS_PER_EDGE))
+    r1 = cct_slowdowns(b1, sim1.run(), affected1)
     print(f"  fat-tree/global-reroute : {slowdown_digest(r1)}")
 
     # F10, local rerouting
@@ -114,7 +115,8 @@ def main() -> None:
     t2 = F10Tree(K, hosts_per_edge=HOSTS_PER_EDGE)
     sim2 = FluidSimulation(t2, F10LocalRerouteRouter(t2), specs, horizon=3600.0)
     sim2.fail_node_at(0.0, victim)
-    r2 = cct_slowdowns(b2, sim2.run(), affected_ids_for(F10Tree(K, hosts_per_edge=HOSTS_PER_EDGE)))
+    affected2 = affected_ids_for(F10Tree(K, hosts_per_edge=HOSTS_PER_EDGE))
+    r2 = cct_slowdowns(b2, sim2.run(), affected2)
     print(f"  f10/local-reroute       : {slowdown_digest(r2)}")
 
     # ShareBackup

@@ -13,7 +13,11 @@ This walks the happy path of the public API in ~60 lines:
 Run:  python examples/quickstart.py
 """
 
-from repro.core import ShareBackupNetwork, ShareBackupController, ShareBackupSimulation
+from repro.core import (
+    ShareBackupController,
+    ShareBackupNetwork,
+    ShareBackupSimulation,
+)
 from repro.simulation import CoflowSpec, FlowSpec
 from repro.workload import CoflowTraceGenerator, WorkloadConfig, materialize_hosts
 

@@ -43,7 +43,8 @@ def main() -> None:
     report = sim.reports[0]
     print(f"recovered: {dict(report.replaced)} "
           f"({report.circuit_switches_touched} circuit switches, "
-          f"+{(report.breakdown.control + report.breakdown.reconfiguration) * 1e3:.2f} ms)")
+          f"+{(report.breakdown.control + report.breakdown.reconfiguration) * 1e3:.2f}"
+          " ms)")
     print(f"\nflow outcome: finished at t={record.finish:.6f}s")
     print(f"  total stall: {record.stalled_time * 1e3:.2f} ms "
           "(detection dominates; reconfiguration is nanoseconds)")

@@ -1,0 +1,58 @@
+"""repro.checks — the repository's own static-analysis pass.
+
+The reproduction's headline guarantee — parallel sweeps bit-identical
+to the serial pipelines — rests on code conventions that no general
+linter knows about: every random draw flows through :mod:`repro.rng`,
+worker payloads are JSON-serialisable values, simulation code never
+reads the wall clock, broad exception handlers either re-raise or leave
+a journal record.  This package encodes those invariants as AST rules
+(stdlib :mod:`ast`, no third-party dependencies) and checks them
+*before* a sweep ever runs, in the spirit of ShareBackup's own
+correctness-first stance: failure handling is precomputed and verified
+offline, not discovered at failure time.
+
+Entry points:
+
+* :func:`check_paths` / :func:`check_file` / :func:`check_source` — run
+  every registered rule and return :class:`Diagnostic` records;
+* :func:`all_rules` — the registered rule set, sorted by code;
+* the ``repro lint`` CLI subcommand (see :mod:`repro.cli`).
+
+Suppressions: a line carrying ``# repro: noqa[CODE]`` (comma-separated
+codes, or ``*`` for all) silences diagnostics reported on that line.
+Every suppression is an *audited allowlist entry* — it should carry a
+justification in the surrounding comment.
+
+See ``docs/static-analysis.md`` for the rule catalogue and rationale.
+"""
+
+from __future__ import annotations
+
+from .context import FileContext, module_name_for
+from .diagnostics import Diagnostic
+from .engine import (
+    DEFAULT_TARGETS,
+    check_file,
+    check_paths,
+    check_source,
+    iter_source_files,
+)
+from .registry import Rule, all_rules, get_rule, register
+
+# Importing the rule modules registers every shipped rule.
+from .rules import determinism, exceptions, process, rng  # noqa: F401
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "Diagnostic",
+    "FileContext",
+    "Rule",
+    "all_rules",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "get_rule",
+    "iter_source_files",
+    "module_name_for",
+    "register",
+]

@@ -1,0 +1,145 @@
+"""Per-file analysis context shared by every rule.
+
+:class:`FileContext` bundles what a rule needs to judge one module: the
+parsed tree, the raw source lines, the file's dotted module path (used
+for rule scoping), an import-alias resolver, and the ``# repro:
+noqa[...]`` suppression map.
+
+The alias resolver is the piece that makes name-based rules honest: a
+call spelled through ``import numpy as np`` and one spelled through
+``from numpy import random as npr`` both resolve to the same dotted
+``numpy.random.*`` path, so a rule matches the *thing called*, not one
+spelling of it.  Resolution is deliberately
+conservative — a name that is not import-bound resolves to ``None`` and
+is never matched, so locals shadowing a module name cannot produce
+false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["FileContext", "module_name_for"]
+
+#: ``# repro: noqa[RNG001]`` / ``# repro: noqa[RNG001, EXC001]`` / ``[*]``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_*,\s]+)\]")
+
+
+def module_name_for(path: Path) -> str | None:
+    """The dotted module path of ``path``, or ``None`` outside the package.
+
+    Inferred structurally: the module path starts at the *last* directory
+    component named ``repro`` (so ``src/repro/simulation/engine.py`` is
+    ``repro.simulation.engine`` from any checkout location).  Files not
+    under a ``repro`` directory — lint fixtures, scratch scripts — get
+    ``None``, which every scoped rule treats as "apply strictly".
+    """
+    parts = path.resolve().parts
+    anchors = [i for i, part in enumerate(parts[:-1]) if part == "repro"]
+    if not anchors:
+        return None
+    names = list(parts[anchors[-1] : -1])
+    stem = Path(parts[-1]).stem
+    if stem != "__init__":
+        names.append(stem)
+    return ".".join(names)
+
+
+def _collect_aliases(tree: ast.Module, module: str | None) -> dict[str, str]:
+    """Map local names to the fully-qualified things they import."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.asname is not None:
+                    aliases[item.asname] = item.name
+                else:
+                    top = item.name.split(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                base = _resolve_relative(base, node.level, module)
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                bound = item.asname or item.name
+                aliases[bound] = f"{base}.{item.name}" if base else item.name
+    return aliases
+
+
+def _resolve_relative(base: str, level: int, module: str | None) -> str:
+    """Absolute form of a relative import, best-effort without the module."""
+    if module is None:
+        return base
+    package = module.split(".")
+    # ``from . import x`` at level 1 targets the containing package.
+    package = package[: len(package) - level] if level <= len(package) else []
+    prefix = ".".join(package)
+    if prefix and base:
+        return f"{prefix}.{base}"
+    return prefix or base
+
+
+def _collect_noqa(lines: list[str]) -> dict[int, frozenset[str]]:
+    suppressions: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _NOQA_RE.search(line)
+        if match:
+            codes = frozenset(
+                code.strip().upper()
+                for code in match.group(1).split(",")
+                if code.strip()
+            )
+            if codes:
+                suppressions[lineno] = codes
+    return suppressions
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    module: str | None = None
+    lines: list[str] = field(default_factory=list)
+    aliases: dict[str, str] = field(default_factory=dict)
+    noqa: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str = "<string>", module: str | None = None
+    ) -> FileContext:
+        """Parse ``source`` and build the full context (raises SyntaxError)."""
+        tree = ast.parse(source, filename=path)
+        lines = source.splitlines()
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            module=module,
+            lines=lines,
+            aliases=_collect_aliases(tree, module),
+            noqa=_collect_noqa(lines),
+        )
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """The dotted name ``node`` refers to, via imports, else ``None``."""
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """True when ``line`` carries a matching ``# repro: noqa[...]``."""
+        codes = self.noqa.get(line)
+        return codes is not None and (code.upper() in codes or "*" in codes)

@@ -1,0 +1,28 @@
+"""Diagnostic records emitted by the checks engine.
+
+One frozen dataclass per finding: file, position, rule code, message.
+Diagnostics sort by (path, line, column, code) so output is stable
+regardless of rule registration or file-discovery order — the same
+determinism discipline the rules themselves enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The ``path:line:col: CODE message`` form the CLI prints."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -1,0 +1,104 @@
+"""File discovery and rule execution.
+
+The engine walks the requested paths, parses each Python file once,
+runs every registered rule whose scope covers the file's module, drops
+diagnostics suppressed by ``# repro: noqa[...]`` markers, and returns
+the remainder sorted by location.  A file that does not parse yields a
+single ``SYN001`` diagnostic instead of aborting the run — the linter
+must be able to report on a broken tree, not fall over with it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from .context import FileContext, module_name_for
+from .diagnostics import Diagnostic
+from .registry import Rule, all_rules
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "SYNTAX_ERROR_CODE",
+    "iter_source_files",
+    "check_source",
+    "check_file",
+    "check_paths",
+]
+
+#: What ``repro lint`` checks when invoked with no paths.
+DEFAULT_TARGETS = ("src/repro",)
+
+#: Pseudo-rule code for files the parser rejects.
+SYNTAX_ERROR_CODE = "SYN001"
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".repro-cache"})
+
+
+def iter_source_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, deduplicated and sorted."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    seen.add(candidate)
+        else:
+            seen.add(path)
+    return sorted(seen)
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    module: str | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Diagnostic]:
+    """Run the rule set over one source string."""
+    try:
+        ctx = FileContext.from_source(source, path=path, module=module)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                code=SYNTAX_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    active = all_rules() if rules is None else list(rules)
+    diagnostics: list[Diagnostic] = []
+    for rule in active:
+        if not rule.applies_to(ctx.module):
+            continue
+        for diagnostic in rule.check(ctx):
+            if not ctx.is_suppressed(diagnostic.line, diagnostic.code):
+                diagnostics.append(diagnostic)
+    return sorted(diagnostics)
+
+
+def check_file(
+    path: str | Path, rules: Sequence[Rule] | None = None
+) -> list[Diagnostic]:
+    """Run the rule set over one file on disk."""
+    file_path = Path(path)
+    source = file_path.read_text(encoding="utf-8")
+    return check_source(
+        source,
+        path=str(file_path),
+        module=module_name_for(file_path),
+        rules=rules,
+    )
+
+
+def check_paths(
+    paths: Iterable[str | Path], rules: Sequence[Rule] | None = None
+) -> list[Diagnostic]:
+    """Run the rule set over files and directory trees."""
+    diagnostics: list[Diagnostic] = []
+    for file_path in iter_source_files(paths):
+        diagnostics.extend(check_file(file_path, rules=rules))
+    return diagnostics

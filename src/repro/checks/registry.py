@@ -1,0 +1,110 @@
+"""The rule framework: base class, registry, scoping.
+
+A rule is a class with a unique ``code`` (``ABC123`` shape), a
+human-oriented ``name`` and ``rationale``, optional module ``scope`` /
+``exempt`` prefixes, and a :meth:`Rule.check` generator over one
+:class:`~repro.checks.context.FileContext`.
+
+Scoping semantics (:meth:`Rule.applies_to`):
+
+* a file whose module is *unknown* (not under a ``repro`` package — lint
+  fixtures, scratch files) gets **every** rule: strict by default;
+* ``exempt`` prefixes always win (e.g. RNG rules never fire inside
+  :mod:`repro.rng` itself — that is where randomness is *allowed* to
+  enter);
+* a non-empty ``scope`` restricts the rule to those module prefixes
+  (e.g. determinism-hazard rules only police simulation/experiment
+  code, where wall-clock reads would poison reproducibility — the
+  runner legitimately measures wall-clock for its journal).
+"""
+
+from __future__ import annotations
+
+import abc
+import re
+from collections.abc import Iterator
+from typing import ClassVar, TypeVar
+
+from .context import FileContext
+from .diagnostics import Diagnostic
+
+__all__ = ["Rule", "register", "all_rules", "get_rule"]
+
+_CODE_RE = re.compile(r"^[A-Z]{2,6}\d{3}$")
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+R = TypeVar("R", bound="type[Rule]")
+
+
+class Rule(abc.ABC):
+    """One statically-checkable repository invariant."""
+
+    #: Unique diagnostic code, e.g. ``RNG001``.
+    code: ClassVar[str]
+    #: Short kebab-ish label, e.g. ``module-global-random``.
+    name: ClassVar[str]
+    #: Which paper-reproduction invariant the rule protects, one line.
+    rationale: ClassVar[str]
+    #: Module prefixes the rule is restricted to; empty = everywhere.
+    scope: ClassVar[tuple[str, ...]] = ()
+    #: Module prefixes the rule never fires in.
+    exempt: ClassVar[tuple[str, ...]] = ()
+
+    def applies_to(self, module: str | None) -> bool:
+        """Whether this rule should run against ``module``."""
+        if module is None:
+            return True
+        if any(_prefixed(module, stem) for stem in self.exempt):
+            return False
+        if not self.scope:
+            return True
+        return any(_prefixed(module, stem) for stem in self.scope)
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Yield a :class:`Diagnostic` per violation in ``ctx``."""
+
+    def diagnostic(
+        self, ctx: FileContext, node: "HasLocation", message: str
+    ) -> Diagnostic:
+        """A :class:`Diagnostic` for this rule at ``node``'s location."""
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+class HasLocation:
+    """Structural stand-in for AST nodes carrying lineno/col_offset."""
+
+    lineno: int
+    col_offset: int
+
+
+def _prefixed(module: str, stem: str) -> bool:
+    return module == stem or module.startswith(stem + ".")
+
+
+def register(cls: R) -> R:
+    """Class decorator adding a rule to the global registry."""
+    code = getattr(cls, "code", "")
+    if not _CODE_RE.match(code):
+        raise ValueError(f"rule code {code!r} does not match LETTERS+3digits")
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {code!r}")
+    _REGISTRY[code] = cls()
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    """The registered rule behind ``code`` (KeyError if unknown)."""
+    return _REGISTRY[code.upper()]

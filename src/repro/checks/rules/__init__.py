@@ -1,0 +1,18 @@
+"""The shipped rule set, one module per invariant family.
+
+* :mod:`.rng` — RNG discipline (RNG001, RNG002);
+* :mod:`.determinism` — wall-clock/entropy and ordering hazards in
+  simulation and experiment code (DET001, DET002, DET003);
+* :mod:`.process` — process-boundary safety in the sweep runner
+  (PROC001, PROC002);
+* :mod:`.exceptions` — exception hygiene (EXC001, EXC002).
+
+Importing a module registers its rules as a side effect of the
+``@register`` decorators.
+"""
+
+from __future__ import annotations
+
+from . import determinism, exceptions, process, rng
+
+__all__ = ["determinism", "exceptions", "process", "rng"]

@@ -1,0 +1,149 @@
+"""Determinism hazards in simulation and experiment code.
+
+The paper's figures are regenerated from cached, content-addressed
+results (``repro.runner.cache``): a task's payload is its cache key, so
+a worker that reads anything *outside* its payload — the wall clock, OS
+entropy, hash-randomised set order — poisons the cache and breaks the
+parallel == serial guarantee.  These rules police the module trees
+where that purity is load-bearing (``repro.simulation``,
+``repro.experiments``); the runner itself is exempt because measuring
+wall-clock for the journal is its job.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register
+
+__all__ = ["WallClockRead", "UnorderedSetIteration", "DictPopitem"]
+
+_SCOPE = ("repro.simulation", "repro.experiments")
+
+#: Calls that read the wall clock or OS entropy — each one makes a
+#: nominally pure worker depend on when/where it ran.
+_BANNED_CALLS = frozenset(
+    {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+        "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+        "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+        "secrets.randbelow", "secrets.choice",
+    }
+)
+
+#: Builtins whose output order mirrors their input's iteration order.
+_ORDER_SENSITIVE_BUILTINS = frozenset(
+    {"list", "tuple", "enumerate", "reversed", "iter"}
+)
+
+
+@register
+class WallClockRead(Rule):
+    """DET001: no wall-clock or OS-entropy reads in simulation code."""
+
+    code = "DET001"
+    name = "wall-clock-read"
+    rationale = (
+        "Simulation/experiment results are cached by payload; reading "
+        "the clock or OS entropy makes a result depend on when it ran, "
+        "which the cache key cannot see."
+    )
+    scope = _SCOPE
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in _BANNED_CALLS:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"call to {resolved}() in simulation/experiment code; "
+                    "simulated time and seeded draws must come from the "
+                    "payload, never the host",
+                )
+
+
+@register
+class UnorderedSetIteration(Rule):
+    """DET002: no iteration over a set feeding ordered output."""
+
+    code = "DET002"
+    name = "unordered-set-iteration"
+    rationale = (
+        "Set iteration order varies with PYTHONHASHSEED and insertion "
+        "history; any ordered output derived from it differs across "
+        "processes, so shards stop agreeing with serial runs."
+    )
+    scope = _SCOPE
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            target: ast.expr | None = None
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                target = node.iter
+            elif isinstance(node, ast.comprehension) and _is_set_expr(node.iter):
+                target = node.iter
+            elif isinstance(node, ast.Call) and _orders_a_set(node):
+                target = node
+            if target is not None:
+                yield self.diagnostic(
+                    ctx,
+                    target,
+                    "iteration over a set feeds ordered output; wrap it in "
+                    "sorted(...) to pin the order",
+                )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _orders_a_set(node: ast.Call) -> bool:
+    if not node.args or not _is_set_expr(node.args[0]):
+        return False
+    if isinstance(node.func, ast.Name):
+        return node.func.id in _ORDER_SENSITIVE_BUILTINS
+    return isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+
+
+@register
+class DictPopitem(Rule):
+    """DET003: no ``dict.popitem`` in simulation code."""
+
+    code = "DET003"
+    name = "dict-popitem"
+    rationale = (
+        "popitem() consumes entries in insertion order, which depends on "
+        "incidental code history; replays drift when entries were built "
+        "in a different order."
+    )
+    scope = _SCOPE
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "popitem"
+            ):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "dict.popitem() consumes insertion order; pop an "
+                    "explicit (e.g. sorted) key instead",
+                )

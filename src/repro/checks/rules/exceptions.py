@@ -1,0 +1,107 @@
+"""Exception hygiene: failures either propagate or leave a record.
+
+The runner's whole fault-tolerance story (retry, serial fallback,
+journal) depends on failures being *visible* — a broad handler that
+swallows an exception silently turns a reproducibility bug into a
+wrong number in a figure.  Broad handlers are still sometimes right
+(CLI boundary, GC safety nets); those carry an explicit
+``# repro: noqa[EXC001]`` so every catch-all in the tree is an audited
+decision, not an accident.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register
+
+__all__ = ["SilentBroadExcept", "BareExcept"]
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+@register
+class SilentBroadExcept(Rule):
+    """EXC001: broad handlers must re-raise or write a journal record."""
+
+    code = "EXC001"
+    name = "silent-broad-except"
+    rationale = (
+        "A swallowed failure becomes a silently-wrong figure; broad "
+        "handlers must re-raise, journal via .record(...), or carry an "
+        "audited noqa."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_name(node.type)
+            if broad is None or _handler_accounts_for_failure(node):
+                continue
+            yield self.diagnostic(
+                ctx,
+                node,
+                f"broad `except {broad}` neither re-raises nor journals; "
+                "narrow it, add a .record(...) call, or annotate "
+                "`# repro: noqa[EXC001]` with a justification",
+            )
+
+
+@register
+class BareExcept(Rule):
+    """EXC002: no bare ``except:`` clauses, anywhere, ever."""
+
+    code = "EXC002"
+    name = "bare-except"
+    rationale = (
+        "A bare except catches SystemExit/KeyboardInterrupt too, making "
+        "runs unkillable and hiding every possible failure class."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "bare `except:`; name the exception types (at most "
+                    "`except Exception`, which EXC001 then audits)",
+                )
+
+
+def _broad_name(node: ast.expr | None) -> str | None:
+    """The broad exception name in this handler's type, if any."""
+    if node is None:
+        return None  # bare except is EXC002's business
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BROAD_NAMES:
+            return candidate.id
+    return None
+
+
+def _handler_accounts_for_failure(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body re-raises or writes a journal record.
+
+    Nested function bodies are skipped — a ``raise`` inside a callback
+    defined in the handler does not execute when the handler does.
+    """
+    stack: list[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "record"
+        ):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False

@@ -1,0 +1,136 @@
+"""Process-boundary safety in the sweep runner.
+
+Shards cross the process boundary as plain dicts and come back as JSON
+payloads; worker functions are resolved *by name* inside the worker
+(``repro.runner.workers``), never pickled.  Two rules keep that
+contract honest: nothing closure-shaped goes to the executor, and task
+payloads stay JSON-serialisable — the payload is simultaneously the
+cache key, the subprocess message, and the journal record, so a value
+``json.dumps`` cannot round-trip corrupts all three.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register
+
+__all__ = ["ClosureToExecutor", "NonJsonPayload"]
+
+_SCOPE = ("repro.runner",)
+
+#: Executor methods that ship their callable argument to another process.
+_SHIP_METHODS = frozenset({"submit", "map", "apply", "apply_async"})
+
+
+@register
+class ClosureToExecutor(Rule):
+    """PROC001: no lambdas/nested functions handed to the process pool."""
+
+    code = "PROC001"
+    name = "closure-to-executor"
+    rationale = (
+        "Lambdas and nested functions cannot be pickled to a worker "
+        "process; workers are resolved by module:function name so every "
+        "start method works."
+    )
+    scope = _SCOPE
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        yield from self._visit(ctx, ctx.tree, frozenset())
+
+    def _visit(
+        self, ctx: FileContext, node: ast.AST, nested: frozenset[str]
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.Call) and _ships_callable(node):
+            for value in [*node.args, *(kw.value for kw in node.keywords)]:
+                if isinstance(value, ast.Lambda):
+                    yield self.diagnostic(
+                        ctx,
+                        value,
+                        "lambda passed to a process-pool call; pass a "
+                        "module-level function (resolved by name) instead",
+                    )
+                elif isinstance(value, ast.Name) and value.id in nested:
+                    yield self.diagnostic(
+                        ctx,
+                        value,
+                        f"nested function {value.id!r} passed to a "
+                        "process-pool call; closures cannot cross the "
+                        "process boundary",
+                    )
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = nested | {
+                    stmt.name
+                    for stmt in child.body
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                yield from self._visit(ctx, child, inner)
+            else:
+                yield from self._visit(ctx, child, nested)
+
+
+def _ships_callable(node: ast.Call) -> bool:
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in _SHIP_METHODS
+    )
+
+
+@register
+class NonJsonPayload(Rule):
+    """PROC002: task payloads hold only JSON-serialisable values."""
+
+    code = "PROC002"
+    name = "non-json-payload"
+    rationale = (
+        "A task's payload is its cache key, its subprocess message, and "
+        "its journal record at once; a non-JSON value silently corrupts "
+        "caching and replay."
+    )
+    scope = _SCOPE
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for payload in _payload_expressions(node):
+                for offender, label in _non_json_nodes(payload):
+                    yield self.diagnostic(
+                        ctx,
+                        offender,
+                        f"{label} inside a task payload; payloads must "
+                        "round-trip through json.dumps (the cache key and "
+                        "the subprocess message)",
+                    )
+
+
+def _payload_expressions(node: ast.Call) -> Iterator[ast.expr]:
+    """Expressions that become a ``Task`` payload in this call."""
+    is_task = (
+        isinstance(node.func, ast.Name)
+        and node.func.id == "Task"
+        or isinstance(node.func, ast.Attribute)
+        and node.func.attr == "Task"
+    )
+    for keyword in node.keywords:
+        if keyword.arg == "payload":
+            yield keyword.value
+    if is_task and len(node.args) >= 3:
+        yield node.args[2]
+
+
+def _non_json_nodes(payload: ast.expr) -> Iterator[tuple[ast.expr, str]]:
+    for node in ast.walk(payload):
+        if isinstance(node, ast.Lambda):
+            yield node, "lambda"
+        elif isinstance(node, (ast.Set, ast.SetComp)):
+            yield node, "set"
+        elif isinstance(node, ast.Constant) and isinstance(node.value, bytes):
+            yield node, "bytes literal"
+        elif isinstance(node, ast.Constant) and isinstance(node.value, complex):
+            yield node, "complex literal"

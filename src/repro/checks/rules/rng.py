@@ -1,0 +1,180 @@
+"""RNG discipline: every random draw must flow from an explicit seed.
+
+The sweep runner re-executes arbitrary slices of an experiment in
+arbitrary worker processes and must land on bit-identical results
+(``docs/runner.md``).  That only holds when :mod:`repro.rng` is the
+single place randomness enters the system — a module-global generator
+(stdlib ``random.*`` or legacy ``numpy.random.*``) is invisible to the
+runner's seed derivation and breaks the parallel == serial guarantee
+silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register
+
+__all__ = ["ModuleGlobalRandom", "UnseededPublicApi"]
+
+#: Stdlib ``random`` module-level functions that touch the hidden
+#: global generator (``random.Random``/``random.SystemRandom`` are
+#: classes and stay legal — instantiating one is explicit seeding).
+_STDLIB_GLOBAL_FNS = frozenset(
+    {
+        "seed", "random", "uniform", "randint", "randrange", "getrandbits",
+        "randbytes", "choice", "choices", "shuffle", "sample", "triangular",
+        "betavariate", "binomialvariate", "expovariate", "gammavariate",
+        "gauss", "lognormvariate", "normalvariate", "vonmisesvariate",
+        "paretovariate", "weibullvariate",
+    }
+)
+
+#: Call names that constitute "drawing randomness" for RNG002.
+_DRAW_TAILS = frozenset({"ensure_rng", "default_rng"})
+
+#: Parameter names that count as explicit seed threading.
+_SEED_PARAM_EXACT = frozenset({"rng", "seed"})
+_SEED_PARAM_SUFFIXES = ("_rng", "_seed")
+
+
+@register
+class ModuleGlobalRandom(Rule):
+    """RNG001: no module-global ``random.*`` / ``np.random.*`` calls."""
+
+    code = "RNG001"
+    name = "module-global-random"
+    rationale = (
+        "Module-global generators are invisible to repro.rng's seed "
+        "derivation, so parallel sweeps would stop being bit-identical "
+        "to serial runs."
+    )
+    exempt = ("repro.rng",)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved is None:
+                continue
+            message = _banned_call_message(resolved)
+            if message is not None:
+                yield self.diagnostic(ctx, node, message)
+
+
+def _banned_call_message(resolved: str) -> str | None:
+    module, _, fn = resolved.rpartition(".")
+    if module == "random" and fn in _STDLIB_GLOBAL_FNS:
+        return (
+            f"call to module-global random.{fn}(); thread an explicit "
+            "stream through repro.rng.ensure_rng instead"
+        )
+    if module in ("numpy.random", "np.random"):
+        if fn == "default_rng":
+            return (
+                "direct numpy.random.default_rng(); use "
+                "repro.rng.ensure_rng so every seed-like type stays "
+                "interoperable"
+            )
+        if fn[:1].islower():
+            return (
+                f"call to legacy module-global numpy.random.{fn}(); use a "
+                "Generator from repro.rng.ensure_rng"
+            )
+    return None
+
+
+@register
+class UnseededPublicApi(Rule):
+    """RNG002: public functions that draw randomness take ``rng``/``seed``."""
+
+    code = "RNG002"
+    name = "unseeded-public-api"
+    rationale = (
+        "A public entry point that draws randomness without accepting a "
+        "seed cannot be replayed by the runner, cached by payload, or "
+        "swept reproducibly."
+    )
+    exempt = ("repro.rng",)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for fn in _public_functions(ctx.tree):
+            if _accepts_seed(fn):
+                continue
+            for call in ast.walk(fn):
+                if isinstance(call, ast.Call) and _is_draw(ctx, call):
+                    if _threads_seed_state(call):
+                        continue
+                    yield self.diagnostic(
+                        ctx,
+                        call,
+                        f"public function {fn.name!r} draws randomness but "
+                        "declares no rng/seed parameter and threads no "
+                        "seed-bearing state",
+                    )
+
+
+def _public_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Module-level functions and class methods with a public name."""
+    containers: list[ast.Module | ast.ClassDef] = [tree]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            containers.append(node)
+    for container in containers:
+        for stmt in container.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                dunder = stmt.name.startswith("__") and stmt.name.endswith("__")
+                if dunder or not stmt.name.startswith("_"):
+                    yield stmt
+
+
+def _accepts_seed(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    params = [
+        *fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs,
+    ]
+    if fn.args.vararg is not None:
+        params.append(fn.args.vararg)
+    if fn.args.kwarg is not None:
+        params.append(fn.args.kwarg)
+    for param in params:
+        name = param.arg
+        if name in _SEED_PARAM_EXACT or name.endswith(_SEED_PARAM_SUFFIXES):
+            return True
+    return False
+
+
+def _is_draw(ctx: FileContext, call: ast.Call) -> bool:
+    resolved = ctx.resolve(call.func)
+    if resolved is None:
+        # Unresolved attribute draws like ``self._rng`` are method calls
+        # on an already-threaded generator: not a new entry of randomness.
+        return False
+    if resolved == "random.Random":
+        return True
+    return resolved.rpartition(".")[2] in _DRAW_TAILS
+
+
+def _threads_seed_state(call: ast.Call) -> bool:
+    """True when the draw's arguments carry seed/rng-named state.
+
+    ``ensure_rng(self.cfg.seed)`` inside a method is legitimate: the
+    seed was threaded in through the constructor and stored — the draw
+    is still a pure function of configuration.
+    """
+    values = list(call.args) + [kw.value for kw in call.keywords]
+    for value in values:
+        for node in ast.walk(value):
+            text: str | None = None
+            if isinstance(node, ast.Name):
+                text = node.id
+            elif isinstance(node, ast.Attribute):
+                text = node.attr
+            if text is not None and ("seed" in text or "rng" in text):
+                return True
+    return False

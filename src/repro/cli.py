@@ -15,7 +15,11 @@ Commands map onto the library's main entry points:
   availability) through the parallel runner: ``--jobs`` fans scenarios
   over a process pool, results are cached content-addressed under
   ``--cache-dir``, and ``--journal`` records every orchestration event
-  as JSONL.
+  as JSONL;
+* ``lint``      — the repository's own static-analysis pass
+  (:mod:`repro.checks`): RNG discipline, determinism hazards,
+  process-boundary safety, exception hygiene (see
+  ``docs/static-analysis.md``).
 
 The CLI is deliberately a thin shell over the public API — each command
 body doubles as usage documentation for the corresponding library calls.
@@ -122,6 +126,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="simulated years per replica (availability)")
     p_sweep.add_argument("--replicas", type=int, default=4,
                          help="independent Monte Carlo replicas (availability)")
+
+    p_lint = sub.add_parser(
+        "lint", help="repository invariant linter (repro.checks)"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to check (default: src/repro)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
 
     return parser
 
@@ -412,6 +428,48 @@ def cmd_sweep(args) -> int:
         journal.close()
 
 
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.checks import DEFAULT_TARGETS, all_rules, check_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.scope) if rule.scope else "everywhere"
+            print(f"{rule.code}  {rule.name}  [{scope}]")
+            print(f"    {rule.rationale}")
+        return 0
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [Path(target) for target in DEFAULT_TARGETS]
+        if not any(p.exists() for p in paths):
+            print(
+                "error: no paths given and none of the default targets "
+                f"({', '.join(DEFAULT_TARGETS)}) exist here; run from the "
+                "repository root or pass explicit paths",
+                file=sys.stderr,
+            )
+            return 2
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"error: no such path: {', '.join(str(p) for p in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    diagnostics = check_paths(paths)
+    for diagnostic in diagnostics:
+        print(diagnostic.render())
+    if diagnostics:
+        print(f"{len(diagnostics)} problem(s) found", file=sys.stderr)
+        return 1
+    print(f"clean: {len(paths)} target(s), {len(all_rules())} rules")
+    return 0
+
+
 _COMMANDS = {
     "info": cmd_info,
     "cost": cmd_cost,
@@ -420,6 +478,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "study": cmd_study,
     "sweep": cmd_sweep,
+    "lint": cmd_lint,
 }
 
 
@@ -440,7 +499,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         # library's constructors (odd k, bad rates, empty traces, ...).
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except Exception as exc:
+    # Audited catch-all: the CLI boundary is the one place a failure is
+    # converted to an exit code instead of propagating or journaling.
+    except Exception as exc:  # repro: noqa[EXC001]
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
 

@@ -38,7 +38,6 @@ from .impersonation import (
     edge_uplink_interface,
 )
 from .recovery import RecoveryBreakdown, RecoveryTimeModel
-from .sharebackup_ab import ShareBackupABNetwork
 from .sharebackup import (
     ShareBackupNetwork,
     backup_agg_name,
@@ -46,9 +45,10 @@ from .sharebackup import (
     backup_edge_name,
     cs_name,
 )
+from .sharebackup_ab import ShareBackupABNetwork
 from .simadapter import ShareBackupSimulation
-from .watchdog import WatchdogSimulation
 from .switchmodel import ForwardingError, PacketSwitchModel, PhysicalForwarder
+from .watchdog import WatchdogSimulation
 
 __all__ = [
     "CROSSPOINT_RECONFIG_SECONDS",

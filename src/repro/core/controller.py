@@ -138,7 +138,9 @@ class ShareBackupController:
     # node-failure recovery (§4.1)
     # ==================================================================
 
-    def handle_node_failure(self, logical_switch: str, now: float = 0.0) -> RecoveryReport:
+    def handle_node_failure(
+        self, logical_switch: str, now: float = 0.0
+    ) -> RecoveryReport:
         """Replace a dead switch with a backup from its failure group."""
         self._check_not_halted()
         group = self.net.group_of(logical_switch)
@@ -387,7 +389,9 @@ class ControllerCluster:
     what a lease-based election converges to with ordered candidates.
     """
 
-    def __init__(self, replica_ids: tuple[str, ...] = ("ctrl-0", "ctrl-1", "ctrl-2")) -> None:
+    def __init__(
+        self, replica_ids: tuple[str, ...] = ("ctrl-0", "ctrl-1", "ctrl-2")
+    ) -> None:
         if not replica_ids:
             raise ValueError("need at least one controller replica")
         self.replicas: dict[str, bool] = {r: True for r in replica_ids}

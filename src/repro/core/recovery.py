@@ -48,7 +48,10 @@ class RecoveryBreakdown:
         return self.detection + self.control + self.reconfiguration
 
     def row(self) -> tuple[str, float, float, float, float]:
-        return (self.scheme, self.detection, self.control, self.reconfiguration, self.total)
+        return (
+            self.scheme, self.detection, self.control,
+            self.reconfiguration, self.total,
+        )
 
 
 @dataclass(frozen=True)

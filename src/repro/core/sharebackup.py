@@ -184,7 +184,9 @@ class ShareBackupNetwork:
         self.circuit_switches[name] = cs
         return cs
 
-    def _splice(self, cs: CircuitSwitch, port: CSPort, device: str, iface: tuple) -> None:
+    def _splice(
+        self, cs: CircuitSwitch, port: CSPort, device: str, iface: tuple
+    ) -> None:
         cs.splice(port, ("device", (device, iface)))
         self._device_cable[(device, iface)] = _Cable(cs.name, port)
 

@@ -1,7 +1,6 @@
 """Cost analysis (paper Section 5.2): Table 2 equations and Figure 5 curves."""
 
 from .models import (
-    sharebackup_nonuniform_extra_cost,
     CostBreakdown,
     aspen_extra_cost,
     fattree_cost,
@@ -10,6 +9,7 @@ from .models import (
     relative_extra_cost,
     sharebackup_extra_cost,
     sharebackup_inventory,
+    sharebackup_nonuniform_extra_cost,
 )
 from .prices import E_DC, O_DC, PRICE_BOOKS, PriceBook
 

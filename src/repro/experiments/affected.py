@@ -205,7 +205,10 @@ class AffectedSweepStudy:
                     )
                     tasks.append(
                         PlannedEvaluation(
-                            task_id=f"affected/{kind}/{arch}/rate{rate_index}/s{sample}",
+                            task_id=(
+                                f"affected/{kind}/{arch}"
+                                f"/rate{rate_index}/s{sample}"
+                            ),
                             architecture=arch,
                             kind=kind,
                             slot="rate",

@@ -29,9 +29,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import asdict, dataclass
 
-import numpy as np
-
 from ..failures.models import DEFAULT_FAILURE_MODEL, FailureModel
+from ..rng import ensure_rng
 
 __all__ = [
     "AvailabilityResult",
@@ -87,7 +86,7 @@ def simulate_group_availability(
         raise ValueError("need group_size >= 1 and spares >= 0")
     if years <= 0:
         raise ValueError("years must be positive")
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     horizon = years * YEAR
     failure_rate = group_size / model.mtbf
 
@@ -142,7 +141,9 @@ def evaluate_availability_payload(payload: dict) -> dict:
     reproducible regardless of which shard executes it.
     """
     model = (
-        FailureModel(**payload["model"]) if "model" in payload else DEFAULT_FAILURE_MODEL
+        FailureModel(**payload["model"])
+        if "model" in payload
+        else DEFAULT_FAILURE_MODEL
     )
     result = simulate_group_availability(
         int(payload["group_size"]),

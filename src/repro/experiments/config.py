@@ -13,7 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..topology.fattree import FatTree
-from ..workload.coflow_trace import CoflowTraceGenerator, WorkloadConfig, materialize_hosts
+from ..workload.coflow_trace import (
+    CoflowTraceGenerator,
+    WorkloadConfig,
+    materialize_hosts,
+)
 
 __all__ = ["StudyConfig"]
 

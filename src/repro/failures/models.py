@@ -62,7 +62,9 @@ class FailureModel:
 
     def sample_downtime(self, rng: np.random.Generator) -> float:
         return float(
-            rng.lognormal(mean=math.log(self.median_downtime), sigma=self.downtime_sigma)
+            rng.lognormal(
+                mean=math.log(self.median_downtime), sigma=self.downtime_sigma
+            )
         )
 
     def concurrent_failure_probability(self, group_size: int, spares: int) -> float:

@@ -83,7 +83,9 @@ class Path:
     def dst(self) -> str:
         return self.nodes[-1]
 
-    def segments(self, topo: Topology, flow_label: int = 0) -> tuple[DirectedSegment, ...]:
+    def segments(
+        self, topo: Topology, flow_label: int = 0
+    ) -> tuple[DirectedSegment, ...]:
         """Resolve into directed link segments against ``topo``.
 
         Parallel links (Aspen-style duplicated wiring) are load-balanced:

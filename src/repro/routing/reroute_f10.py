@@ -57,7 +57,9 @@ class F10LocalRerouteRouter(Router):
 
     # ------------------------------------------------------------------
 
-    def initial_path(self, src_host: str, dst_host: str, flow_label: int) -> Path | None:
+    def initial_path(
+        self, src_host: str, dst_host: str, flow_label: int
+    ) -> Path | None:
         """Failure-*oblivious* ECMP pin, locally detoured if already broken.
 
         F10's defining property is that upstream switches do not learn
@@ -124,7 +126,9 @@ class F10LocalRerouteRouter(Router):
         # Unrecoverable endpoints.
         if not tree.nodes[src_edge].up or not tree.nodes[dst_edge].up:
             return None
-        if not self._hop_ok(src_host, src_edge) or not self._hop_ok(dst_edge, dst_host):
+        if not self._hop_ok(src_host, src_edge):
+            return None
+        if not self._hop_ok(dst_edge, dst_host):
             return None
 
         if len(nodes) == 5:  # intra-pod: H E A E' H'
@@ -141,9 +145,13 @@ class F10LocalRerouteRouter(Router):
                 return Path((src_host, src_edge, alt, dst_edge, dst_host))
             return None
         # A–E' failed: bounce via a sibling edge (+2 hops).
-        for mid_edge in self._pick(self._sibling_edges(agg, {src_edge, dst_edge}), label, "ib"):
-            for alt in self._pick(self._live_aggs(mid_edge, dst_edge, exclude={agg}), label, "ic"):
-                path = Path((src_host, src_edge, agg, mid_edge, alt, dst_edge, dst_host))
+        siblings = self._sibling_edges(agg, {src_edge, dst_edge})
+        for mid_edge in self._pick(siblings, label, "ib"):
+            alts = self._live_aggs(mid_edge, dst_edge, exclude={agg})
+            for alt in self._pick(alts, label, "ic"):
+                path = Path(
+                    (src_host, src_edge, agg, mid_edge, alt, dst_edge, dst_host)
+                )
                 if path.is_operational(tree):
                     return path
         return None
@@ -159,10 +167,13 @@ class F10LocalRerouteRouter(Router):
 
         if broken == 1 or agg_dead:
             # E–A failed: edge-level sibling failover, equal length.
-            for alt_agg in self._pick(self._live_aggs_of_edge(src_edge, exclude={agg}), label, "e1"):
-                for alt_core in self._pick(self._cores_reaching(alt_agg, dst_pod), label, "e2"):
+            alt_aggs = self._live_aggs_of_edge(src_edge, exclude={agg})
+            for alt_agg in self._pick(alt_aggs, label, "e1"):
+                cores = self._cores_reaching(alt_agg, dst_pod)
+                for alt_core in self._pick(cores, label, "e2"):
                     path = self._descend(
-                        (src_host, src_edge, alt_agg, alt_core), dst_pod, dst_edge, dst_host
+                        (src_host, src_edge, alt_agg, alt_core),
+                        dst_pod, dst_edge, dst_host,
                     )
                     if path is not None:
                         return path
@@ -171,9 +182,12 @@ class F10LocalRerouteRouter(Router):
         if broken == 2 or core_dead:
             # A–C failed, detected at A: bounce down-up inside the source
             # pod (A → E″ → A″ → C″), +2 hops.
-            for mid_edge in self._pick(self._sibling_edges(agg, {src_edge}), label, "a1"):
-                for alt_agg in self._pick(self._live_aggs_of_edge(mid_edge, exclude={agg}), label, "a2"):
-                    for alt_core in self._pick(self._cores_reaching(alt_agg, dst_pod), label, "a3"):
+            mid_edges = self._sibling_edges(agg, {src_edge})
+            for mid_edge in self._pick(mid_edges, label, "a1"):
+                alt_aggs = self._live_aggs_of_edge(mid_edge, exclude={agg})
+                for alt_agg in self._pick(alt_aggs, label, "a2"):
+                    cores = self._cores_reaching(alt_agg, dst_pod)
+                    for alt_core in self._pick(cores, label, "a3"):
                         path = self._descend(
                             (src_host, src_edge, agg, mid_edge, alt_agg, alt_core),
                             dst_pod,
@@ -188,12 +202,12 @@ class F10LocalRerouteRouter(Router):
             # C–A′ failed, detected at C: bounce through a third pod
             # (C → A‴ → C″), +2 hops.
             src_pod = tree.nodes[src_edge].pod
-            for third_agg in self._pick(
-                self._live_down_aggs(core, exclude_pods={src_pod, dst_pod}), label, "c1"
-            ):
-                for alt_core in self._pick(
-                    self._cores_reaching(third_agg, dst_pod, exclude={core}), label, "c2"
-                ):
+            third_aggs = self._live_down_aggs(
+                core, exclude_pods={src_pod, dst_pod}
+            )
+            for third_agg in self._pick(third_aggs, label, "c1"):
+                cores = self._cores_reaching(third_agg, dst_pod, exclude={core})
+                for alt_core in self._pick(cores, label, "c2"):
                     path = self._descend(
                         (src_host, src_edge, agg, core, third_agg, alt_core),
                         dst_pod,
@@ -206,12 +220,13 @@ class F10LocalRerouteRouter(Router):
 
         # A′–E′ failed, detected at A′: bounce via a sibling edge of the
         # destination pod (A′ → E″ → A″ → E′), +2 hops.
-        for mid_edge in self._pick(self._sibling_edges(dst_agg, {dst_edge}), label, "d1"):
-            for alt_agg in self._pick(
-                self._live_aggs(mid_edge, dst_edge, exclude={dst_agg}), label, "d2"
-            ):
+        siblings = self._sibling_edges(dst_agg, {dst_edge})
+        for mid_edge in self._pick(siblings, label, "d1"):
+            alt_aggs = self._live_aggs(mid_edge, dst_edge, exclude={dst_agg})
+            for alt_agg in self._pick(alt_aggs, label, "d2"):
                 path = Path(
-                    (src_host, src_edge, agg, core, dst_agg, mid_edge, alt_agg, dst_edge, dst_host)
+                    (src_host, src_edge, agg, core, dst_agg, mid_edge,
+                     alt_agg, dst_edge, dst_host)
                 )
                 if path.is_operational(tree):
                     return path
@@ -235,7 +250,9 @@ class F10LocalRerouteRouter(Router):
     def _hop_ok(self, a: str, b: str) -> bool:
         return bool(self.tree.operational_links_between(a, b))
 
-    def _live_aggs(self, edge_a: str, edge_b: str, exclude: set[str] = frozenset()) -> list[str]:
+    def _live_aggs(
+        self, edge_a: str, edge_b: str, exclude: set[str] = frozenset()
+    ) -> list[str]:
         """Aggregation switches with operational links to both edges."""
         tree = self.tree
         out = []
@@ -249,7 +266,9 @@ class F10LocalRerouteRouter(Router):
                 out.append(other)
         return sorted(set(out))
 
-    def _live_aggs_of_edge(self, edge: str, exclude: set[str] = frozenset()) -> list[str]:
+    def _live_aggs_of_edge(
+        self, edge: str, exclude: set[str] = frozenset()
+    ) -> list[str]:
         tree = self.tree
         return sorted(
             {

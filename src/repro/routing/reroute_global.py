@@ -41,7 +41,9 @@ class GlobalOptimalRerouteRouter(Router):
         self.tree = tree
         self.selector = EcmpSelector(tree)
 
-    def initial_path(self, src_host: str, dst_host: str, flow_label: int) -> Path | None:
+    def initial_path(
+        self, src_host: str, dst_host: str, flow_label: int
+    ) -> Path | None:
         return self.selector.select(
             src_host, dst_host, flow_label, operational_only=True
         )

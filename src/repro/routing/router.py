@@ -32,7 +32,9 @@ class Router(ABC):
     name: str = "router"
 
     @abstractmethod
-    def initial_path(self, src_host: str, dst_host: str, flow_label: int) -> Path | None:
+    def initial_path(
+        self, src_host: str, dst_host: str, flow_label: int
+    ) -> Path | None:
         """Path assigned at flow arrival (honouring current failures)."""
 
     @abstractmethod

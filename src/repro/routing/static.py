@@ -27,7 +27,9 @@ class StaticEcmpRouter(Router):
         self.tree = tree
         self.selector = EcmpSelector(tree)
 
-    def initial_path(self, src_host: str, dst_host: str, flow_label: int) -> Path | None:
+    def initial_path(
+        self, src_host: str, dst_host: str, flow_label: int
+    ) -> Path | None:
         # Placement ignores failures on purpose: the pin is the pre-failure
         # ECMP choice; the simulator will stall the flow if the path is down.
         return self.selector.select(src_host, dst_host, flow_label)

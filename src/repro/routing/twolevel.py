@@ -88,7 +88,9 @@ class TwoLevelRouting:
     # per-switch tables
     # ------------------------------------------------------------------
 
-    def edge_table(self, pod: int, edge_index: int, tagged: bool = True) -> RoutingTable:
+    def edge_table(
+        self, pod: int, edge_index: int, tagged: bool = True
+    ) -> RoutingTable:
         """Table of edge switch ``E_{pod,edge_index}``.
 
         In-bound: one untagged suffix entry per attached host delivering to

@@ -61,7 +61,7 @@ class ResultCache:
         safe_kind = kind.replace(":", "_").replace("/", "_").replace(".", "_")
         return self.root / safe_kind / key[:2] / f"{key}.json"
 
-    def get(self, kind: str, key: str):
+    def get(self, kind: str, key: str) -> object:
         """The cached result for ``key``, or :data:`MISS`."""
         path = self._path(kind, key)
         try:
@@ -76,7 +76,7 @@ class ResultCache:
                 path.unlink()
             return MISS
 
-    def put(self, kind: str, key: str, payload: dict, result) -> None:
+    def put(self, kind: str, key: str, payload: dict, result: object) -> None:
         """Store ``result`` atomically (concurrent writers both win)."""
         path = self._path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -121,10 +121,10 @@ class NullCache:
 
     root = None
 
-    def get(self, kind: str, key: str):
+    def get(self, kind: str, key: str) -> object:
         return MISS
 
-    def put(self, kind: str, key: str, payload: dict, result) -> None:
+    def put(self, kind: str, key: str, payload: dict, result: object) -> None:
         return None
 
     def __len__(self) -> int:

@@ -30,10 +30,11 @@ from __future__ import annotations
 import os
 import time
 from collections import deque
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
+    Future,
     ProcessPoolExecutor,
     wait,
 )
@@ -127,7 +128,7 @@ class SweepRunner:
         shards_per_job: int = 4,
         max_shard_size: int | None = None,
         root_seed: int = 0,
-        sleep=time.sleep,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if jobs is not None and jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
@@ -214,7 +215,12 @@ class SweepRunner:
     # serial execution (jobs=1, and the last-resort fallback)
     # ------------------------------------------------------------------
 
-    def _run_serial(self, shards, results, counters) -> None:
+    def _run_serial(
+        self,
+        shards: Sequence[Shard],
+        results: dict[str, object],
+        counters: _Counters,
+    ) -> None:
         for shard in shards:
             attempt = 0
             while True:
@@ -241,7 +247,12 @@ class SweepRunner:
                     self._backoff(shard, attempt, exc, counters)
                     attempt += 1
 
-    def _serial_fallback(self, shard: Shard, results, counters) -> None:
+    def _serial_fallback(
+        self,
+        shard: Shard,
+        results: dict[str, object],
+        counters: _Counters,
+    ) -> None:
         """Final in-process attempt for a shard the pool cannot run."""
         counters.serial_fallbacks += 1
         self.journal.record(
@@ -261,7 +272,9 @@ class SweepRunner:
                 error=repr(exc),
             )
 
-    def _backoff(self, shard: Shard, attempt: int, exc: Exception, counters) -> None:
+    def _backoff(
+        self, shard: Shard, attempt: int, exc: Exception, counters: _Counters
+    ) -> None:
         delay = self.backoff_base * (2**attempt)
         counters.retries += 1
         self.journal.record(
@@ -274,9 +287,15 @@ class SweepRunner:
     # pool execution
     # ------------------------------------------------------------------
 
-    def _run_pool(self, shards, results, counters) -> None:
+    def _run_pool(
+        self,
+        shards: Sequence[Shard],
+        results: dict[str, object],
+        counters: _Counters,
+    ) -> None:
         queue: deque[tuple[Shard, int]] = deque((s, 0) for s in shards)
-        inflight: dict = {}  # future -> (shard, attempt, submitted_at)
+        # future -> (shard, attempt, submitted_at)
+        inflight: dict[Future, tuple[Shard, int, float]] = {}
         pool = ProcessPoolExecutor(max_workers=self.jobs)
         try:
             while queue or inflight:
@@ -304,7 +323,10 @@ class SweepRunner:
                             attempt=attempt,
                             wall_clock=time.perf_counter() - t0, mode="pool",
                         )
-                    except Exception as exc:
+                    # Audited catch-all: journaling is delegated — every
+                    # path through _retry_or_fallback records the outcome
+                    # (shard_retry, shard_serial_fallback, or shard_failed).
+                    except Exception as exc:  # repro: noqa[EXC001]
                         if isinstance(exc, BrokenExecutor):
                             rebuild = True
                         self._retry_or_fallback(
@@ -342,7 +364,13 @@ class SweepRunner:
             pool.shutdown(wait=False, cancel_futures=True)
 
     def _retry_or_fallback(
-        self, shard, attempt, exc, queue, results, counters
+        self,
+        shard: Shard,
+        attempt: int,
+        exc: Exception,
+        queue: deque[tuple[Shard, int]],
+        results: dict[str, object],
+        counters: _Counters,
     ) -> None:
         if attempt < self.max_retries:
             self._backoff(shard, attempt, exc, counters)

@@ -23,7 +23,9 @@ import contextlib
 import json
 import time
 from collections import Counter
+from collections.abc import Callable
 from pathlib import Path
+from typing import IO
 
 __all__ = ["EVENTS", "RunJournal"]
 
@@ -48,7 +50,7 @@ class RunJournal:
     def __init__(
         self,
         path: str | Path | None = None,
-        clock=time.time,
+        clock: Callable[[], float] = time.time,
         keep_events: bool = True,
     ) -> None:
         self.path = Path(path) if path is not None else None
@@ -56,12 +58,12 @@ class RunJournal:
         self.events: list[dict] = []
         self._keep_events = keep_events
         self._clock = clock
-        self._fh = None
+        self._fh: IO[str] | None = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = self.path.open("a", encoding="utf-8")
 
-    def record(self, event: str, **fields) -> dict:
+    def record(self, event: str, **fields: object) -> dict:
         """Append one event; returns the record written."""
         if event not in EVENTS:
             raise ValueError(f"unknown journal event {event!r}")
@@ -82,7 +84,7 @@ class RunJournal:
     def __enter__(self) -> "RunJournal":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net

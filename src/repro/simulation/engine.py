@@ -218,7 +218,9 @@ class FluidSimulation:
             next_event = self.queue.peek_time()
             candidates = [t for t in (next_completion, next_event) if t is not None]
             if self.horizon is not None:
-                candidates = [min(t, self.horizon) for t in candidates] or [self.horizon]
+                candidates = [min(t, self.horizon) for t in candidates] or [
+                    self.horizon
+                ]
             if not candidates:
                 break  # nothing active, nothing scheduled: simulation done
             target = min(candidates)

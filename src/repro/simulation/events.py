@@ -61,7 +61,9 @@ class EventQueue:
         self._heap: list[Event] = []
         self._seq = itertools.count()
 
-    def schedule(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+    def schedule(
+        self, time: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
         event = Event(time, next(self._seq), action, label)
         heapq.heappush(self._heap, event)
         return event

@@ -97,7 +97,9 @@ class FlowState:
     last_nodes: Optional[tuple[str, ...]] = None
     _stall_began: Optional[float] = None
 
-    def assign_path(self, path: Optional[Path], segments: tuple[DirectedSegment, ...]) -> None:
+    def assign_path(
+        self, path: Optional[Path], segments: tuple[DirectedSegment, ...]
+    ) -> None:
         self.path = path
         self.segments = segments if path is not None else ()
         if path is not None:

@@ -58,7 +58,9 @@ class OneToOneBackupTree(Topology):
         name: str | None = None,
     ) -> None:
         super().__init__(name or f"one-to-one-k{k}")
-        self.base = FatTree(k, hosts_per_edge=hosts_per_edge, link_capacity=link_capacity)
+        self.base = FatTree(
+            k, hosts_per_edge=hosts_per_edge, link_capacity=link_capacity
+        )
         self.k = k
         self.half = k // 2
         self.link_capacity = link_capacity
@@ -93,14 +95,20 @@ class OneToOneBackupTree(Topology):
             a_kind = base.nodes[link.a].kind
             b_kind = base.nodes[link.b].kind
             if a_kind is NodeKind.HOST or b_kind is NodeKind.HOST:
-                host, sw = (link.a, link.b) if a_kind is NodeKind.HOST else (link.b, link.a)
+                host, sw = (
+                    (link.a, link.b)
+                    if a_kind is NodeKind.HOST
+                    else (link.b, link.a)
+                )
                 self.add_link(host, sw, self.link_capacity)
                 self.add_link(host, shadow_name(sw), self.link_capacity)
             else:
                 self.add_link(link.a, link.b, self.link_capacity)
                 self.add_link(link.a, shadow_name(link.b), self.link_capacity)
                 self.add_link(shadow_name(link.a), link.b, self.link_capacity)
-                self.add_link(shadow_name(link.a), shadow_name(link.b), self.link_capacity)
+                self.add_link(
+                    shadow_name(link.a), shadow_name(link.b), self.link_capacity
+                )
 
     # ------------------------------------------------------------------
     # failover semantics

@@ -107,7 +107,10 @@ def validate_fattree(tree: FatTree, allow_parallel: bool = False) -> dict[str, i
 
     _require(len(edges) == k * half, f"expected {k * half} edges, got {len(edges)}")
     _require(len(aggs) == k * half, f"expected {k * half} aggs, got {len(aggs)}")
-    _require(len(cores) == half * half, f"expected {half * half} cores, got {len(cores)}")
+    _require(
+        len(cores) == half * half,
+        f"expected {half * half} cores, got {len(cores)}",
+    )
     _require(
         len(hosts) == k * half * tree.hosts_per_edge,
         f"expected {k * half * tree.hosts_per_edge} hosts, got {len(hosts)}",

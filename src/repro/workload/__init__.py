@@ -12,19 +12,19 @@ from .coflow_trace import (
     materialize_hosts,
     partition_trace,
 )
-from .traceio import (
-    TraceFormatError,
-    load_coflow_benchmark,
-    load_trace,
-    save_coflow_benchmark,
-    save_trace,
-)
 from .distributions import (
     bounded_pareto_bytes,
     categorical,
     exponential_gaps,
     lognormal_bytes,
     sample_without_replacement,
+)
+from .traceio import (
+    TraceFormatError,
+    load_coflow_benchmark,
+    load_trace,
+    save_coflow_benchmark,
+    save_trace,
 )
 
 __all__ = [

@@ -94,4 +94,5 @@ def sample_without_replacement(
 ) -> list[int]:
     """``count`` distinct integers from ``range(population)``."""
     count = min(count, population)
-    return [int(x) for x in ensure_rng(rng).choice(population, size=count, replace=False)]
+    draws = ensure_rng(rng).choice(population, size=count, replace=False)
+    return [int(x) for x in draws]

@@ -182,7 +182,9 @@ class TestCircuitSwitchPolicy:
         cs = sb6.circuit_switches["CS.2.0.0"]
         ctrl.handle_link_failure(("E.0.0", ("up", 0)), ("A.0.0", ("down", 0)), now=0.0)
         try:
-            ctrl.handle_link_failure(("E.0.1", ("up", 0)), ("A.0.1", ("down", 0)), now=0.1)
+            ctrl.handle_link_failure(
+                ("E.0.1", ("up", 0)), ("A.0.1", ("down", 0)), now=0.1
+            )
         except HumanInterventionRequired:
             pass
         assert ctrl.halted

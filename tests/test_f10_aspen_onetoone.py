@@ -8,8 +8,8 @@ from repro.topology import (
     F10Tree,
     NodeKind,
     OneToOneBackupTree,
-    shadow_name,
     is_shadow,
+    shadow_name,
     validate_fattree,
 )
 

@@ -141,7 +141,9 @@ class TestCctSlowdownPipeline:
         # Flows arriving after the failure are pinned straight onto their
         # detour, so dilation shows as final_hops beyond the 6-hop optimum.
         dilated = [
-            r for r in res.flows.values() if r.final_hops is not None and r.final_hops > 6
+            r
+            for r in res.flows.values()
+            if r.final_hops is not None and r.final_hops > 6
         ]
         affected = affected_by_scenario(F10Tree(8, hosts_per_edge=8), specs, scenario)
         if affected.flows_affected:

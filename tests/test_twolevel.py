@@ -53,8 +53,16 @@ class TestTableShapes:
         r = TwoLevelRouting(ft4)
         t0 = r.edge_table(0, 0, tagged=False)
         t1 = r.edge_table(0, 1, tagged=False)
-        out0 = {(e.suffix, e.port) for e in t0.suffix_entries if e.port.startswith("up")}
-        out1 = {(e.suffix, e.port) for e in t1.suffix_entries if e.port.startswith("up")}
+        out0 = {
+            (e.suffix, e.port)
+            for e in t0.suffix_entries
+            if e.port.startswith("up")
+        }
+        out1 = {
+            (e.suffix, e.port)
+            for e in t1.suffix_entries
+            if e.port.startswith("up")
+        }
         assert out0 != out1
 
     def test_edge_inbound_shared_across_pod(self, ft4):
@@ -62,7 +70,11 @@ class TestTableShapes:
         r = TwoLevelRouting(ft4)
         def inbound(e):
             t = r.edge_table(0, e)
-            return {(x.suffix, x.port) for x in t.suffix_entries if x.port.startswith("host")}
+            return {
+                (x.suffix, x.port)
+                for x in t.suffix_entries
+                if x.port.startswith("host")
+            }
         assert inbound(0) == inbound(1)
 
     def test_agg_table_shared_and_sized(self, ft6):

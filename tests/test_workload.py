@@ -52,7 +52,10 @@ class TestDistributions:
 
     def test_bounded_pareto_heavy_tailed(self):
         # analytic mean/median ratio for alpha=1.2 bounded at 1e10 is ~2.8
-        vals = [bounded_pareto_bytes(self.rng, 1e6, 1e10, alpha=1.2) for _ in range(5000)]
+        vals = [
+            bounded_pareto_bytes(self.rng, 1e6, 1e10, alpha=1.2)
+            for _ in range(5000)
+        ]
         assert np.mean(vals) > 2 * np.median(vals)  # elephants dominate bytes
 
     def test_bounded_pareto_rejects_bad_range(self):
@@ -147,7 +150,9 @@ class TestMaterialization:
     def test_hosts_bound_to_right_racks(self):
         tree = FatTree(8)
         trace = CoflowTraceGenerator(
-            WorkloadConfig(num_racks=tree.num_racks, num_coflows=50, duration=50, seed=1)
+            WorkloadConfig(
+                num_racks=tree.num_racks, num_coflows=50, duration=50, seed=1
+            )
         ).generate()
         specs = materialize_hosts(trace, tree)
         by_id = {f.flow_id: f for c in trace for f in c.flows}
@@ -160,7 +165,9 @@ class TestMaterialization:
     def test_round_robin_spreads_hosts(self):
         tree = FatTree(8)
         trace = CoflowTraceGenerator(
-            WorkloadConfig(num_racks=tree.num_racks, num_coflows=200, duration=50, seed=2)
+            WorkloadConfig(
+                num_racks=tree.num_racks, num_coflows=200, duration=50, seed=2
+            )
         ).generate()
         specs = materialize_hosts(trace, tree)
         hosts_used = {f.src for c in specs for f in c.flows}
@@ -177,7 +184,9 @@ class TestMaterialization:
     def test_sizes_preserved(self):
         tree = FatTree(8)
         trace = CoflowTraceGenerator(
-            WorkloadConfig(num_racks=tree.num_racks, num_coflows=40, duration=50, seed=4)
+            WorkloadConfig(
+                num_racks=tree.num_racks, num_coflows=40, duration=50, seed=4
+            )
         ).generate()
         specs = materialize_hosts(trace, tree)
         assert sum(f.size_bytes for c in specs for f in c.flows) == pytest.approx(

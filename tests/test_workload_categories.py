@@ -27,7 +27,9 @@ class TestCustomCategories:
 
     def test_widths_capped_by_rack_count(self):
         huge = (
-            CoflowCategory("huge", 1.0, mappers=(50, 50), reducers=(50, 50), short=True),
+            CoflowCategory(
+                "huge", 1.0, mappers=(50, 50), reducers=(50, 50), short=True
+            ),
         )
         cfg = WorkloadConfig(
             num_racks=10, num_coflows=10, duration=5, seed=2, categories=huge
