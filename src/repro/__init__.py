@@ -22,6 +22,10 @@ Package map:
   (plan → evaluate → aggregate).
 * :mod:`repro.runner` — parallel scenario-sweep orchestration: result
   caching, fault tolerance, and a JSONL run journal (``docs/runner.md``).
+* :mod:`repro.chaos` — control-plane fault injection: seeded chaos
+  campaigns against the recovery machinery itself (``docs/chaos.md``).
+* :mod:`repro.retry` — the shared :class:`~repro.retry.RetryPolicy`
+  used by the sweep runner and the controller's circuit retries.
 * :mod:`repro.rng` — explicit seed plumbing (``ensure_rng``,
   ``derive_seed``); the single place randomness enters the system.
 
@@ -39,10 +43,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "chaos",
     "core",
     "cost",
     "experiments",
     "failures",
+    "retry",
     "rng",
     "routing",
     "runner",

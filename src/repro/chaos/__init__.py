@@ -1,0 +1,59 @@
+"""Control-plane fault injection for the recovery system itself.
+
+Ordinary failure experiments (:mod:`repro.experiments`) kill data-plane
+switches and watch ShareBackup recover.  This package attacks the
+machinery *doing* the recovering — circuit switches that jam, reject, or
+reboot mid-failover; backup pools drained to exhaustion; controller
+replicas crashing between detection and reconfiguration; heartbeats that
+go missing without a failure — and checks that the controller's
+degradation ladder (retry → alternate spare → global rerouting; see
+:mod:`repro.core.degradation`) keeps traffic flowing instead of raising
+:class:`~repro.core.controller.HumanInterventionRequired`.
+
+Layout:
+
+* :mod:`~repro.chaos.faults` — the fault vocabulary and seeded schedule
+  generation;
+* :mod:`~repro.chaos.harness` — one scenario: full recovery stack +
+  fault schedule → :class:`~repro.chaos.harness.ScenarioOutcome`;
+* :mod:`~repro.chaos.campaign` — N scenarios through the parallel
+  runner, aggregate stats, and the byte-reproducible campaign journal.
+
+CLI: ``repro chaos`` (see ``repro chaos --help``; ``--smoke`` runs the
+small maximally-hostile campaign CI gates on).
+"""
+
+from .campaign import (
+    CAMPAIGN_EVENTS,
+    CampaignOutcome,
+    CampaignStats,
+    ChaosCampaignConfig,
+    evaluate_chaos_payload,
+    run_chaos_campaign,
+    write_campaign_journal,
+)
+from .faults import FAULT_KINDS, ChaosFault, FaultSchedule, generate_schedule
+from .harness import (
+    ChaosHarness,
+    ChaosScenarioConfig,
+    ScenarioOutcome,
+    run_scenario,
+)
+
+__all__ = [
+    "CAMPAIGN_EVENTS",
+    "FAULT_KINDS",
+    "CampaignOutcome",
+    "CampaignStats",
+    "ChaosCampaignConfig",
+    "ChaosFault",
+    "ChaosHarness",
+    "ChaosScenarioConfig",
+    "FaultSchedule",
+    "ScenarioOutcome",
+    "evaluate_chaos_payload",
+    "generate_schedule",
+    "run_chaos_campaign",
+    "run_scenario",
+    "write_campaign_journal",
+]

@@ -1,0 +1,247 @@
+"""Seeded chaos campaigns over the parallel runner.
+
+A campaign is ``N`` independent scenarios, each with its own derived
+seed (:func:`repro.rng.derive_seed`), fanned out as ordinary
+:class:`repro.runner.shards.Task` objects through a
+:class:`~repro.runner.executor.SweepRunner` — so chaos rides the same
+caching, fault tolerance, and journaling as the paper's sweeps, and a
+warm re-run of a campaign touches zero simulations.
+
+Besides the runner's own orchestration journal, a campaign writes its
+*campaign journal*: one ``campaign_start`` record, one
+``campaign_scenario`` record per scenario (in index order), one
+``campaign_finish`` record with the aggregate stats.  Every field is a
+pure function of the campaign config, and the timestamps come from a
+deterministic counter — so two runs of the same campaign produce
+byte-identical journals, which is the reproducibility contract the
+chaos tests pin.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..rng import derive_seed
+from ..runner.executor import RunResult, SweepRunner
+from ..runner.journal import RunJournal
+from ..runner.shards import Task
+from ..runner.summary import RunSummary
+from .harness import ChaosScenarioConfig, ScenarioOutcome, run_scenario
+
+__all__ = [
+    "CAMPAIGN_EVENTS",
+    "ChaosCampaignConfig",
+    "CampaignStats",
+    "CampaignOutcome",
+    "evaluate_chaos_payload",
+    "run_chaos_campaign",
+    "write_campaign_journal",
+]
+
+#: Campaign-journal vocabulary, layered on the runner's via
+#: ``RunJournal(extra_events=...)``.
+CAMPAIGN_EVENTS: tuple[str, ...] = (
+    "campaign_start",
+    "campaign_scenario",
+    "campaign_finish",
+)
+
+
+def evaluate_chaos_payload(payload: dict) -> dict:
+    """Worker entry point (the ``"chaos"`` alias in ``WORKERS``)."""
+    config = ChaosScenarioConfig.from_payload(payload)
+    return run_scenario(config).to_dict()
+
+
+@dataclass(frozen=True)
+class ChaosCampaignConfig:
+    """Sizing of one campaign: N scenarios on a (k, n) network."""
+
+    k: int = 6
+    n: int = 1
+    scenarios: int = 8
+    seed: int = 0
+    duration: float = 4.0
+    num_coflows: int = 12
+    profile: str = "mixed"
+    horizon: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.scenarios < 1:
+            raise ValueError(f"need at least one scenario, got {self.scenarios}")
+
+    def scenario_config(self, index: int) -> ChaosScenarioConfig:
+        return ChaosScenarioConfig(
+            k=self.k,
+            n=self.n,
+            seed=derive_seed(self.seed, "chaos", index),
+            duration=self.duration,
+            num_coflows=self.num_coflows,
+            profile=self.profile,
+            horizon=self.horizon,
+        )
+
+    def tasks(self) -> list[Task]:
+        return [
+            Task(
+                f"chaos/{index}/k{self.k}-n{self.n}-{self.profile}",
+                "chaos",
+                self.scenario_config(index).payload(),
+            )
+            for index in range(self.scenarios)
+        ]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "k": self.k,
+            "n": self.n,
+            "scenarios": self.scenarios,
+            "seed": self.seed,
+            "duration": self.duration,
+            "num_coflows": self.num_coflows,
+            "profile": self.profile,
+            "horizon": self.horizon,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignStats:
+    """Aggregate survival / degradation / MTTR statistics."""
+
+    scenarios: int
+    survived: int
+    human_interventions: int
+    traffic_routed: int
+    recovered: int
+    rerouted: int
+    stranded: int
+    retries: int
+    failovers: int  # controller-replica elections beyond the initial one
+    detections: int
+    mttr_mean: float
+    mttr_max: float
+
+    @property
+    def survival_rate(self) -> float:
+        return self.survived / self.scenarios if self.scenarios else 0.0
+
+    @property
+    def traffic_routed_rate(self) -> float:
+        return self.traffic_routed / self.scenarios if self.scenarios else 0.0
+
+    @classmethod
+    def from_outcomes(cls, outcomes: list[ScenarioOutcome]) -> "CampaignStats":
+        mttrs = [o.mttr_mean for o in outcomes if o.recovered]
+        return cls(
+            scenarios=len(outcomes),
+            survived=sum(1 for o in outcomes if o.survived),
+            human_interventions=sum(
+                1 for o in outcomes if o.human_intervention
+            ),
+            traffic_routed=sum(1 for o in outcomes if o.all_traffic_routed),
+            recovered=sum(o.recovered for o in outcomes),
+            rerouted=sum(o.rerouted for o in outcomes),
+            stranded=sum(o.stranded for o in outcomes),
+            retries=sum(o.retries for o in outcomes),
+            failovers=sum(max(0, o.elections - 1) for o in outcomes),
+            detections=sum(o.detections for o in outcomes),
+            mttr_mean=sum(mttrs) / len(mttrs) if mttrs else 0.0,
+            mttr_max=max((o.mttr_max for o in outcomes), default=0.0),
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "scenarios": self.scenarios,
+            "survived": self.survived,
+            "human_interventions": self.human_interventions,
+            "traffic_routed": self.traffic_routed,
+            "recovered": self.recovered,
+            "rerouted": self.rerouted,
+            "stranded": self.stranded,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "detections": self.detections,
+            "mttr_mean": self.mttr_mean,
+            "mttr_max": self.mttr_max,
+        }
+
+    def table(self) -> str:
+        lines = [
+            f"chaos campaign: {self.scenarios} scenarios",
+            f"  survived (no human intervention): {self.survived}/"
+            f"{self.scenarios} ({self.survival_rate:.0%})",
+            f"  all traffic routed at end:        {self.traffic_routed}/"
+            f"{self.scenarios} ({self.traffic_routed_rate:.0%})",
+            f"  recoveries: {self.recovered} via backup, "
+            f"{self.rerouted} degraded to rerouting, "
+            f"{self.stranded} stranded",
+            f"  circuit-reconfig retries: {self.retries}   "
+            f"controller failovers: {self.failovers}   "
+            f"detections: {self.detections}",
+            f"  MTTR mean {self.mttr_mean * 1e3:.3f} ms, "
+            f"max {self.mttr_max * 1e3:.3f} ms",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """Per-scenario outcomes + campaign stats + runner orchestration."""
+
+    config: ChaosCampaignConfig
+    outcomes: tuple[ScenarioOutcome, ...]
+    stats: CampaignStats
+    summary: RunSummary
+
+
+def write_campaign_journal(
+    path: str | Path,
+    config: ChaosCampaignConfig,
+    outcomes: list[ScenarioOutcome],
+    stats: CampaignStats,
+) -> None:
+    """Write the deterministic campaign journal (see module docstring).
+
+    ``ts`` is a plain record counter, not wall-clock time: campaign
+    journals must be byte-identical across runs of the same seed, and
+    real timestamps are the one field that never is.  The runner's own
+    journal (wall-clock, cache hits) remains available separately via
+    ``SweepRunner(journal=...)``.
+    """
+    counter = itertools.count()
+    with RunJournal(
+        path,
+        clock=lambda: float(next(counter)),
+        keep_events=False,
+        extra_events=CAMPAIGN_EVENTS,
+    ) as journal:
+        journal.record("campaign_start", **config.to_dict())
+        for index, outcome in enumerate(outcomes):
+            journal.record("campaign_scenario", index=index, **outcome.to_dict())
+        journal.record("campaign_finish", **stats.to_dict())
+
+
+def run_chaos_campaign(
+    config: ChaosCampaignConfig,
+    runner: SweepRunner | None = None,
+    journal_path: str | Path | None = None,
+) -> CampaignOutcome:
+    """Run every scenario of ``config`` through the parallel runner."""
+    tasks = config.tasks()
+    runner = runner if runner is not None else SweepRunner()
+    run: RunResult = runner.run(tasks)
+    outcomes = [
+        ScenarioOutcome.from_dict(run.results[task.task_id])  # type: ignore[arg-type]
+        for task in tasks
+    ]
+    stats = CampaignStats.from_outcomes(outcomes)
+    if journal_path is not None:
+        write_campaign_journal(journal_path, config, outcomes, stats)
+    return CampaignOutcome(
+        config=config,
+        outcomes=tuple(outcomes),
+        stats=stats,
+        summary=run.summary,
+    )

@@ -1,0 +1,241 @@
+"""Control-plane fault vocabulary and randomized schedule generation.
+
+Ordinary failure studies (:mod:`repro.experiments`) perturb the *data
+plane* — switches and links die, ShareBackup recovers.  Chaos campaigns
+perturb the *recovery system itself*: the circuit switches, the backup
+pools, the controller replicas, and the keep-alive channel the watchdog
+depends on.  Each perturbation is one :class:`ChaosFault`; a scenario is
+a :class:`FaultSchedule` — a seed plus a time-ordered fault list, fully
+JSON-serialisable so it can ride a :class:`repro.runner.shards.Task`
+payload (and therefore be the cache key of its own result).
+
+Fault kinds (all targets are names in the scenario's
+:class:`~repro.core.sharebackup.ShareBackupNetwork`):
+
+* ``silent-node-failure`` — the *workload*: a packet switch dies
+  silently (the watchdog must detect it).  Target: a logical switch.
+* ``stuck-crosspoint`` — hardware: the crosspoints wired to the first
+  ``count`` idle spares of the groups served by the target circuit
+  switch jam; failover through that switch onto those spares fails (a
+  reboot does not unjam them).  Target: a circuit switch.
+* ``transient-reconfig`` — the next ``count`` reconfiguration requests
+  to the target circuit switch fail, then it behaves again (the case the
+  controller's retry policy exists for).  Target: a circuit switch.
+* ``cs-reboot`` — the target circuit switch crashes (configuration
+  wiped) at ``time`` and finishes rebooting ``duration`` later, when the
+  controller re-pushes its intended configuration (paper §5.1).
+* ``pool-drain`` — ``count`` spares of the target failure group are
+  pulled from the pool (maintenance / latent faults), steering the
+  scenario toward backup exhaustion.  Target: a failure group.
+* ``controller-crash`` — the primary controller replica dies
+  mid-operation; the cluster elects a successor (which re-snapshots
+  circuit intent).  With ``duration`` > 0 the replica is restored later.
+* ``heartbeat-loss`` — keep-alives from a healthy switch are lost for
+  ``duration`` seconds; a loss outliving the miss threshold triggers a
+  spurious failover.  Target: a logical switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.sharebackup import ShareBackupNetwork
+from ..rng import ensure_rng
+
+__all__ = ["FAULT_KINDS", "ChaosFault", "FaultSchedule", "generate_schedule"]
+
+FAULT_KINDS: tuple[str, ...] = (
+    "silent-node-failure",
+    "stuck-crosspoint",
+    "transient-reconfig",
+    "cs-reboot",
+    "pool-drain",
+    "controller-crash",
+    "heartbeat-loss",
+)
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One scheduled perturbation of the recovery system."""
+
+    time: float
+    kind: str
+    target: str
+    count: int = 1
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time}")
+        if self.count < 1:
+            raise ValueError(f"fault count must be >= 1, got {self.count}")
+        if self.duration < 0:
+            raise ValueError(f"fault duration must be >= 0, got {self.duration}")
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "target": self.target,
+            "count": self.count,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "ChaosFault":
+        return cls(
+            time=float(data["time"]),  # type: ignore[arg-type]
+            kind=str(data["kind"]),
+            target=str(data["target"]),
+            count=int(data["count"]),  # type: ignore[call-overload]
+            duration=float(data["duration"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """One scenario's worth of faults, ordered by injection time."""
+
+    seed: int
+    faults: tuple[ChaosFault, ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.faults, key=lambda f: (f.time, f.kind, f.target))
+        )
+        object.__setattr__(self, "faults", ordered)
+
+    def kinds(self) -> tuple[str, ...]:
+        return tuple(sorted({f.kind for f in self.faults}))
+
+    def to_dict(self) -> dict[str, object]:
+        return {"seed": self.seed, "faults": [f.to_dict() for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "FaultSchedule":
+        faults = data["faults"]
+        assert isinstance(faults, list)
+        return cls(
+            seed=int(data["seed"]),  # type: ignore[call-overload]
+            faults=tuple(ChaosFault.from_dict(f) for f in faults),
+        )
+
+
+def generate_schedule(
+    k: int,
+    n: int,
+    seed: int,
+    duration: float = 4.0,
+    profile: str = "mixed",
+) -> FaultSchedule:
+    """A randomized, reproducible fault schedule for a ``(k, n)`` network.
+
+    The draw is a pure function of ``seed`` (:func:`repro.rng.ensure_rng`
+    discipline), so the same seed always yields byte-identical schedules
+    — the determinism the campaign journal is tested against.
+
+    Profiles:
+
+    * ``"mixed"`` — 1–3 silent node failures plus an independent coin
+      flip per control-plane fault kind (the default campaign diet);
+    * ``"recovery-storm"`` — silent failures only, several in quick
+      succession (stresses pool sharing, not the control plane);
+    * ``"control-plane"`` — every control-plane fault kind once, plus
+      two silent failures (maximally hostile; the smoke profile).
+
+    Silent failures target aggregation and core switches only: an edge
+    switch is every downstream host's single point of attachment, so a
+    dead edge slot makes traffic unroutable for *any* scheme and would
+    conflate "the ladder stranded traffic" with "the topology did".
+    """
+    if profile not in ("mixed", "recovery-storm", "control-plane"):
+        raise ValueError(f"unknown chaos profile {profile!r}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    rng = ensure_rng(seed)
+    net = ShareBackupNetwork(k, n)
+
+    tree = net.logical
+    victims = [
+        name for pod in range(k) for name in tree.agg_switches(pod)
+    ] + list(tree.core_switches())
+    cs_names = sorted(net.circuit_switches)
+    group_ids = sorted(net.groups)
+
+    def draw_time(lo: float = 0.05, hi: float = 0.75) -> float:
+        return round(float(rng.uniform(lo * duration, hi * duration)), 6)
+
+    def pick(names: list[str]) -> str:
+        return names[int(rng.integers(0, len(names)))]
+
+    faults: list[ChaosFault] = []
+
+    if profile == "recovery-storm":
+        num_failures = int(rng.integers(2, 5))
+    elif profile == "control-plane":
+        num_failures = 2
+    else:
+        num_failures = int(rng.integers(1, 4))
+    num_failures = min(num_failures, len(victims))
+    chosen = rng.choice(len(victims), size=num_failures, replace=False)
+    for index in sorted(int(i) for i in chosen):
+        faults.append(
+            ChaosFault(draw_time(), "silent-node-failure", victims[index])
+        )
+
+    def flip(probability: float) -> bool:
+        if profile == "control-plane":
+            return True
+        if profile == "recovery-storm":
+            return False
+        return bool(rng.uniform(0.0, 1.0) < probability)
+
+    # The control-plane menu.  Draws happen unconditionally so every
+    # profile consumes the same stream — schedules with different
+    # profiles but one seed stay comparable fault-by-fault.
+    stuck_time, stuck_cs = draw_time(0.0, 0.3), pick(cs_names)
+    if flip(0.5):
+        faults.append(ChaosFault(stuck_time, "stuck-crosspoint", stuck_cs))
+
+    trans_time, trans_cs = draw_time(0.0, 0.3), pick(cs_names)
+    trans_count = int(rng.integers(1, 4))
+    if flip(0.5):
+        faults.append(
+            ChaosFault(
+                trans_time, "transient-reconfig", trans_cs, count=trans_count
+            )
+        )
+
+    reboot_time, reboot_cs = draw_time(0.1, 0.5), pick(cs_names)
+    reboot_duration = round(float(rng.uniform(0.2, 0.6)), 6)
+    if flip(0.35):
+        faults.append(
+            ChaosFault(
+                reboot_time, "cs-reboot", reboot_cs, duration=reboot_duration
+            )
+        )
+
+    drain_time, drain_group = draw_time(0.0, 0.2), pick(group_ids)
+    drain_count = int(rng.integers(1, n + 1))
+    if flip(0.5):
+        faults.append(
+            ChaosFault(drain_time, "pool-drain", drain_group, count=drain_count)
+        )
+
+    crash_time = draw_time(0.1, 0.6)
+    if flip(0.5):
+        faults.append(ChaosFault(crash_time, "controller-crash", "primary"))
+
+    hb_time, hb_victim = draw_time(0.1, 0.6), pick(victims)
+    hb_duration = round(float(rng.uniform(0.001, 0.02)), 6)
+    if flip(0.35):
+        faults.append(
+            ChaosFault(
+                hb_time, "heartbeat-loss", hb_victim, duration=hb_duration
+            )
+        )
+
+    return FaultSchedule(seed=seed, faults=tuple(faults))

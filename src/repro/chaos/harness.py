@@ -1,0 +1,349 @@
+"""One chaos scenario, end to end.
+
+:class:`ChaosHarness` assembles the full recovery stack — a
+:class:`~repro.core.sharebackup.ShareBackupNetwork`, a
+:class:`~repro.core.controller.ShareBackupController` running with
+graceful degradation on, a :class:`~repro.core.controller.ControllerCluster`,
+and a :class:`~repro.core.watchdog.WatchdogSimulation` replaying a
+seeded coflow trace — then injects a :class:`~repro.chaos.faults.FaultSchedule`
+into it and distils the run into a JSON-safe :class:`ScenarioOutcome`.
+
+The scenario *survives* when no :class:`HumanInterventionRequired`
+escapes: every failure was handled by some rung of the degradation
+ladder.  ``all_traffic_routed`` additionally demands that at the end of
+the run every flow either completed or holds an operational path — i.e.
+degraded slots really were absorbed by global rerouting rather than
+stranding traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.circuit_switch import CircuitSwitch, CircuitSwitchError
+from ..core.controller import (
+    ControllerCluster,
+    HumanInterventionRequired,
+    ShareBackupController,
+)
+from ..core.sharebackup import ShareBackupNetwork
+from ..core.watchdog import WatchdogSimulation
+from ..rng import derive_seed
+from ..simulation.engine import FluidSimulation
+from ..workload.coflow_trace import (
+    CoflowTraceGenerator,
+    WorkloadConfig,
+    materialize_hosts,
+)
+from .faults import ChaosFault, FaultSchedule, generate_schedule
+
+__all__ = ["ChaosScenarioConfig", "ScenarioOutcome", "ChaosHarness", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class ChaosScenarioConfig:
+    """Everything one scenario needs; the payload is the cache key."""
+
+    k: int = 6
+    n: int = 1
+    seed: int = 0
+    duration: float = 4.0
+    num_coflows: int = 12
+    profile: str = "mixed"
+    horizon: float | None = None
+
+    def payload(self) -> dict[str, object]:
+        return {
+            "k": self.k,
+            "n": self.n,
+            "seed": self.seed,
+            "duration": self.duration,
+            "num_coflows": self.num_coflows,
+            "profile": self.profile,
+            "horizon": self.horizon,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, object]) -> "ChaosScenarioConfig":
+        horizon = payload.get("horizon")
+        return cls(
+            k=int(payload["k"]),  # type: ignore[call-overload]
+            n=int(payload["n"]),  # type: ignore[call-overload]
+            seed=int(payload["seed"]),  # type: ignore[call-overload]
+            duration=float(payload["duration"]),  # type: ignore[arg-type]
+            num_coflows=int(payload["num_coflows"]),  # type: ignore[call-overload]
+            profile=str(payload["profile"]),
+            horizon=(
+                None if horizon is None else float(horizon)  # type: ignore[arg-type]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """The distilled, JSON-safe result of one chaos scenario."""
+
+    seed: int
+    survived: bool
+    all_traffic_routed: bool
+    coflows: int
+    coflows_completed: int
+    flows: int
+    flows_completed: int
+    recovered: int
+    rerouted: int
+    stranded: int
+    detections: int
+    elections: int
+    retries: int
+    mttr_mean: float
+    mttr_max: float
+    fault_kinds: tuple[str, ...] = ()
+    degradations: tuple[dict, ...] = field(default_factory=tuple)
+
+    @property
+    def human_intervention(self) -> bool:
+        return not self.survived
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "seed": self.seed,
+            "survived": self.survived,
+            "all_traffic_routed": self.all_traffic_routed,
+            "coflows": self.coflows,
+            "coflows_completed": self.coflows_completed,
+            "flows": self.flows,
+            "flows_completed": self.flows_completed,
+            "recovered": self.recovered,
+            "rerouted": self.rerouted,
+            "stranded": self.stranded,
+            "detections": self.detections,
+            "elections": self.elections,
+            "retries": self.retries,
+            "mttr_mean": self.mttr_mean,
+            "mttr_max": self.mttr_max,
+            "fault_kinds": list(self.fault_kinds),
+            "degradations": [dict(d) for d in self.degradations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "ScenarioOutcome":
+        fault_kinds = data.get("fault_kinds", [])
+        degradations = data.get("degradations", [])
+        assert isinstance(fault_kinds, (list, tuple))
+        assert isinstance(degradations, (list, tuple))
+        return cls(
+            seed=int(data["seed"]),  # type: ignore[call-overload]
+            survived=bool(data["survived"]),
+            all_traffic_routed=bool(data["all_traffic_routed"]),
+            coflows=int(data["coflows"]),  # type: ignore[call-overload]
+            coflows_completed=int(
+                data["coflows_completed"]  # type: ignore[call-overload]
+            ),
+            flows=int(data["flows"]),  # type: ignore[call-overload]
+            flows_completed=int(data["flows_completed"]),  # type: ignore[call-overload]
+            recovered=int(data["recovered"]),  # type: ignore[call-overload]
+            rerouted=int(data["rerouted"]),  # type: ignore[call-overload]
+            stranded=int(data["stranded"]),  # type: ignore[call-overload]
+            detections=int(data["detections"]),  # type: ignore[call-overload]
+            elections=int(data["elections"]),  # type: ignore[call-overload]
+            retries=int(data["retries"]),  # type: ignore[call-overload]
+            mttr_mean=float(data["mttr_mean"]),  # type: ignore[arg-type]
+            mttr_max=float(data["mttr_max"]),  # type: ignore[arg-type]
+            fault_kinds=tuple(str(k) for k in fault_kinds),
+            degradations=tuple(dict(d) for d in degradations),
+        )
+
+
+class ChaosHarness:
+    """Builds the recovery stack and injects one fault schedule into it."""
+
+    def __init__(
+        self,
+        config: ChaosScenarioConfig,
+        schedule: FaultSchedule | None = None,
+    ) -> None:
+        self.config = config
+        self.schedule = schedule or generate_schedule(
+            config.k,
+            config.n,
+            derive_seed(config.seed, "schedule"),
+            duration=config.duration,
+            profile=config.profile,
+        )
+        self.net = ShareBackupNetwork(config.k, config.n)
+        self.controller = ShareBackupController(
+            self.net,
+            degrade_to_reroute=True,
+            rng=derive_seed(config.seed, "controller"),
+        )
+        # Attaching the controller snapshots circuit intent at the first
+        # election — the cs-reboot fault depends on that.
+        self.cluster = ControllerCluster(controller=self.controller)
+        wcfg = WorkloadConfig(
+            num_racks=self.net.logical.num_racks,
+            num_coflows=config.num_coflows,
+            duration=config.duration,
+            seed=derive_seed(config.seed, "trace"),
+        )
+        specs = materialize_hosts(
+            CoflowTraceGenerator(wcfg).generate(), self.net.logical
+        )
+        self.sim = WatchdogSimulation(
+            self.net, specs, controller=self.controller, horizon=config.horizon
+        )
+        for fault in self.schedule.faults:
+            self._install(fault)
+
+    # ------------------------------------------------------------------
+    # fault installers
+    # ------------------------------------------------------------------
+
+    def _install(self, fault: ChaosFault) -> None:
+        installer = {
+            "silent-node-failure": self._install_silent_failure,
+            "stuck-crosspoint": self._install_stuck_crosspoint,
+            "transient-reconfig": self._install_transient_reconfig,
+            "cs-reboot": self._install_cs_reboot,
+            "pool-drain": self._install_pool_drain,
+            "controller-crash": self._install_controller_crash,
+            "heartbeat-loss": self._install_heartbeat_loss,
+        }[fault.kind]
+        installer(fault)
+
+    def _install_silent_failure(self, fault: ChaosFault) -> None:
+        self.sim.inject_silent_switch_failure(fault.time, fault.target)
+
+    def _install_heartbeat_loss(self, fault: ChaosFault) -> None:
+        self.sim.inject_heartbeat_loss(fault.time, fault.target, fault.duration)
+
+    def _install_stuck_crosspoint(self, fault: ChaosFault) -> None:
+        def jam(sim: FluidSimulation) -> None:
+            cs = self.net.circuit_switches[fault.target]
+            jammed = 0
+            for group in self.net.groups.values():
+                for spare in list(group.spares):
+                    ports = cs.ports_of_device(spare)
+                    if ports:
+                        cs.stuck_ports.update(ports)
+                        jammed += 1
+                        if jammed >= fault.count:
+                            return
+
+        self.sim.sim.schedule_action(
+            fault.time, jam, label=f"chaos-stuck:{fault.target}"
+        )
+
+    def _install_transient_reconfig(self, fault: ChaosFault) -> None:
+        budget = {"remaining": fault.count}
+
+        def injector(cs: CircuitSwitch, changes: dict) -> None:
+            if budget["remaining"] > 0:
+                budget["remaining"] -= 1
+                raise CircuitSwitchError(
+                    f"{cs.name}: injected transient reconfiguration failure "
+                    f"({budget['remaining']} more to come)"
+                )
+
+        def arm(sim: FluidSimulation) -> None:
+            self.net.circuit_switches[fault.target].fault_injector = injector
+
+        self.sim.sim.schedule_action(
+            fault.time, arm, label=f"chaos-transient:{fault.target}"
+        )
+
+    def _install_cs_reboot(self, fault: ChaosFault) -> None:
+        def crash(sim: FluidSimulation) -> None:
+            self.net.circuit_switches[fault.target].crash()
+
+        def reboot(sim: FluidSimulation) -> None:
+            self.controller.circuit_switch_rebooted(
+                fault.target, now=sim.clock.now
+            )
+
+        self.sim.sim.schedule_action(
+            fault.time, crash, label=f"chaos-cs-crash:{fault.target}"
+        )
+        self.sim.sim.schedule_action(
+            fault.time + max(fault.duration, 1e-6),
+            reboot,
+            label=f"chaos-cs-reboot:{fault.target}",
+        )
+
+    def _install_pool_drain(self, fault: ChaosFault) -> None:
+        def drain(sim: FluidSimulation) -> None:
+            group = self.net.groups[fault.target]
+            for _ in range(min(fault.count, len(group.spares))):
+                spare = group.spares.pop()
+                group.offline.add(spare)
+                self.net.physical_health[spare] = False
+
+        self.sim.sim.schedule_action(
+            fault.time, drain, label=f"chaos-pool-drain:{fault.target}"
+        )
+
+    def _install_controller_crash(self, fault: ChaosFault) -> None:
+        def crash(sim: FluidSimulation) -> None:
+            failed = self.cluster.fail_primary()
+            if failed is not None and fault.duration > 0:
+                sim.schedule_action(
+                    sim.clock.now + fault.duration,
+                    lambda s: self.cluster.restore_replica(failed),
+                    label=f"chaos-ctrl-restore:{failed}",
+                )
+
+        self.sim.sim.schedule_action(
+            fault.time, crash, label="chaos-ctrl-crash"
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ScenarioOutcome:
+        survived = True
+        try:
+            result = self.sim.run()
+        except HumanInterventionRequired:
+            survived = False
+            result = self.sim.sim._build_result()
+
+        flows = list(result.flows.values())
+        recovered = sum(1 for r in self.sim.reports if r.fully_recovered)
+        rerouted = sum(len(r.degraded) for r in self.sim.reports)
+        stranded = sum(
+            len(r.unrecoverable) - len(r.degraded) for r in self.sim.reports
+        )
+        mttrs = [
+            r.recovery_time for r in self.sim.reports if r.fully_recovered
+        ]
+        return ScenarioOutcome(
+            seed=self.config.seed,
+            survived=survived,
+            all_traffic_routed=all(
+                rec.completed or rec.final_hops is not None for rec in flows
+            ),
+            coflows=len(result.coflows),
+            coflows_completed=sum(
+                1 for c in result.coflows.values() if c.completed
+            ),
+            flows=len(flows),
+            flows_completed=sum(1 for rec in flows if rec.completed),
+            recovered=recovered,
+            rerouted=rerouted,
+            stranded=stranded,
+            detections=len(self.sim.detections),
+            elections=self.cluster.elections,
+            retries=sum(d.retries for d in self.controller.degradations),
+            mttr_mean=sum(mttrs) / len(mttrs) if mttrs else 0.0,
+            mttr_max=max(mttrs) if mttrs else 0.0,
+            fault_kinds=self.schedule.kinds(),
+            degradations=tuple(
+                d.to_dict() for d in self.controller.degradations
+            ),
+        )
+
+
+def run_scenario(
+    config: ChaosScenarioConfig, schedule: FaultSchedule | None = None
+) -> ScenarioOutcome:
+    """Build the stack, inject the faults, run to completion."""
+    return ChaosHarness(config, schedule=schedule).run()

@@ -40,7 +40,13 @@ from .engine import (
 from .registry import Rule, all_rules, get_rule, register
 
 # Importing the rule modules registers every shipped rule.
-from .rules import determinism, exceptions, process, rng  # noqa: F401
+from .rules import (  # noqa: F401
+    controlplane,
+    determinism,
+    exceptions,
+    process,
+    rng,
+)
 
 __all__ = [
     "DEFAULT_TARGETS",

@@ -5,7 +5,10 @@
   simulation and experiment code (DET001, DET002, DET003);
 * :mod:`.process` — process-boundary safety in the sweep runner
   (PROC001, PROC002);
-* :mod:`.exceptions` — exception hygiene (EXC001, EXC002).
+* :mod:`.exceptions` — exception hygiene (EXC001, EXC002);
+* :mod:`.controlplane` — control-plane discipline: circuit-switch
+  mutations flow through the controller's retry/degradation wrapper
+  (CHS001).
 
 Importing a module registers its rules as a side effect of the
 ``@register`` decorators.
@@ -13,6 +16,6 @@ Importing a module registers its rules as a side effect of the
 
 from __future__ import annotations
 
-from . import determinism, exceptions, process, rng
+from . import controlplane, determinism, exceptions, process, rng
 
-__all__ = ["determinism", "exceptions", "process", "rng"]
+__all__ = ["controlplane", "determinism", "exceptions", "process", "rng"]

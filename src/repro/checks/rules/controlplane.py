@@ -1,0 +1,97 @@
+"""Control-plane discipline: circuit mutations go through the controller.
+
+The degradation ladder (:mod:`repro.core.degradation`) only protects
+recoveries that flow through :class:`~repro.core.controller.
+ShareBackupController` — its retry policy, alternate-spare fallback, and
+audit trail all live in ``_assign_backup``.  A call that rewires a
+circuit switch directly (``reconfigure``/``connect``/...) or drives a
+raw ``failover`` from outside :mod:`repro.core` silently bypasses every
+rung of that ladder: no retries, no degradation record, and a transient
+circuit-switch fault escalates straight to
+:class:`~repro.core.controller.HumanInterventionRequired`.
+
+Chaos injection deliberately does *not* need these calls — faults are
+installed through the dedicated hooks (``stuck_ports``,
+``fault_injector``, ``crash()``), which model hardware misbehaving, not
+software reconfiguring.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register
+
+__all__ = ["DirectCircuitMutation"]
+
+#: Method names that rewire circuits and are specific enough to flag on
+#: any receiver.
+_ALWAYS_FLAGGED = frozenset({"reconfigure", "validate_reconfigure", "failover"})
+
+#: Generic-sounding mutators, flagged only when the receiver looks like
+#: a circuit switch (to spare unrelated ``connect``/``disconnect`` APIs).
+_CS_ONLY_FLAGGED = frozenset({"connect", "disconnect", "splice"})
+
+#: Receiver-name stems that mark a circuit-switch-shaped object.
+_CS_STEMS = ("cs", "circuit", "crossbar")
+
+
+@register
+class DirectCircuitMutation(Rule):
+    """CHS001: circuit-switch mutations outside repro.core."""
+
+    code = "CHS001"
+    name = "direct-circuit-mutation"
+    rationale = (
+        "Circuit reconfiguration outside repro.core bypasses the "
+        "controller's retry policy and degradation ladder; a transient "
+        "fault then halts recovery instead of degrading gracefully."
+    )
+    exempt = ("repro.core",)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in _ALWAYS_FLAGGED:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"direct circuit-switch mutation .{func.attr}() outside "
+                    "repro.core; go through ShareBackupController "
+                    "(handle_node_failure / handle_link_failure) so the "
+                    "retry policy and degradation ladder apply",
+                )
+            elif func.attr in _CS_ONLY_FLAGGED and _looks_like_cs(func.value):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"direct circuit-switch mutation .{func.attr}() on a "
+                    "circuit-switch receiver outside repro.core; circuit "
+                    "wiring changes must flow through the controller",
+                )
+
+
+def _looks_like_cs(receiver: ast.expr) -> bool:
+    """Whether ``receiver`` is plausibly a circuit switch.
+
+    Matches a terminal identifier containing a circuit-switch stem
+    (``cs``, ``circuit``, ``crossbar``) and subscripts of such names —
+    the ``net.circuit_switches[name]`` shape.
+    """
+    if isinstance(receiver, ast.Subscript):
+        return _looks_like_cs(receiver.value)
+    if isinstance(receiver, ast.Attribute):
+        name = receiver.attr
+    elif isinstance(receiver, ast.Name):
+        name = receiver.id
+    else:
+        return False
+    lowered = name.lower()
+    return any(stem in lowered for stem in _CS_STEMS)

@@ -16,6 +16,13 @@ Commands map onto the library's main entry points:
   over a process pool, results are cached content-addressed under
   ``--cache-dir``, and ``--journal`` records every orchestration event
   as JSONL;
+* ``chaos``     — seeded control-plane chaos campaigns
+  (:mod:`repro.chaos`): N randomized fault schedules attacking the
+  recovery system itself (circuit switches, backup pools, controller
+  replicas, heartbeats), run through the parallel runner, with
+  survival/degradation/MTTR statistics and an optional byte-reproducible
+  campaign journal; ``--smoke`` is the small maximally-hostile campaign
+  CI gates on;
 * ``lint``      — the repository's own static-analysis pass
   (:mod:`repro.checks`): RNG discipline, determinism hazards,
   process-boundary safety, exception hygiene (see
@@ -126,6 +133,38 @@ def build_parser() -> argparse.ArgumentParser:
                          help="simulated years per replica (availability)")
     p_sweep.add_argument("--replicas", type=int, default=4,
                          help="independent Monte Carlo replicas (availability)")
+
+    p_chaos = sub.add_parser(
+        "chaos", help="control-plane chaos campaigns (repro.chaos)"
+    )
+    p_chaos.add_argument("--k", type=int, default=6)
+    p_chaos.add_argument("--n", type=int, default=1,
+                         help="backups per failure group")
+    p_chaos.add_argument("--scenarios", type=int, default=8,
+                         help="independent fault schedules per campaign")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="campaign root seed (scenario seeds derive "
+                              "from it)")
+    p_chaos.add_argument("--duration", type=float, default=4.0,
+                         help="workload duration per scenario (seconds)")
+    p_chaos.add_argument("--coflows", type=int, default=12)
+    p_chaos.add_argument("--profile",
+                         choices=("mixed", "recovery-storm", "control-plane"),
+                         default="mixed",
+                         help="fault-schedule profile")
+    p_chaos.add_argument("--smoke", action="store_true",
+                         help="small fixed maximally-hostile campaign "
+                              "(overrides sizing flags; the CI gate)")
+    p_chaos.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: CPUs, capped at 8; "
+                              "1 = serial)")
+    p_chaos.add_argument("--no-cache", action="store_true",
+                         help="bypass the result cache entirely")
+    p_chaos.add_argument("--cache-dir", default=".repro-cache",
+                         help="result-cache directory")
+    p_chaos.add_argument("--journal", default=None, metavar="PATH",
+                         help="write the deterministic campaign journal "
+                              "(JSONL) to PATH")
 
     p_lint = sub.add_parser(
         "lint", help="repository invariant linter (repro.checks)"
@@ -428,6 +467,48 @@ def cmd_sweep(args) -> int:
         journal.close()
 
 
+def cmd_chaos(args) -> int:
+    from repro.chaos import ChaosCampaignConfig, run_chaos_campaign
+    from repro.runner import NullCache, ResultCache, SweepRunner
+
+    if args.smoke:
+        # The CI gate: small, fast, and maximally hostile — every
+        # control-plane fault kind fires in every scenario.
+        config = ChaosCampaignConfig(
+            k=6, n=1, scenarios=2, seed=7, duration=2.0,
+            num_coflows=8, profile="control-plane",
+        )
+    else:
+        config = ChaosCampaignConfig(
+            k=args.k,
+            n=args.n,
+            scenarios=args.scenarios,
+            seed=args.seed,
+            duration=args.duration,
+            num_coflows=args.coflows,
+            profile=args.profile,
+        )
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache=NullCache() if args.no_cache else ResultCache(args.cache_dir),
+    )
+    outcome = run_chaos_campaign(
+        config, runner=runner, journal_path=args.journal
+    )
+    for index, scenario in enumerate(outcome.outcomes):
+        verdict = "ok" if scenario.survived else "HUMAN INTERVENTION"
+        routed = "routed" if scenario.all_traffic_routed else "STRANDED"
+        print(f"  scenario {index}: {verdict:>18}  traffic {routed:>8}  "
+              f"faults [{', '.join(scenario.fault_kinds)}]  "
+              f"recovered {scenario.recovered}  rerouted {scenario.rerouted}  "
+              f"retries {scenario.retries}")
+    print(outcome.stats.table())
+    print(outcome.summary.table())
+    if args.journal:
+        print(f"campaign journal: {args.journal}")
+    return 0 if outcome.stats.human_interventions == 0 else 1
+
+
 def cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -478,6 +559,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "study": cmd_study,
     "sweep": cmd_sweep,
+    "chaos": cmd_chaos,
     "lint": cmd_lint,
 }
 

@@ -8,6 +8,8 @@ The pieces, mapped to the paper's sections:
 * :mod:`~repro.core.failure_group` — backup-sharing bookkeeping (§3, §5.1).
 * :mod:`~repro.core.controller` — detection & recovery control plane (§4.1),
   circuit-switch failure policy and controller replication (§5.1).
+* :mod:`~repro.core.degradation` — the audit trail of the controller's
+  degradation ladder (retry → alternate spare → global rerouting).
 * :mod:`~repro.core.diagnosis` — offline failure diagnosis (§4.2).
 * :mod:`~repro.core.impersonation` — combined VLAN routing tables (§4.3).
 * :mod:`~repro.core.switchmodel` — the forwarding plane over the physical
@@ -23,11 +25,13 @@ from .circuit_switch import (
     CircuitSwitchError,
 )
 from .controller import (
+    DEFAULT_CONTROLLER_RETRY,
     ControllerCluster,
     HumanInterventionRequired,
     RecoveryReport,
     ShareBackupController,
 )
+from .degradation import DegradationReport, DegradationStep
 from .diagnosis import FailureDiagnosis, InterfaceVerdict, LinkDiagnosis, ProbeOutcome
 from .failure_group import FailureGroup, GroupLayer, NoBackupAvailable
 from .impersonation import (
@@ -55,7 +59,10 @@ __all__ = [
     "CircuitSwitch",
     "CircuitSwitchError",
     "ControllerCluster",
+    "DEFAULT_CONTROLLER_RETRY",
     "DEFAULT_TCAM_CAPACITY",
+    "DegradationReport",
+    "DegradationStep",
     "FailureDiagnosis",
     "FailureGroup",
     "ForwardingError",

@@ -25,6 +25,7 @@ moves when a backup switch comes online.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -74,6 +75,17 @@ class CircuitSwitch:
     _cables: dict[CSPort, Endpoint] = field(default_factory=dict, repr=False)
     _mapping: dict[CSPort, CSPort] = field(default_factory=dict, repr=False)
     reconfigurations: int = 0
+    #: Crosspoints that can no longer move (hardware fault): any
+    #: reconfiguration touching one of these ports fails.  Chaos
+    #: injection sets this; a reboot does *not* clear it.
+    stuck_ports: set[CSPort] = field(default_factory=set, repr=False)
+    #: Optional chaos hook consulted once per reconfiguration request,
+    #: before anything is applied.  It may raise
+    #: :class:`CircuitSwitchError` (a transient reconfiguration failure)
+    #: or flip ``self.up`` to False (a crash mid-recovery).
+    fault_injector: Optional[Callable[["CircuitSwitch", dict], None]] = field(
+        default=None, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.up_radix is None:
@@ -129,6 +141,14 @@ class CircuitSwitch:
                 return port
         return None
 
+    def ports_of_device(self, device: str) -> list[CSPort]:
+        """Every port whose cable lands on ``device`` (any interface)."""
+        return [
+            port
+            for port, (kind, payload) in self._cables.items()
+            if kind == "device" and payload[0] == device
+        ]
+
     # ------------------------------------------------------------------
     # internal configuration
     # ------------------------------------------------------------------
@@ -159,15 +179,62 @@ class CircuitSwitch:
         self._check_port(port)
         return self._mapping.get(port)
 
-    def reconfigure(self, changes: dict[CSPort, Optional[CSPort]]) -> float:
+    def validate_reconfigure(self, changes: dict[CSPort, Optional[CSPort]]) -> None:
+        """Raise exactly as :meth:`reconfigure` would, changing nothing.
+
+        This is the *prepare* half of the controller's two-phase failover:
+        every circuit switch of a failure group is validated before any of
+        them is touched, so a stuck crosspoint, a down switch, or an
+        injected transient fault aborts the whole failover cleanly instead
+        of leaving the group half rewired.  The chaos fault injector is
+        consulted here (once per reconfiguration request).
+        """
+        if not self.up:
+            raise CircuitSwitchError(f"{self.name} is down; cannot reconfigure")
+        for port, peer in changes.items():
+            self._check_port(port)
+            if peer is not None:
+                self._check_port(peer)
+        if self.fault_injector is not None:
+            self.fault_injector(self, dict(changes))
+            if not self.up:
+                raise CircuitSwitchError(
+                    f"{self.name} went down during reconfiguration"
+                )
+        touched = set(changes) | {p for p in changes.values() if p is not None}
+        stuck = sorted(touched & self.stuck_ports)
+        if stuck:
+            raise CircuitSwitchError(
+                f"{self.name}: crosspoint stuck at port(s) {stuck}"
+            )
+
+    def crash(self) -> None:
+        """Power loss: the switch goes down and its configuration is wiped
+        (a rebooted circuit switch must re-learn its intent from the
+        controller — paper §5.1)."""
+        self.up = False
+        self._mapping.clear()
+
+    def reconfigure(
+        self,
+        changes: dict[CSPort, Optional[CSPort]],
+        preflighted: bool = False,
+    ) -> float:
         """Apply a batch of circuit changes atomically; returns latency.
 
         ``{port: new_peer}`` — ``None`` tears the port's circuit down.
         Every mentioned port is first disconnected, then the new pairs are
         made, so swaps need no careful ordering by the caller.
+
+        ``preflighted=True`` skips :meth:`validate_reconfigure` — for
+        callers (the two-phase failover) that just validated the batch and
+        must not consult the fault injector a second time.
         """
-        if not self.up:
-            raise CircuitSwitchError(f"{self.name} is down; cannot reconfigure")
+        if preflighted:
+            if not self.up:
+                raise CircuitSwitchError(f"{self.name} is down; cannot reconfigure")
+        else:
+            self.validate_reconfigure(changes)
         for port in list(changes):
             self._check_port(port)
             self.disconnect(port)

@@ -22,7 +22,17 @@ Responsibilities, mirroring the paper:
   controller halts automatic recovery and requests human intervention;
   a rebooted circuit switch gets its intended configuration re-pushed.
 * **Controller replication** (§5.1): a small cluster with primary
-  election is modelled by :class:`ControllerCluster`.
+  election is modelled by :class:`ControllerCluster`; a newly elected
+  primary re-snapshots the intended circuit configurations so it never
+  inherits a stale intent from the crashed primary.
+* **Graceful degradation** (chaos hardening, F10-style cascaded
+  fallbacks): circuit-switch operations are retried per
+  :class:`~repro.retry.RetryPolicy`; a spare whose wiring keeps failing
+  is skipped for the next idle spare; and when no backup is workable the
+  slot is handed to global optimal rerouting instead of stranding
+  traffic (``degrade_to_reroute=True``).  Every walk down that ladder
+  is recorded as an auditable
+  :class:`~repro.core.degradation.DegradationReport`.
 
 Every recovery returns a :class:`RecoveryReport` carrying the latency
 breakdown from :mod:`repro.core.recovery`, so control-plane behaviour
@@ -31,9 +41,18 @@ and the paper's timing claims are tested against the same code path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
 
+from ..retry import RetryPolicy
+from ..rng import ensure_rng
+
+if TYPE_CHECKING:
+    import random
+
+    import numpy as np
+from .circuit_switch import CircuitSwitchError
+from .degradation import DegradationReport, DegradationStep
 from .diagnosis import FailureDiagnosis, LinkDiagnosis
 from .failure_group import NoBackupAvailable
 from .recovery import RecoveryBreakdown, RecoveryTimeModel
@@ -44,7 +63,15 @@ __all__ = [
     "HumanInterventionRequired",
     "ShareBackupController",
     "ControllerCluster",
+    "DEFAULT_CONTROLLER_RETRY",
 ]
+
+#: Circuit-switch operations are control messages plus a crosspoint write;
+#: retries back off in sub-millisecond steps of *simulated* time (the
+#: delay is charged to the recovery latency, never slept).
+DEFAULT_CONTROLLER_RETRY = RetryPolicy(
+    max_retries=2, backoff_base=2e-4, backoff_factor=2.0
+)
 
 
 class HumanInterventionRequired(Exception):
@@ -60,6 +87,10 @@ class RecoveryReport:
     circuit_switches_touched: int
     breakdown: RecoveryBreakdown
     unrecoverable: tuple[str, ...] = ()  # slots with no spare left
+    #: The subset of ``unrecoverable`` slots handed to global optimal
+    #: rerouting (``degrade_to_reroute``): traffic keeps flowing on the
+    #: surviving fat-tree paths, at rerouting's convergence cost.
+    degraded: tuple[str, ...] = ()
 
     @property
     def recovery_time(self) -> float:
@@ -89,6 +120,9 @@ class ShareBackupController:
         miss_threshold: int = 3,
         cs_report_threshold: int = 4,
         cs_report_window: float = 1.0,
+        retry_policy: RetryPolicy | None = None,
+        degrade_to_reroute: bool = False,
+        rng: "int | random.Random | np.random.Generator | None" = 0,
     ) -> None:
         self.net = net
         self.timing = timing or RecoveryTimeModel()
@@ -96,6 +130,17 @@ class ShareBackupController:
         self.miss_threshold = miss_threshold
         self.cs_report_threshold = cs_report_threshold
         self.cs_report_window = cs_report_window
+        self.retry_policy = retry_policy or DEFAULT_CONTROLLER_RETRY
+        #: When True, a slot with no workable backup degrades to global
+        #: optimal rerouting instead of stranding traffic, and a halted
+        #: controller skips backup assignment rather than raising
+        #: :class:`HumanInterventionRequired` (which becomes last resort,
+        #: reachable only by disabling degradation).  Default False: the
+        #: paper's §4 behaviour, pinned by the legacy tests.
+        self.degrade_to_reroute = degrade_to_reroute
+        self._rng = ensure_rng(rng)
+        #: Audit trail: one report per recovery that left the fast path.
+        self.degradations: list[DegradationReport] = []
 
         self.halted = False
         self.diagnosis = FailureDiagnosis(net)
@@ -141,37 +186,63 @@ class ShareBackupController:
     def handle_node_failure(
         self, logical_switch: str, now: float = 0.0
     ) -> RecoveryReport:
-        """Replace a dead switch with a backup from its failure group."""
-        self._check_not_halted()
+        """Replace a dead switch with a backup from its failure group.
+
+        Walks the degradation ladder (:mod:`repro.core.degradation`):
+        assign a spare with retried circuit reconfiguration, try the next
+        idle spare when one's wiring keeps failing, and — with
+        ``degrade_to_reroute`` — hand the slot to global rerouting rather
+        than stranding traffic.
+        """
+        halted = self._halt_blocks_backup()
         group = self.net.group_of(logical_switch)
         failed_physical = group.physical_of(logical_switch)
         self.net.physical_health[failed_physical] = False
 
-        try:
-            spare = group.allocate_spare()
-        except NoBackupAvailable:
+        steps: list[DegradationStep] = []
+        if halted:
+            steps.append(self._halted_step(group.group_id))
+            spare, touched, retry_delay = None, 0, 0.0
+        else:
+            spare, touched, retry_delay = self._assign_backup(logical_switch, steps)
+        breakdown = self._breakdown(retry_delay)
+
+        if spare is not None:
+            self.log.append(
+                f"[{now:.6f}] node failure {logical_switch}: {failed_physical} -> "
+                f"{spare} ({touched} circuit switches reconfigured)"
+            )
+            self._record_degradation("node", logical_switch, now, steps, "recovered")
+            return RecoveryReport(
+                kind="node",
+                replaced=((logical_switch, spare),),
+                circuit_switches_touched=touched,
+                breakdown=breakdown,
+            )
+
+        degraded: tuple[str, ...] = ()
+        if self.degrade_to_reroute:
+            degraded = (logical_switch,)
+            steps.append(self._reroute_step(logical_switch))
+            outcome = "rerouted"
+            self.log.append(
+                f"[{now:.6f}] node failure {logical_switch} ({failed_physical}): "
+                "no workable backup — degraded to global rerouting"
+            )
+        else:
+            outcome = "stranded"
             self.log.append(
                 f"[{now:.6f}] node failure {logical_switch} "
                 f"({failed_physical}): NO SPARE in {group.group_id}"
             )
-            return RecoveryReport(
-                kind="node",
-                replaced=(),
-                circuit_switches_touched=0,
-                breakdown=self.timing.sharebackup(self.technology),
-                unrecoverable=(logical_switch,),
-            )
-
-        touched, _latency = self.net.failover(logical_switch, spare)
-        self.log.append(
-            f"[{now:.6f}] node failure {logical_switch}: {failed_physical} -> "
-            f"{spare} ({touched} circuit switches reconfigured)"
-        )
+        self._record_degradation("node", logical_switch, now, steps, outcome)
         return RecoveryReport(
             kind="node",
-            replaced=((logical_switch, spare),),
-            circuit_switches_touched=touched,
-            breakdown=self.timing.sharebackup(self.technology),
+            replaced=(),
+            circuit_switches_touched=0,
+            breakdown=breakdown,
+            unrecoverable=(logical_switch,),
+            degraded=degraded,
         )
 
     # ==================================================================
@@ -193,7 +264,7 @@ class ShareBackupController:
         truth, expressed against the *physical* switches, consumed later
         by diagnosis.
         """
-        self._check_not_halted()
+        halted = self._halt_blocks_backup()
         self._register_cs_report(end_a, now)
 
         for faulty in true_faulty_interfaces:
@@ -201,8 +272,10 @@ class ShareBackupController:
 
         replaced: list[tuple[str, str]] = []
         unrecoverable: list[str] = []
+        degraded: list[str] = []
         offline: dict[str, str] = {}
         touched_total = 0
+        retry_delay_total = 0.0
         physical_ends: list[Optional[tuple[str, tuple]]] = []
 
         for device, iface in (end_a, end_b):
@@ -212,15 +285,26 @@ class ShareBackupController:
             group = self.net.group_of(device)
             old_physical = group.physical_of(device)
             physical_ends.append((old_physical, iface))
-            try:
-                spare = group.allocate_spare()
-            except NoBackupAvailable:
-                unrecoverable.append(device)
+            steps: list[DegradationStep] = []
+            if halted:
+                steps.append(self._halted_step(group.group_id))
+                spare, touched, retry_delay = None, 0, 0.0
+            else:
+                spare, touched, retry_delay = self._assign_backup(device, steps)
+            retry_delay_total += retry_delay
+            if spare is not None:
+                touched_total += touched
+                replaced.append((device, spare))
+                offline[device] = old_physical
+                self._record_degradation("link", device, now, steps, "recovered")
                 continue
-            touched, _lat = self.net.failover(device, spare)
-            touched_total += touched
-            replaced.append((device, spare))
-            offline[device] = old_physical
+            unrecoverable.append(device)
+            if self.degrade_to_reroute:
+                degraded.append(device)
+                steps.append(self._reroute_step(device))
+                self._record_degradation("link", device, now, steps, "rerouted")
+            else:
+                self._record_degradation("link", device, now, steps, "stranded")
 
         suspects = [end for end in physical_ends if end is not None]
         if suspects:
@@ -240,8 +324,9 @@ class ShareBackupController:
             kind="link",
             replaced=tuple(replaced),
             circuit_switches_touched=touched_total,
-            breakdown=self.timing.sharebackup(self.technology),
+            breakdown=self._breakdown(retry_delay_total),
             unrecoverable=tuple(unrecoverable),
+            degraded=tuple(degraded),
         )
 
     def run_pending_diagnoses(self) -> list[LinkDiagnosis]:
@@ -356,11 +441,139 @@ class ShareBackupController:
         for name, cs in self.net.circuit_switches.items():
             self._intended_config[name] = cs.mapping()
 
-    def _check_not_halted(self) -> None:
-        if self.halted:
+    def _halt_blocks_backup(self) -> bool:
+        """Whether the circuit-switch halt blocks backup assignment now.
+
+        Legacy contract (default): a halted controller raises — automatic
+        recovery stops dead until an operator intervenes.  With graceful
+        degradation the halt only disables the *backup* rungs of the
+        ladder (the circuit switches are suspect, so reconfiguring them
+        would be reckless); the reroute rung still runs, making
+        :class:`HumanInterventionRequired` a true last resort.
+        """
+        if self.halted and not self.degrade_to_reroute:
             raise HumanInterventionRequired(
                 "recovery halted pending circuit-switch inspection"
             )
+        return self.halted
+
+    # ==================================================================
+    # the degradation ladder (chaos hardening)
+    # ==================================================================
+
+    def _assign_backup(
+        self, logical: str, steps: list[DegradationStep]
+    ) -> tuple[Optional[str], int, float]:
+        """Rungs 1–2: allocate and wire a spare, retrying and falling back
+        to alternate spares on circuit-switch failures.
+
+        Returns ``(spare, circuit_switches_touched, retry_delay)`` with
+        ``spare=None`` when every idle spare was tried (or none was left);
+        ``retry_delay`` is the simulated backoff time accumulated across
+        retries, to be charged to the recovery breakdown.  Appends one
+        :class:`DegradationStep` per candidate tried.
+        """
+        group = self.net.group_of(logical)
+        rejected: list[str] = []
+        spare: Optional[str] = None
+        touched = 0
+        delay = 0.0
+        while spare is None:
+            try:
+                candidate = group.allocate_spare()
+            except NoBackupAvailable as exc:
+                steps.append(
+                    DegradationStep(
+                        action="allocate-backup",
+                        target=group.group_id,
+                        attempts=1,
+                        outcome="exhausted",
+                        detail=str(exc),
+                    )
+                )
+                break
+            attempts = 0
+            last_error: Optional[CircuitSwitchError] = None
+            for attempt in range(self.retry_policy.total_attempts):
+                attempts = attempt + 1
+                try:
+                    touched, _latency = self.net.failover(logical, candidate)
+                    last_error = None
+                    break
+                except CircuitSwitchError as exc:
+                    last_error = exc
+                    if attempt < self.retry_policy.max_retries:
+                        delay += self.retry_policy.delay(attempt, rng=self._rng)
+            if last_error is None:
+                steps.append(
+                    DegradationStep("assign-backup", candidate, attempts, "ok")
+                )
+                spare = candidate
+                # Keep the reboot-re-push intent fresh: this group's
+                # circuits just changed, and a circuit switch rebooting
+                # later must get the post-failover wiring, not a ghost.
+                for cs in self.net.circuit_switches_of(group.group_id):
+                    self._intended_config[cs.name] = cs.mapping()
+            else:
+                steps.append(
+                    DegradationStep(
+                        "assign-backup",
+                        candidate,
+                        attempts,
+                        "failed",
+                        detail=str(last_error),
+                    )
+                )
+                rejected.append(candidate)
+        # Failed wiring blames the circuit switches, not the spare: the
+        # hardware is still idle and healthy, so it returns to the pool
+        # (at the tail — freshly suspect spares are tried last).
+        group.spares.extend(rejected)
+        return spare, touched, delay
+
+    def _breakdown(self, retry_delay: float) -> RecoveryBreakdown:
+        base = self.timing.sharebackup(self.technology)
+        if retry_delay:
+            base = replace(
+                base, reconfiguration=base.reconfiguration + retry_delay
+            )
+        return base
+
+    def _halted_step(self, group_id: str) -> DegradationStep:
+        return DegradationStep(
+            action="assign-backup",
+            target=group_id,
+            attempts=0,
+            outcome="skipped",
+            detail="recovery halted (suspected circuit-switch failure)",
+        )
+
+    def _reroute_step(self, logical: str) -> DegradationStep:
+        return DegradationStep(
+            action="reroute",
+            target=logical,
+            attempts=1,
+            outcome="ok",
+            detail="global optimal rerouting takes over the slot",
+        )
+
+    def _record_degradation(
+        self,
+        kind: str,
+        logical: str,
+        now: float,
+        steps: list[DegradationStep],
+        outcome: str,
+    ) -> None:
+        report = DegradationReport(
+            kind=kind,
+            logical=logical,
+            time=now,
+            steps=tuple(steps),
+            outcome=outcome,
+        )
+        if report.degraded:
+            self.degradations.append(report)
 
     # ==================================================================
     # capacity accounting (§5.1)
@@ -390,13 +603,18 @@ class ControllerCluster:
     """
 
     def __init__(
-        self, replica_ids: tuple[str, ...] = ("ctrl-0", "ctrl-1", "ctrl-2")
+        self,
+        replica_ids: tuple[str, ...] = ("ctrl-0", "ctrl-1", "ctrl-2"),
+        controller: Optional[ShareBackupController] = None,
     ) -> None:
         if not replica_ids:
             raise ValueError("need at least one controller replica")
         self.replicas: dict[str, bool] = {r: True for r in replica_ids}
         self.elections = 0
         self._primary: Optional[str] = None
+        # Attach before the initial election so the first primary starts
+        # from a fresh intent snapshot like every later one.
+        self._controller = controller
         self._elect()
 
     def _elect(self) -> None:
@@ -405,6 +623,14 @@ class ControllerCluster:
         if new_primary != self._primary:
             self.elections += 1
             self._primary = new_primary
+            if new_primary is not None and self._controller is not None:
+                # A replica elected mid-recovery must not trust the intent
+                # snapshot replicated from the crashed primary: the old
+                # primary may have reconfigured circuits after its last
+                # replication.  Re-derive intent from the live network so
+                # a later circuit-switch reboot restores *current* wiring,
+                # not a pre-failover ghost.
+                self._controller.snapshot_intended_configs()
 
     @property
     def primary(self) -> Optional[str]:
@@ -417,6 +643,13 @@ class ControllerCluster:
     def fail_replica(self, replica_id: str) -> None:
         self.replicas[replica_id] = False
         self._elect()
+
+    def fail_primary(self) -> Optional[str]:
+        """Crash whichever replica is primary; returns its id (chaos hook)."""
+        failed = self._primary
+        if failed is not None:
+            self.fail_replica(failed)
+        return failed
 
     def restore_replica(self, replica_id: str) -> None:
         self.replicas[replica_id] = True

@@ -423,11 +423,17 @@ class ShareBackupNetwork:
         Returns ``(circuit_switches_touched, max_reconfig_latency)`` —
         reconfigurations happen in parallel across circuit switches, so
         recovery pays the *max*, not the sum (Section 5.3).
+
+        The reconfiguration is two-phase: every involved circuit switch is
+        first *validated* (down switch, stuck crosspoint, injected fault),
+        and only if all of them accept is anything applied.  A failing
+        switch therefore raises :class:`CircuitSwitchError` with the
+        network untouched, which is what lets the controller retry — or
+        try a different spare — without unwinding partial circuit state.
         """
         group = self.group_of(logical)
         old_physical = group.physical_of(logical)
-        touched = 0
-        latency = 0.0
+        plans: list[tuple[CircuitSwitch, dict[CSPort, CSPort | None]]] = []
         for cs in self.circuit_switches_of(group.group_id):
             moves: dict[CSPort, CSPort | None] = {}
             for port, endpoint in list(cs._cables.items()):
@@ -448,8 +454,14 @@ class ShareBackupNetwork:
                 if peer is not None:
                     moves[spare_port] = peer
             if moves:
-                latency = max(latency, cs.reconfigure(moves))
-                touched += 1
+                plans.append((cs, moves))
+        for cs, moves in plans:  # prepare: all-or-nothing
+            cs.validate_reconfigure(moves)
+        touched = 0
+        latency = 0.0
+        for cs, moves in plans:  # commit
+            latency = max(latency, cs.reconfigure(moves, preflighted=True))
+            touched += 1
         group.failover(logical, spare)
         return touched, latency
 

@@ -18,10 +18,19 @@ in simulated application performance) and schedules the matching
 fail/restore pairs into a :class:`FluidSimulation` running on the
 ShareBackup network's logical fat-tree with a :class:`StaticEcmpRouter`
 (static, because ShareBackup never reroutes).
+
+When the controller runs with ``degrade_to_reroute`` (chaos hardening),
+the simulation uses a :class:`~repro.routing.fallback.FallbackRouter`
+instead: still static ECMP while recovery succeeds, but the first slot
+the controller degrades flips the fabric to the §2.2 global-optimal
+rerouting baseline, so traffic through the dead slot keeps flowing on
+surviving paths rather than stalling forever.
 """
 
 from __future__ import annotations
 
+from ..routing.fallback import FallbackRouter
+from ..routing.router import Router
 from ..routing.static import StaticEcmpRouter
 from ..simulation.engine import FluidSimulation
 from ..simulation.flow import CoflowSpec
@@ -43,7 +52,11 @@ class ShareBackupSimulation:
     ) -> None:
         self.net = net
         self.controller = controller or ShareBackupController(net)
-        self.router = StaticEcmpRouter(net.logical)
+        self.router: Router
+        if self.controller.degrade_to_reroute:
+            self.router = FallbackRouter(net.logical)
+        else:
+            self.router = StaticEcmpRouter(net.logical)
         self.sim = FluidSimulation(net.logical, self.router, trace, horizon=horizon)
         self.reports: list[RecoveryReport] = []
 
@@ -63,8 +76,10 @@ class ShareBackupSimulation:
                     lambda s: s._mutate(lambda: s.topo.restore_node(logical_switch)),
                     label=f"sharebackup-recovered:{logical_switch}",
                 )
-            # With no spare left the slot stays dark until repair — the
-            # architecture degrades to a fat-tree with a dead switch.
+            elif report.degraded:
+                self._activate_fallback(sim)
+            # With no spare left (and no degradation) the slot stays dark
+            # until repair — a fat-tree with a dead switch.
 
         self.sim.schedule_action(
             time, fail_and_recover, label=f"fail:{logical_switch}"
@@ -99,8 +114,16 @@ class ShareBackupSimulation:
                     lambda s: s._mutate(lambda: s.topo.restore_link(link_id)),
                     label=f"sharebackup-recovered-link:{link_id}",
                 )
+            elif report.degraded:
+                self._activate_fallback(sim)
 
         self.sim.schedule_action(time, fail_and_recover, label=f"fail-link:{link_id}")
+
+    def _activate_fallback(self, sim: FluidSimulation) -> None:
+        """A slot degraded to rerouting: flip the fabric's routing
+        personality (inside ``_mutate`` so stalled flows repath now)."""
+        if isinstance(self.router, FallbackRouter) and not self.router.degraded:
+            sim._mutate(self.router.activate)
 
     def _interface_end(self, device: str, far: str) -> tuple[str, tuple]:
         """The (device, physical-interface) pair of the ``device`` side of

@@ -43,6 +43,9 @@ class WatchdogSimulation(ShareBackupSimulation):
         super().__init__(net, trace, controller=controller, horizon=horizon)
         #: physical switch → time it went silent (pending detection)
         self._silent_since: dict[str, float] = {}
+        #: healthy switches whose keep-alives are being lost in transit
+        #: (chaos): they look exactly like dead switches to the controller.
+        self.heartbeat_suppressed: set[str] = set()
         self.detections: list[tuple[str, float, float]] = []  # (switch, died, detected)
 
     # ------------------------------------------------------------------
@@ -77,14 +80,61 @@ class WatchdogSimulation(ShareBackupSimulation):
             label=f"probe-tick:{logical_switch}",
         )
 
+    def inject_heartbeat_loss(
+        self, time: float, logical_switch: str, duration: float = 0.0
+    ) -> None:
+        """Keep-alives from a *healthy* switch stop reaching the controller.
+
+        Failure detection cannot distinguish this from death: if the loss
+        outlives the miss threshold the controller performs a spurious
+        failover (the slot moves to a spare while the old switch is fine —
+        the cost of the paper's keep-alive detection under control-plane
+        faults).  A loss shorter than the threshold is absorbed silently:
+        heartbeats resume before any probe boundary condemns the switch.
+        """
+
+        def lose(sim: FluidSimulation) -> None:
+            physical = self.net.serving_switch(logical_switch)
+            self.heartbeat_suppressed.add(physical)
+            self._silent_since[physical] = time
+            if duration > 0:
+
+                def resume(s: FluidSimulation) -> None:
+                    self.heartbeat_suppressed.discard(physical)
+                    pending = self._silent_since.pop(physical, None)
+                    if pending is not None and self.net.physical_health.get(
+                        physical, False
+                    ):
+                        # Not yet condemned: the backlog of heartbeats
+                        # arrives and the silence window closes.
+                        self.controller.heartbeat(physical, s.clock.now)
+
+                sim.schedule_action(
+                    time + duration, resume, label=f"heartbeat-resume:{physical}"
+                )
+
+        self.sim.schedule_action(
+            time, lose, label=f"heartbeat-loss:{logical_switch}"
+        )
+        self.sim.schedule_action(
+            self.detection_deadline(time),
+            self._probe_tick,
+            label=f"probe-tick:{logical_switch}",
+        )
+
     # ------------------------------------------------------------------
 
     def _probe_tick(self, sim: FluidSimulation) -> None:
         """One controller probe round at the current instant."""
         now = sim.clock.now
-        # Every switch that is still alive has been heartbeating all along.
+        # Every switch that is still alive has been heartbeating all along
+        # (unless chaos is eating its keep-alives in transit).
         for physical, healthy in self.net.physical_health.items():
-            if healthy and physical not in self._silent_since:
+            if (
+                healthy
+                and physical not in self._silent_since
+                and physical not in self.heartbeat_suppressed
+            ):
                 self.controller.heartbeat(physical, now)
         for physical in self.controller.detect_silent_switches(now):
             died = self._silent_since.pop(physical, None)
@@ -107,6 +157,8 @@ class WatchdogSimulation(ShareBackupSimulation):
                     ),
                     label=f"watchdog-recovered:{logical}",
                 )
+            elif report.degraded:
+                self._activate_fallback(sim)
 
     def _logical_of_physical(self, physical: str) -> str | None:
         for group in self.net.groups.values():

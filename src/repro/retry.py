@@ -1,0 +1,92 @@
+"""The shared retry policy: bounded exponential backoff with optional jitter.
+
+Two very different layers of the reproduction retry operations:
+
+* :class:`~repro.runner.executor.SweepRunner` retries crashed or hung
+  *shards* of a parallel sweep (real wall-clock sleeps between pool
+  attempts);
+* :class:`~repro.core.controller.ShareBackupController` retries *circuit
+  switch reconfigurations* that fail transiently (simulated time — the
+  backoff is charged to the recovery latency, never slept).
+
+Both used to hard-code their own ``max_retries``/``backoff`` constants;
+:class:`RetryPolicy` is the one shared description of "how hard to try",
+so chaos campaigns and sweep orchestration are tuned with the same
+vocabulary.  Jitter, when enabled, is drawn through :mod:`repro.rng`
+(never the module-global ``random``), keeping retried schedules exactly
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from .rng import ensure_rng
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff.
+
+    Attributes:
+        max_retries: attempts *beyond* the first (``0`` = try once).
+        backoff_base: delay before retry 0, in seconds.
+        backoff_factor: multiplier per subsequent retry (``base * f**i``).
+        max_backoff: optional cap on any single delay.
+        jitter: fractional spread applied to each delay — a delay ``d``
+            becomes uniform in ``[d * (1 - jitter), d * (1 + jitter)]``.
+            Requires an ``rng`` at :meth:`delay` time; with no rng the
+            delay is deterministic (jitter silently off).
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff: float | None = None
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor <= 0:
+            raise ValueError(
+                f"backoff_factor must be positive, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be within [0, 1], got {self.jitter}")
+
+    @property
+    def total_attempts(self) -> int:
+        """First attempt plus every allowed retry."""
+        return self.max_retries + 1
+
+    def delay(
+        self,
+        attempt: int,
+        rng: int | None | np.random.Generator | random.Random = None,
+    ) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered via ``rng``."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        base = self.backoff_base * self.backoff_factor**attempt
+        if self.max_backoff is not None:
+            base = min(base, self.max_backoff)
+        if self.jitter and rng is not None:
+            gen = ensure_rng(rng)
+            base *= 1.0 + self.jitter * float(gen.uniform(-1.0, 1.0))
+        return max(0.0, base)
+
+    def schedule(
+        self,
+        rng: int | None | np.random.Generator | random.Random = None,
+    ) -> tuple[float, ...]:
+        """Every backoff delay of a fully exhausted retry ladder, in order."""
+        gen = ensure_rng(rng) if rng is not None else None
+        return tuple(self.delay(i, rng=gen) for i in range(self.max_retries))

@@ -7,6 +7,7 @@ replaced) lives in :mod:`repro.core` with the rest of the contribution.
 
 from .base import LookupMiss, Packet, PrefixEntry, RoutingTable, SuffixEntry
 from .ecmp import EcmpSelector, flow_hash
+from .fallback import FallbackRouter
 from .paths import DirectedSegment, Path, enumerate_paths, operational_paths
 from .reroute_f10 import F10LocalRerouteRouter
 from .reroute_global import GlobalOptimalRerouteRouter
@@ -18,6 +19,7 @@ __all__ = [
     "DirectedSegment",
     "EcmpSelector",
     "F10LocalRerouteRouter",
+    "FallbackRouter",
     "GlobalOptimalRerouteRouter",
     "LoadMap",
     "LookupMiss",

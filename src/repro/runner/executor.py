@@ -40,6 +40,8 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass, field
 
+from ..retry import RetryPolicy
+from ..rng import derive_seed, ensure_rng
 from .cache import MISS, NullCache, ResultCache, cache_key
 from .journal import RunJournal
 from .shards import Shard, Task, plan_shards
@@ -115,6 +117,13 @@ class SweepRunner:
     max_retries:
         Pool attempts per shard beyond the first, before the serial
         fallback.  Backoff before retry *i* is ``backoff_base * 2**i``.
+        Shorthand for the equivalent ``retry_policy``.
+    retry_policy:
+        A :class:`~repro.retry.RetryPolicy` describing the retry ladder
+        (attempts, backoff curve, optional jitter drawn deterministically
+        from ``root_seed``).  Overrides ``max_retries``/``backoff_base``
+        when given; the same policy class drives the ShareBackup
+        controller's circuit-reconfiguration retries.
     """
 
     def __init__(
@@ -129,23 +138,30 @@ class SweepRunner:
         max_shard_size: int | None = None,
         root_seed: int = 0,
         sleep: Callable[[float], None] = time.sleep,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if jobs is not None and jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
-        if max_retries < 0:
-            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if shard_timeout is not None and shard_timeout <= 0:
             raise ValueError(f"shard_timeout must be positive, got {shard_timeout}")
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                max_retries=max_retries, backoff_base=backoff_base
+            )
         self.jobs = default_jobs() if jobs is None else max(1, jobs)
         self.cache = ResultCache() if cache is None else cache
         self.journal = journal if journal is not None else RunJournal(None)
         self.shard_timeout = shard_timeout
-        self.max_retries = max_retries
-        self.backoff_base = backoff_base
+        self.retry_policy = retry_policy
+        self.max_retries = retry_policy.max_retries
+        self.backoff_base = retry_policy.backoff_base
         self.shards_per_job = shards_per_job
         self.max_shard_size = max_shard_size
         self.root_seed = root_seed
         self._sleep = sleep
+        #: Jitter stream for backoff delays — derived from the root seed so
+        #: a jittered retry schedule is still a pure function of the run.
+        self._retry_rng = ensure_rng(derive_seed(root_seed, "runner-retry"))
 
     # ------------------------------------------------------------------
     # public API
@@ -275,7 +291,7 @@ class SweepRunner:
     def _backoff(
         self, shard: Shard, attempt: int, exc: Exception, counters: _Counters
     ) -> None:
-        delay = self.backoff_base * (2**attempt)
+        delay = self.retry_policy.delay(attempt, rng=self._retry_rng)
         counters.retries += 1
         self.journal.record(
             "shard_retry", shard_id=shard.shard_id, attempt=attempt,

@@ -52,12 +52,17 @@ class RunJournal:
         path: str | Path | None = None,
         clock: Callable[[], float] = time.time,
         keep_events: bool = True,
+        extra_events: tuple[str, ...] = (),
     ) -> None:
+        """``extra_events`` extends the vocabulary for journals layered on
+        top of the runner's (e.g. the chaos campaign journal, which adds
+        campaign-scoped events while reusing this format and validation)."""
         self.path = Path(path) if path is not None else None
         self.counters: Counter[str] = Counter()
         self.events: list[dict] = []
         self._keep_events = keep_events
         self._clock = clock
+        self._known_events = frozenset(EVENTS) | frozenset(extra_events)
         self._fh: IO[str] | None = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -65,7 +70,7 @@ class RunJournal:
 
     def record(self, event: str, **fields: object) -> dict:
         """Append one event; returns the record written."""
-        if event not in EVENTS:
+        if event not in self._known_events:
             raise ValueError(f"unknown journal event {event!r}")
         record = {"ts": self._clock(), "event": event, **fields}
         self.counters[event] += 1

@@ -48,6 +48,7 @@ WORKERS: dict[str, str] = {
     "affected": "repro.experiments.affected:evaluate_affected_payload",
     "slowdown": "repro.experiments.slowdown:evaluate_slowdown_payload",
     "availability": "repro.experiments.availability:evaluate_availability_payload",
+    "chaos": "repro.chaos.campaign:evaluate_chaos_payload",
     # Fault-injection workers for exercising the executor itself.
     "testing-flaky": "repro.runner.testing:flaky_payload",
     "testing-subprocess-crash": "repro.runner.testing:subprocess_crash_payload",

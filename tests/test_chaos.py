@@ -1,0 +1,298 @@
+"""Tests for :mod:`repro.chaos` — control-plane fault injection.
+
+The acceptance scenario from the issue is pinned here: a seeded
+campaign combining backup-pool exhaustion, a stuck circuit switch, and
+a controller-replica crash completes without
+:class:`HumanInterventionRequired`, ends with all traffic routed
+(degraded flows absorbed by global rerouting), and the same seed
+reproduces byte-identical campaign journals across two runs.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    FAULT_KINDS,
+    ChaosCampaignConfig,
+    ChaosFault,
+    ChaosHarness,
+    ChaosScenarioConfig,
+    FaultSchedule,
+    ScenarioOutcome,
+    generate_schedule,
+    run_chaos_campaign,
+    run_scenario,
+)
+from repro.cli import main
+from repro.runner import NullCache, SweepRunner
+
+SMALL = dict(k=6, n=1, duration=2.0, num_coflows=6)
+
+
+def small_scenario(seed=0, profile="mixed"):
+    return ChaosScenarioConfig(seed=seed, profile=profile, **SMALL)
+
+
+# ----------------------------------------------------------------------
+# fault vocabulary
+# ----------------------------------------------------------------------
+
+
+class TestChaosFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosFault(1.0, "meteor-strike", "C.0")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosFault(-1.0, "pool-drain", "FG.agg.0")
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosFault(1.0, "pool-drain", "FG.agg.0", count=0)
+
+    def test_dict_roundtrip(self):
+        fault = ChaosFault(0.5, "cs-reboot", "CS.2.0.0", duration=0.3)
+        assert ChaosFault.from_dict(fault.to_dict()) == fault
+        assert json.loads(json.dumps(fault.to_dict())) == fault.to_dict()
+
+
+class TestFaultSchedule:
+    def test_faults_sorted_by_time(self):
+        schedule = FaultSchedule(
+            seed=1,
+            faults=(
+                ChaosFault(2.0, "pool-drain", "FG.agg.0"),
+                ChaosFault(0.5, "controller-crash", "primary"),
+            ),
+        )
+        assert [f.time for f in schedule.faults] == [0.5, 2.0]
+
+    def test_dict_roundtrip(self):
+        schedule = generate_schedule(6, 1, seed=3)
+        assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+
+class TestGenerateSchedule:
+    def test_same_seed_same_schedule(self):
+        assert generate_schedule(6, 1, seed=5) == generate_schedule(6, 1, seed=5)
+
+    def test_different_seeds_differ(self):
+        schedules = {generate_schedule(6, 1, seed=s) for s in range(8)}
+        assert len(schedules) > 1
+
+    def test_control_plane_profile_covers_every_kind(self):
+        schedule = generate_schedule(6, 1, seed=0, profile="control-plane")
+        assert set(schedule.kinds()) == set(FAULT_KINDS)
+
+    def test_recovery_storm_is_silent_failures_only(self):
+        schedule = generate_schedule(6, 1, seed=0, profile="recovery-storm")
+        assert set(schedule.kinds()) == {"silent-node-failure"}
+        assert len(schedule.faults) >= 2
+
+    def test_silent_victims_never_edge_switches(self):
+        for seed in range(6):
+            schedule = generate_schedule(6, 1, seed=seed, profile="mixed")
+            for fault in schedule.faults:
+                if fault.kind == "silent-node-failure":
+                    assert not fault.target.startswith("E.")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            generate_schedule(6, 1, seed=0, profile="volcanic")
+
+
+# ----------------------------------------------------------------------
+# scenario harness
+# ----------------------------------------------------------------------
+
+
+class TestScenarioOutcome:
+    def test_dict_roundtrip(self):
+        outcome = run_scenario(small_scenario(seed=2, profile="recovery-storm"))
+        assert ScenarioOutcome.from_dict(outcome.to_dict()) == outcome
+        # JSON-safe end to end (it rides a Task payload / cache entry).
+        assert (
+            ScenarioOutcome.from_dict(json.loads(json.dumps(outcome.to_dict())))
+            == outcome
+        )
+
+
+class TestAcceptanceScenario:
+    def test_exhaustion_stuck_cs_and_controller_crash_survive(self):
+        """The issue's acceptance scenario: pool exhaustion + a stuck
+        circuit switch + a controller-replica crash, no
+        HumanInterventionRequired, and all traffic routed at the end."""
+        config = small_scenario(seed=11)
+        harness = ChaosHarness(
+            config,
+            schedule=FaultSchedule(
+                seed=11,
+                faults=(
+                    # Drain FG.agg.0's only spare, then kill two of its
+                    # slots: the first eats nothing (pool empty), both
+                    # must degrade to rerouting.
+                    ChaosFault(0.05, "pool-drain", "FG.agg.0"),
+                    ChaosFault(0.3, "silent-node-failure", "A.0.0"),
+                    ChaosFault(0.6, "silent-node-failure", "A.0.1"),
+                    # Jam the crosspoints of both spares on CS.2.1.0
+                    # (edge and agg of pod 1) and kill an agg slot there:
+                    # assign-backup fails, reroute absorbs it.
+                    ChaosFault(0.1, "stuck-crosspoint", "CS.2.1.0", count=2),
+                    ChaosFault(0.5, "silent-node-failure", "A.1.0"),
+                    # And crash the primary controller mid-recovery.
+                    ChaosFault(0.4, "controller-crash", "primary"),
+                ),
+            ),
+        )
+        outcome = harness.run()
+        assert outcome.survived  # no HumanInterventionRequired escaped
+        assert outcome.all_traffic_routed
+        assert outcome.rerouted >= 2  # exhausted slots went to rerouting
+        assert outcome.elections == 2  # initial election + crash failover
+        assert harness.sim.router.degraded
+        degr = [d["outcome"] for d in outcome.degradations]
+        assert "rerouted" in degr
+
+    def test_stuck_crosspoint_jams_failover_through_that_switch(self):
+        config = small_scenario(seed=4)
+        harness = ChaosHarness(
+            config,
+            schedule=FaultSchedule(
+                seed=4,
+                faults=(
+                    # count=2: CS.2.0.0 carries the spares of both
+                    # FG.edge.0 and FG.agg.0 — jam both.
+                    ChaosFault(0.05, "stuck-crosspoint", "CS.2.0.0", count=2),
+                    ChaosFault(0.3, "silent-node-failure", "A.0.0"),
+                ),
+            ),
+        )
+        outcome = harness.run()
+        assert outcome.survived
+        assert outcome.all_traffic_routed
+        # The jammed spare was tried and failed; audit trail says why.
+        failed = [
+            step
+            for d in outcome.degradations
+            for step in d["steps"]
+            if step["outcome"] == "failed"
+        ]
+        assert failed and "stuck" in failed[0]["detail"]
+
+    def test_transient_reconfig_is_absorbed_by_retries(self):
+        config = small_scenario(seed=6)
+        harness = ChaosHarness(
+            config,
+            schedule=FaultSchedule(
+                seed=6,
+                faults=(
+                    ChaosFault(
+                        0.05, "transient-reconfig", "CS.2.0.0", count=1
+                    ),
+                    ChaosFault(0.3, "silent-node-failure", "A.0.0"),
+                ),
+            ),
+        )
+        outcome = harness.run()
+        assert outcome.survived
+        assert outcome.recovered >= 1  # the backup still took over
+        assert outcome.retries >= 1  # ... after a retried reconfiguration
+
+    def test_cs_reboot_restores_current_wiring(self):
+        config = small_scenario(seed=9)
+        harness = ChaosHarness(
+            config,
+            schedule=FaultSchedule(
+                seed=9,
+                faults=(
+                    ChaosFault(0.3, "silent-node-failure", "A.0.0"),
+                    ChaosFault(1.0, "cs-reboot", "CS.2.0.0", duration=0.2),
+                ),
+            ),
+        )
+        outcome = harness.run()
+        assert outcome.survived
+        cs = harness.net.circuit_switches["CS.2.0.0"]
+        assert cs.up and cs.mapping()  # rebooted and re-pushed
+        harness.net.verify_fattree_equivalence()
+
+
+# ----------------------------------------------------------------------
+# campaigns
+# ----------------------------------------------------------------------
+
+
+def small_campaign(**overrides):
+    base = dict(
+        k=6, n=1, scenarios=2, seed=7, duration=2.0,
+        num_coflows=6, profile="control-plane",
+    )
+    base.update(overrides)
+    return ChaosCampaignConfig(**base)
+
+
+def serial_runner():
+    return SweepRunner(jobs=1, cache=NullCache())
+
+
+class TestCampaign:
+    def test_scenario_seeds_are_derived_and_distinct(self):
+        config = small_campaign(scenarios=4)
+        seeds = [config.scenario_config(i).seed for i in range(4)]
+        assert len(set(seeds)) == 4
+
+    def test_campaign_aggregates_scenarios(self):
+        outcome = run_chaos_campaign(small_campaign(), runner=serial_runner())
+        assert len(outcome.outcomes) == 2
+        stats = outcome.stats
+        assert stats.scenarios == 2
+        assert stats.survived == 2
+        assert stats.human_interventions == 0
+        assert stats.traffic_routed == 2
+        assert stats.survival_rate == 1.0
+
+    def test_journal_byte_identical_across_runs(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        run_chaos_campaign(
+            small_campaign(), runner=serial_runner(), journal_path=a
+        )
+        run_chaos_campaign(
+            small_campaign(), runner=serial_runner(), journal_path=b
+        )
+        assert a.read_bytes() == b.read_bytes()
+        records = [json.loads(line) for line in a.read_text().splitlines()]
+        events = [r["event"] for r in records]
+        assert events[0] == "campaign_start"
+        assert events[-1] == "campaign_finish"
+        assert events[1:-1] == ["campaign_scenario"] * 2
+        # Deterministic counter clock, not wall time.
+        assert [r["ts"] for r in records] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_different_seed_changes_journal(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        run_chaos_campaign(
+            small_campaign(), runner=serial_runner(), journal_path=a
+        )
+        run_chaos_campaign(
+            small_campaign(seed=8), runner=serial_runner(), journal_path=b
+        )
+        assert a.read_bytes() != b.read_bytes()
+
+    def test_zero_scenarios_rejected(self):
+        with pytest.raises(ValueError):
+            small_campaign(scenarios=0)
+
+
+class TestChaosCli:
+    def test_smoke_exits_zero(self, tmp_path, capsys):
+        journal = tmp_path / "campaign.jsonl"
+        exit_code = main(
+            ["chaos", "--smoke", "--no-cache", "--jobs", "1",
+             "--journal", str(journal)]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "survived (no human intervention): 2/2" in out
+        assert journal.exists()

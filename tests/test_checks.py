@@ -34,6 +34,7 @@ EXPECTED_CODES = {
     "DET001", "DET002", "DET003",
     "PROC001", "PROC002",
     "EXC001", "EXC002",
+    "CHS001",
 }
 
 
@@ -394,6 +395,57 @@ class TestRuleFixtures:
         )
         assert exit_code == 1
         assert "EXC002" in capsys.readouterr().out
+
+    def test_chs001_direct_reconfigure(self, tmp_path, capsys):
+        exit_code = lint_file(
+            tmp_path,
+            """\
+            def hotfix(net):
+                net.circuit_switches["cs-E0"].reconfigure({("d", 0): None})
+            """,
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "CHS001" in out
+        assert "ShareBackupController" in out
+
+    def test_chs001_raw_failover(self, tmp_path, capsys):
+        exit_code = lint_file(
+            tmp_path,
+            """\
+            def recover(net, spare):
+                net.failover("E.0.0", spare)
+            """,
+        )
+        assert exit_code == 1
+        assert "CHS001" in capsys.readouterr().out
+
+    def test_chs001_connect_on_circuit_switch_receiver(self):
+        source = """\
+            def rewire(cs):
+                cs.connect(("d", 0), ("u", 0))
+            """
+        assert "CHS001" in codes(check_source(dedent(source)))
+
+    def test_chs001_connect_on_unrelated_receiver_is_fine(self):
+        source = """\
+            def open_db(client):
+                return client.connect("localhost")
+            """
+        assert "CHS001" not in codes(check_source(dedent(source)))
+
+    def test_chs001_exempt_inside_repro_core(self):
+        source = """\
+            def failover(self, logical, spare):
+                for cs in self.circuit_switches_of(logical):
+                    cs.reconfigure({})
+            """
+        assert "CHS001" not in codes(
+            check_source(dedent(source), module="repro.core.sharebackup")
+        )
+        assert "CHS001" in codes(
+            check_source(dedent(source), module="repro.chaos.harness")
+        )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,98 @@
+"""Tests for :mod:`repro.retry` — the shared retry policy."""
+
+import pytest
+
+from repro.retry import RetryPolicy
+from repro.rng import ensure_rng
+from repro.runner import SweepRunner
+
+
+class TestDefaults:
+    def test_total_attempts(self):
+        assert RetryPolicy(max_retries=0).total_attempts == 1
+        assert RetryPolicy(max_retries=3).total_attempts == 4
+
+    def test_frozen(self):
+        policy = RetryPolicy()
+        with pytest.raises(AttributeError):
+            policy.max_retries = 5
+
+
+class TestValidation:
+    def test_negative_retries(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+
+    def test_negative_base(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-0.1)
+
+    def test_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.0)
+
+    def test_jitter_out_of_range(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_negative_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(-1)
+
+
+class TestDelay:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(max_retries=3, backoff_base=0.5, backoff_factor=2.0)
+        assert policy.delay(0) == pytest.approx(0.5)
+        assert policy.delay(1) == pytest.approx(1.0)
+        assert policy.delay(2) == pytest.approx(2.0)
+
+    def test_max_backoff_caps(self):
+        policy = RetryPolicy(
+            max_retries=5, backoff_base=1.0, backoff_factor=10.0, max_backoff=3.0
+        )
+        assert policy.delay(0) == pytest.approx(1.0)
+        assert policy.delay(3) == pytest.approx(3.0)
+
+    def test_no_jitter_is_deterministic_without_rng(self):
+        policy = RetryPolicy(backoff_base=0.25)
+        assert policy.delay(0) == policy.delay(0) == 0.25
+
+    def test_jitter_without_rng_is_silently_off(self):
+        policy = RetryPolicy(backoff_base=0.25, jitter=0.5)
+        assert policy.delay(0) == pytest.approx(0.25)
+
+    def test_jitter_stays_within_spread(self):
+        policy = RetryPolicy(backoff_base=1.0, jitter=0.2)
+        gen = ensure_rng(7)
+        for attempt in range(20):
+            d = policy.delay(0, rng=gen)
+            assert 0.8 <= d <= 1.2
+
+    def test_jitter_reproducible_from_seed(self):
+        policy = RetryPolicy(max_retries=4, backoff_base=0.1, jitter=0.3)
+        assert policy.schedule(rng=42) == policy.schedule(rng=42)
+        assert policy.schedule(rng=42) != policy.schedule(rng=43)
+
+
+class TestSchedule:
+    def test_length_is_max_retries(self):
+        assert len(RetryPolicy(max_retries=3).schedule()) == 3
+        assert RetryPolicy(max_retries=0).schedule() == ()
+
+    def test_matches_per_attempt_delay(self):
+        policy = RetryPolicy(max_retries=3, backoff_base=0.5)
+        assert policy.schedule() == tuple(policy.delay(i) for i in range(3))
+
+
+class TestRunnerIntegration:
+    def test_sweep_runner_accepts_policy(self):
+        policy = RetryPolicy(max_retries=5, backoff_base=0.01)
+        runner = SweepRunner(jobs=1, retry_policy=policy)
+        assert runner.retry_policy is policy
+        assert runner.max_retries == 5
+
+    def test_legacy_kwargs_build_a_policy(self):
+        runner = SweepRunner(jobs=1, max_retries=4, backoff_base=0.2)
+        assert runner.retry_policy.max_retries == 4
+        assert runner.retry_policy.backoff_base == pytest.approx(0.2)
