@@ -14,7 +14,8 @@ import numpy as np
 from repro.core import ImpersonationTables, ShareBackupNetwork
 from repro.routing import EcmpSelector, Packet
 from repro.routing.paths import enumerate_edge_paths
-from repro.simulation import max_min_rates
+from repro.simulation import allocate_dense, max_min_rates
+from repro.simulation.fairshare import AllocatorWorkspace
 from repro.topology import FatTree
 
 
@@ -42,6 +43,59 @@ def test_perf_maxmin_large(benchmark):
     flow_segments, capacities = _allocation_problem(2000)
     rates = benchmark(max_min_rates, flow_segments, capacities)
     assert len(rates) == 2000
+
+
+def _dense_problem(num_flows: int, seed: int = 7):
+    """The same instance as :func:`_allocation_problem`, pre-interned the
+    way the engine holds it: dense ids, flat capacity list."""
+    flow_segments, capacities = _allocation_problem(num_flows, seed)
+    caps = [capacities[s] for s in range(len(capacities))]
+    pairs = list(flow_segments.items())
+    return pairs, caps
+
+
+def test_perf_allocate_dense_large(benchmark):
+    """The engine's actual hot call: dense core + reused workspace (no
+    interning, no per-call array allocation — what a reallocation costs)."""
+    pairs, caps = _dense_problem(2000)
+    workspace = AllocatorWorkspace(len(caps))
+    rates = benchmark(allocate_dense, pairs, caps, workspace)
+    assert len(rates) == 2000
+
+
+def test_perf_allocate_dense_single_component(benchmark):
+    """One dense component through the ``assume_connected`` fast path —
+    the shape the incremental engine feeds per dirty component."""
+    pairs, caps = _dense_problem(2000)
+    workspace = AllocatorWorkspace(len(caps))
+
+    def solve():
+        return allocate_dense(pairs, caps, workspace, assume_connected=True)
+
+    rates = benchmark(solve)
+    assert len(rates) == 2000
+
+
+def test_perf_allocate_dense_many_components(benchmark):
+    """200 disjoint 10-flow components: partition + per-component solves
+    (the cost profile of a lightly-coupled trace)."""
+    num_comps, flows_per, segs_per = 200, 10, 8
+    pairs = []
+    caps = [10e9] * (num_comps * segs_per)
+    rng = np.random.default_rng(7)
+    fid = 0
+    for c in range(num_comps):
+        base = c * segs_per
+        for _ in range(flows_per):
+            path = tuple(
+                int(base + s)
+                for s in rng.choice(segs_per, size=4, replace=False)
+            )
+            pairs.append((fid, path))
+            fid += 1
+    workspace = AllocatorWorkspace(len(caps))
+    rates = benchmark(allocate_dense, pairs, caps, workspace)
+    assert len(rates) == num_comps * flows_per
 
 
 def test_perf_ecmp_selection(benchmark):

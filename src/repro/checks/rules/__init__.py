@@ -8,7 +8,9 @@
 * :mod:`.exceptions` — exception hygiene (EXC001, EXC002);
 * :mod:`.controlplane` — control-plane discipline: circuit-switch
   mutations flow through the controller's retry/degradation wrapper
-  (CHS001).
+  (CHS001);
+* :mod:`.perf` — engine hot-path discipline: no full active-set sweeps
+  outside the sanctioned helpers (PERF001).
 
 Importing a module registers its rules as a side effect of the
 ``@register`` decorators.
@@ -16,6 +18,6 @@ Importing a module registers its rules as a side effect of the
 
 from __future__ import annotations
 
-from . import controlplane, determinism, exceptions, process, rng
+from . import controlplane, determinism, exceptions, perf, process, rng
 
-__all__ = ["controlplane", "determinism", "exceptions", "process", "rng"]
+__all__ = ["controlplane", "determinism", "exceptions", "perf", "process", "rng"]

@@ -1,0 +1,90 @@
+"""Hot-path performance invariants in the fluid engine.
+
+The engine's event loop is *incremental* (``docs/simulator.md``): after
+an event, rate recomputation is confined to the dirty conflict-graph
+components, completions come off a projected-finish heap, and flow
+residuals are settled lazily.  The cheapest way to lose all of that is
+a helper that quietly sweeps ``self.active`` on every event — exactly
+the O(active)-per-event pattern the incremental overhaul removed.  This
+rule bans such sweeps inside :class:`FluidSimulation`, except in the
+small audited set of helpers whose *job* is the full view.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register
+
+__all__ = ["FullActiveSweep"]
+
+#: FluidSimulation helpers allowed to walk every active flow: re-pathing
+#: after a topology change, the from-scratch oracle allocator, the
+#: monitor notification (monitors are owed the full rate map), and final
+#: result assembly.  None of them runs on the per-event hot path.
+_SANCTIONED = frozenset(
+    {"_repath_flows", "_reallocate_oracle", "_notify_monitor", "_build_result"}
+)
+
+
+@register
+class FullActiveSweep(Rule):
+    """PERF001: no full ``self.active`` sweeps in engine hot paths."""
+
+    code = "PERF001"
+    name = "full-active-sweep"
+    rationale = (
+        "The fluid engine recomputes rates only for dirty conflict "
+        "components; a loop over self.active inside FluidSimulation "
+        "reintroduces the O(active)-per-event scans the incremental "
+        "allocator removed, silently regressing trace-scale replays."
+    )
+    scope = ("repro.simulation",)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.ClassDef) and node.name == "FluidSimulation"):
+                continue
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name in _SANCTIONED:
+                    continue
+                yield from self._sweeps_in(ctx, item)
+
+    def _sweeps_in(
+        self, ctx: FileContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(func):
+            target: ast.expr | None = None
+            if isinstance(node, ast.For):
+                target = node.iter
+            elif isinstance(node, ast.comprehension):
+                target = node.iter
+            if target is not None and _mentions_self_active(target):
+                yield self.diagnostic(
+                    ctx,
+                    target,
+                    f"iteration over self.active in FluidSimulation."
+                    f"{func.name}(); per-event work must stay within the "
+                    "dirty conflict components (sanctioned full sweeps: "
+                    f"{', '.join(sorted(_SANCTIONED))})",
+                )
+
+
+def _mentions_self_active(node: ast.expr) -> bool:
+    """True if ``self.active`` appears anywhere in the expression — this
+    also catches wrapped forms like ``sorted(self.active)`` or
+    ``self.active.items()``."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr == "active"
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "self"
+        ):
+            return True
+    return False

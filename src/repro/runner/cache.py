@@ -10,9 +10,11 @@ Two consequences:
   simulator;
 * any change that *does* alter a task's inputs changes its key, so stale
   results cannot be served by construction.  Changes to the simulation
-  *code* itself are not visible in payloads, which is what
-  :data:`CACHE_VERSION` is for — bump it whenever the semantics of any
-  worker change.
+  *code* itself are not visible in payloads; two version tokens cover
+  them: :data:`CACHE_VERSION` (bump whenever the semantics of any worker
+  change) and ``repro.simulation.ENGINE_REV`` (bumped alongside any
+  fluid-engine/allocator change that can alter the trace → results map),
+  both folded into every key.
 
 Entries are one JSON file each under ``.repro-cache/<kind>/<kk>/<key>.json``
 (two-level fan-out keeps directories small), written atomically via a
@@ -38,10 +40,28 @@ CACHE_VERSION = 1
 MISS = object()
 
 
-def cache_key(kind: str, payload: dict, version: int = CACHE_VERSION) -> str:
+def _engine_rev() -> int:
+    """The engine's code-version token, looked up late so tests can
+    monkeypatch ``repro.simulation.ENGINE_REV`` and see keys change."""
+    from .. import simulation
+
+    return int(simulation.ENGINE_REV)
+
+
+def cache_key(
+    kind: str,
+    payload: dict,
+    version: int = CACHE_VERSION,
+    engine_rev: int | None = None,
+) -> str:
     """The content address of one task."""
     canonical = json.dumps(
-        {"kind": kind, "payload": payload, "version": version},
+        {
+            "engine_rev": _engine_rev() if engine_rev is None else engine_rev,
+            "kind": kind,
+            "payload": payload,
+            "version": version,
+        },
         sort_keys=True,
         separators=(",", ":"),
         default=str,

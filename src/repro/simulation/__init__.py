@@ -5,16 +5,27 @@ the substrate of the paper's failure study (Figure 1) and of the
 ShareBackup-vs-rerouting comparisons.
 """
 
-from .engine import CoflowRecord, FlowRecord, FluidSimulation, SimulationResult
+from .conflict import ConflictGraph
+from .engine import (
+    DEFAULT_ALLOCATOR,
+    ENGINE_REV,
+    CoflowRecord,
+    FlowRecord,
+    FluidSimulation,
+    SimulationResult,
+)
 from .events import Event, EventQueue, SimClock
-from .fairshare import FairShareError, max_min_rates
+from .fairshare import FairShareError, allocate_dense, max_min_rates
 from .flow import CoflowSpec, FlowPhase, FlowSpec, FlowState
 from .monitor import SimMonitor, UtilizationMonitor, UtilizationReport
 from .packetsim import PacketFlow, PacketLevelSimulator
 
 __all__ = [
+    "ConflictGraph",
     "CoflowRecord",
     "CoflowSpec",
+    "DEFAULT_ALLOCATOR",
+    "ENGINE_REV",
     "Event",
     "EventQueue",
     "FairShareError",
@@ -30,5 +41,6 @@ __all__ = [
     "UtilizationMonitor",
     "UtilizationReport",
     "SimulationResult",
+    "allocate_dense",
     "max_min_rates",
 ]

@@ -1,0 +1,98 @@
+"""Incremental flow↔segment conflict graph for the fluid engine.
+
+Two flows *conflict* when their paths share a directed segment; max-min
+progressive filling is separable across the connected components of
+that graph (see :mod:`repro.simulation.fairshare`), so after an event
+only the components containing changed flows can see different rates.
+This module maintains the incidence (segment → flows crossing it) as
+flows are placed, moved, and removed, and answers the one query the
+engine needs: *which flows live in components touched by this event?*
+
+Everything is keyed by dense integer segment ids (the engine interns
+every :class:`~repro.routing.paths.DirectedSegment` once at
+construction), and per-segment membership is an insertion-ordered dict
+used as a set — iteration order is deterministic, which the repository's
+determinism lint (DET002) insists on for anything feeding rates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["ConflictGraph"]
+
+
+class ConflictGraph:
+    """Mutable flow↔segment incidence with component queries."""
+
+    def __init__(self, num_segments: int) -> None:
+        #: segment id → {flow id: None}, an insertion-ordered set.
+        self._members: list[dict[int, None]] = [{} for _ in range(num_segments)]
+        #: flow id → the segment ids it is currently registered on.
+        self._placed: dict[int, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+
+    def segments_of(self, fid: int) -> tuple[int, ...]:
+        """The segments ``fid`` is registered on (``()`` if absent)."""
+        return self._placed.get(fid, ())
+
+    def place(self, fid: int, path: tuple[int, ...]) -> None:
+        """Register ``fid`` on ``path``, replacing any previous placement."""
+        old = self._placed.get(fid)
+        if old == path:
+            return
+        if old is not None:
+            for s in old:
+                del self._members[s][fid]
+        for s in path:
+            self._members[s][fid] = None
+        self._placed[fid] = path
+
+    def remove(self, fid: int) -> None:
+        """Deregister ``fid`` (no-op if it was never placed)."""
+        old = self._placed.pop(fid, None)
+        if old is not None:
+            for s in old:
+                del self._members[s][fid]
+
+    # ------------------------------------------------------------------
+
+    def affected_components(
+        self, seed_segments: Iterable[int]
+    ) -> list[list[int]]:
+        """The connected components touching ``seed_segments``, one flow
+        list per component (empty components are dropped).
+
+        BFS over the *current* incidence; discovery order is
+        deterministic (seed order, then ordered membership), and the
+        caller re-sorts each component by flow arrival order before
+        allocating anyway.  Each BFS exhausts its whole component, so a
+        later seed inside an already-explored component is skipped —
+        components come out disjoint.
+        """
+        members = self._members
+        placed = self._placed
+        seen_seg: set[int] = set()
+        seen_flow: set[int] = set()
+        components: list[list[int]] = []
+        for s0 in seed_segments:
+            if s0 in seen_seg:
+                continue
+            seen_seg.add(s0)
+            comp: list[int] = []
+            frontier = [s0]
+            while frontier:
+                seg = frontier.pop()
+                for fid in members[seg]:
+                    if fid in seen_flow:
+                        continue
+                    seen_flow.add(fid)
+                    comp.append(fid)
+                    for s in placed[fid]:
+                        if s not in seen_seg:
+                            seen_seg.add(s)
+                            frontier.append(s)
+            if comp:
+                components.append(comp)
+        return components

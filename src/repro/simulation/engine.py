@@ -16,23 +16,60 @@ the clock advances to the earlier of the next exogenous event and the
 next flow completion.  Completions are *endogenous*: with
 piecewise-constant rates they are computed, never scheduled, so no stale
 completion events can exist.
+
+Hot-path design (see ``docs/simulator.md`` for the full story): the
+engine is *incremental*.  Segments are interned to dense integer ids
+once at construction; a persistent flow↔segment conflict graph
+(:class:`~repro.simulation.conflict.ConflictGraph`) tracks which flows
+share bandwidth; each event re-solves max-min rates only for the
+connected components containing changed flows, copying every other
+flow's rate forward untouched.  Completions come off a lazy
+projected-finish min-heap, and per-flow ``(updated_at, remaining_bits)``
+bookkeeping means a flow's residual is only materialised when its rate
+changes — there is no per-event sweep over the active set.  The
+from-scratch solver is retained as the *oracle* (``allocator="oracle"``)
+and the two modes produce bit-identical results, which the test suite
+enforces.  :data:`ENGINE_REV` names the revision of this machinery; the
+sweep-result cache folds it into every key so cached numbers can never
+outlive the allocator that produced them.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..routing.paths import DirectedSegment
 from ..routing.router import Router
 from ..topology.base import Topology
+from .conflict import ConflictGraph
 from .events import EventQueue, SimClock
-from .fairshare import max_min_rates
+from .fairshare import AllocatorWorkspace, FairShareError, allocate_dense
 from .flow import CoflowSpec, FlowPhase, FlowSpec, FlowState
 
-__all__ = ["FluidSimulation", "SimulationResult", "FlowRecord", "CoflowRecord"]
+__all__ = [
+    "ENGINE_REV",
+    "DEFAULT_ALLOCATOR",
+    "FluidSimulation",
+    "SimulationResult",
+    "FlowRecord",
+    "CoflowRecord",
+]
+
+#: Revision of the engine/allocator implementation.  Bump whenever the
+#: (trace → results) map can change — the runner's content-addressed
+#: cache folds this into every key (see :mod:`repro.runner.cache`).
+ENGINE_REV = 2
+
+#: Allocator mode used when :class:`FluidSimulation` is not told one.
+#: "incremental" re-solves only dirty conflict components; "oracle" is
+#: the from-scratch reference.  They are bit-identical by construction.
+DEFAULT_ALLOCATOR = "incremental"
+
+_ALLOCATORS = ("incremental", "oracle")
 
 #: A flow is done when fewer bits than this remain (≈ one-millionth of a bit).
 _COMPLETION_EPS = 1e-6
@@ -122,6 +159,10 @@ class FluidSimulation:
         trace: coflows to replay, in any order (arrivals are scheduled).
         horizon: optional wall-clock cut-off in simulated seconds; flows
             still running then are reported unfinished.
+        allocator: "incremental" (default, via :data:`DEFAULT_ALLOCATOR`)
+            re-solves only the conflict-graph components an event
+            touched; "oracle" recomputes the full allocation from
+            scratch.  Results are bit-identical either way.
     """
 
     def __init__(
@@ -131,6 +172,7 @@ class FluidSimulation:
         trace: Sequence[CoflowSpec],
         horizon: Optional[float] = None,
         monitor: Optional[object] = None,
+        allocator: Optional[str] = None,
     ) -> None:
         self.topo = topo
         self.router = router
@@ -138,6 +180,12 @@ class FluidSimulation:
         #: Optional :class:`repro.simulation.monitor.SimMonitor`; called
         #: with (now, flow_segments, rates) after every reallocation.
         self.monitor = monitor
+        self.allocator = DEFAULT_ALLOCATOR if allocator is None else allocator
+        if self.allocator not in _ALLOCATORS:
+            raise ValueError(
+                f"unknown allocator {self.allocator!r}; expected one of "
+                f"{_ALLOCATORS}"
+            )
         self.clock = SimClock()
         self.queue = EventQueue()
         self.active: dict[int, FlowState] = {}
@@ -147,6 +195,24 @@ class FluidSimulation:
         self._coflow_spec: dict[int, CoflowSpec] = {}
         self._initial_hops: dict[int, Optional[int]] = {}
         self._capacities: dict[DirectedSegment, float] = self._build_capacities()
+        # Static interning: every directed segment the topology can ever
+        # offer gets a dense id here, so the hot path never hashes a
+        # DirectedSegment again.
+        self._seg_id: dict[DirectedSegment, int] = {}
+        self._caps_dense: list[float] = []
+        for seg, cap in self._capacities.items():
+            self._seg_id[seg] = len(self._caps_dense)
+            self._caps_dense.append(cap)
+        self._conflicts = ConflictGraph(len(self._caps_dense))
+        self._alloc_ws = AllocatorWorkspace(len(self._caps_dense))
+        #: Flows whose allocation inputs changed since the last solve,
+        #: mapped to the segment ids they were registered on at the time
+        #: (the seeds for the affected-component search).
+        self._dirty: dict[int, tuple[int, ...]] = {}
+        #: Lazy projected-finish min-heap of (finish_time, flow_id, gen);
+        #: entries whose gen no longer matches the flow's are stale.
+        self._finish_heap: list[tuple[float, int, int]] = []
+        self._next_seq = 0
         self._topology_dirty = False
         self._flows_dirty = False
         self._events_processed = 0
@@ -226,7 +292,6 @@ class FluidSimulation:
             target = min(candidates)
 
             if target > now + _TIME_EPS:
-                self._advance_flows(target - now)
                 self.clock.advance_to(target)
             self._complete_finished()
             if (
@@ -256,9 +321,18 @@ class FluidSimulation:
         self._coflow_pending[coflow.coflow_id] = coflow.width
         for spec in coflow.flows:
             path = self.router.initial_path(spec.src, spec.dst, spec.flow_id)
-            state = FlowState(spec=spec, start=now, remaining_bits=spec.size_bits)
+            state = FlowState(
+                spec=spec,
+                start=now,
+                remaining_bits=spec.size_bits,
+                seq=self._next_seq,
+                updated_at=now,
+            )
+            self._next_seq += 1
             if path is not None:
-                state.assign_path(path, path.segments(self.topo, spec.flow_id))
+                segments = path.segments(self.topo, spec.flow_id)
+                state.assign_path(path, segments)
+                state.ipath = self._dense_path(segments)
                 self._initial_hops[spec.flow_id] = path.hops
                 if not path.is_operational(self.topo):
                     state.begin_stall(now)
@@ -266,6 +340,7 @@ class FluidSimulation:
                 self._initial_hops[spec.flow_id] = None
                 state.begin_stall(now)
             self.active[spec.flow_id] = state
+            self._mark_dirty(spec.flow_id)
         self._flows_dirty = True
 
     def _after_events(self) -> None:
@@ -279,7 +354,12 @@ class FluidSimulation:
             self._flows_dirty = False
 
     def _repath_flows(self) -> None:
-        """Give every broken or stalled flow a chance at a new path."""
+        """Give every broken or stalled flow a chance at a new path.
+
+        Full sweep by design: a topology change can strand *any* flow,
+        so this is a sanctioned O(active) site (PERF001) — it runs only
+        on topology changes, never on the per-event hot path.
+        """
         now = self.clock.now
         # Current load per segment from flows whose paths are intact.
         load: dict[DirectedSegment, int] = {}
@@ -287,14 +367,17 @@ class FluidSimulation:
         for fid in sorted(self.active):
             state = self.active[fid]
             if state.path is not None and state.path.is_operational(self.topo):
-                # A repair may have brought a stalled flow's pinned path back.
-                state.end_stall(now)
+                if state.phase is FlowPhase.STALLED:
+                    # A repair brought the stalled flow's pinned path back.
+                    state.end_stall(now)
+                    self._mark_dirty(fid)
                 for seg in state.segments:
                     load[seg] = load.get(seg, 0) + 1
             else:
                 broken.append(state)
         for state in broken:
             spec = state.spec
+            self._mark_dirty(spec.flow_id)
             new_path = self.router.repath(
                 spec.src, spec.dst, spec.flow_id, state.path, load
             )
@@ -303,45 +386,139 @@ class FluidSimulation:
                 if state.last_nodes is not None and new_path.nodes != state.last_nodes:
                     state.reroutes += 1
                 state.assign_path(new_path, segments)
+                state.ipath = self._dense_path(segments)
                 state.end_stall(now)
                 for seg in segments:
                     load[seg] = load.get(seg, 0) + 1
             else:
                 state.assign_path(None, ())
+                state.ipath = ()
                 state.begin_stall(now)
 
     # ------------------------------------------------------------------
     # fluid progression
     # ------------------------------------------------------------------
 
+    def _mark_dirty(self, fid: int) -> None:
+        """Record that ``fid``'s allocation inputs changed, remembering
+        the segments it was registered on (old *and* new placements seed
+        the affected-component search)."""
+        if fid not in self._dirty:
+            self._dirty[fid] = self._conflicts.segments_of(fid)
+
+    def _dense_path(self, segments: tuple[DirectedSegment, ...]) -> tuple[int, ...]:
+        seg_id = self._seg_id
+        try:
+            return tuple(seg_id[s] for s in segments)
+        except KeyError as exc:
+            raise FairShareError(
+                f"segment {exc.args[0]!r} has no capacity entry"
+            ) from None
+
     def _reallocate(self) -> None:
+        if self.allocator == "oracle":
+            self._reallocate_oracle()
+        else:
+            self._reallocate_incremental()
+        self._reallocations += 1
+        if self.monitor is not None:
+            self._notify_monitor()
+
+    def _reallocate_oracle(self) -> None:
+        """From-scratch reference: rebuild the whole allocation problem.
+
+        Sanctioned O(active) site (PERF001) — being a full sweep is the
+        point of the oracle.
+        """
+        now = self.clock.now
+        self._dirty.clear()
+        pairs = [
+            (fid, state.ipath)
+            for fid, state in self.active.items()
+            if state.phase is FlowPhase.ACTIVE and state.ipath
+        ]
+        rates = allocate_dense(pairs, self._caps_dense, self._alloc_ws)
+        for fid, state in self.active.items():
+            self._apply_rate(state, rates.get(fid, 0.0), now)
+
+    def _reallocate_incremental(self) -> None:
+        """Re-solve only the conflict components containing dirty flows.
+
+        Untouched components keep their rates verbatim — progressive
+        filling is separable across components and the dense solver is
+        deterministic, so skipping them is bit-exact (the A/B tests in
+        ``tests/test_engine_incremental.py`` hold this to ``==``).
+        """
+        now = self.clock.now
+        seeds: list[int] = []
+        for fid, old_segs in self._dirty.items():
+            state = self.active.get(fid)
+            if state is not None and state.phase is FlowPhase.ACTIVE and state.ipath:
+                self._conflicts.place(fid, state.ipath)
+                seeds.extend(state.ipath)
+            else:
+                self._conflicts.remove(fid)
+            seeds.extend(old_segs)
+        self._dirty.clear()
+        active = self.active
+        for comp in self._conflicts.affected_components(seeds):
+            comp.sort(key=lambda fid: active[fid].seq)
+            pairs = [(fid, active[fid].ipath) for fid in comp]
+            rates = allocate_dense(
+                pairs, self._caps_dense, self._alloc_ws, assume_connected=True
+            )
+            for fid in comp:
+                self._apply_rate(active[fid], rates[fid], now)
+
+    def _apply_rate(self, state: FlowState, rate: float, now: float) -> None:
+        """Install a new rate iff it differs bit-for-bit from the old one,
+        settling the flow's residual first so the piecewise-constant
+        integral stays exact.  The *iff* matters: both allocator modes
+        then settle the same flows at the same instants, which keeps
+        their floating-point trajectories identical."""
+        if rate != state.rate:
+            state.settle(now)
+            state.rate = rate
+            state.gen += 1
+            if rate > 0.0:
+                heapq.heappush(
+                    self._finish_heap,
+                    (now + state.remaining_bits / rate, state.spec.flow_id, state.gen),
+                )
+
+    def _notify_monitor(self) -> None:
+        """Monitors always see the *full* rate map (monitor contract),
+        regardless of which components the allocator re-solved.
+
+        Sanctioned O(active) site (PERF001): only runs when a monitor is
+        attached, and instrumentation wants the global view.
+        """
         flow_segments = {
             fid: state.segments
             for fid, state in self.active.items()
             if state.phase is FlowPhase.ACTIVE and state.segments
         }
-        rates = max_min_rates(flow_segments, self._capacities)
-        for fid, state in self.active.items():
-            state.rate = rates.get(fid, 0.0)
-        self._reallocations += 1
-        if self.monitor is not None:
-            self.monitor.on_reallocate(self.clock.now, flow_segments, rates)
+        rates = {fid: self.active[fid].rate for fid in flow_segments}
+        self.monitor.on_reallocate(self.clock.now, flow_segments, rates)
 
     def _next_completion_time(self) -> Optional[float]:
-        best: Optional[float] = None
-        for state in self.active.values():
-            if state.phase is FlowPhase.ACTIVE and state.rate > 0:
-                t = self.clock.now + state.remaining_bits / state.rate
-                if best is None or t < best:
-                    best = t
-        return best
-
-    def _advance_flows(self, dt: float) -> None:
-        for state in self.active.values():
-            if state.phase is FlowPhase.ACTIVE and state.rate > 0:
-                state.remaining_bits = max(
-                    0.0, state.remaining_bits - state.rate * dt
-                )
+        """Peek the projected-finish heap, discarding stale entries
+        (superseded generation, stalled or completed flow)."""
+        heap = self._finish_heap
+        active = self.active
+        while heap:
+            t, fid, gen = heap[0]
+            state = active.get(fid)
+            if (
+                state is None
+                or gen != state.gen
+                or state.phase is not FlowPhase.ACTIVE
+                or state.rate <= 0.0
+            ):
+                heapq.heappop(heap)
+                continue
+            return t
+        return None
 
     def _complete_finished(self) -> None:
         now = self.clock.now
@@ -349,29 +526,65 @@ class FluidSimulation:
         # time to drain it is below the clock's float resolution at `now`
         # (without the latter, a sub-ulp drain time would stall the loop).
         time_floor = 4.0 * math.ulp(max(1.0, now))
-        finished = [
-            fid
-            for fid, state in self.active.items()
-            if state.phase is FlowPhase.ACTIVE
-            and (
+        while True:
+            finished = self._pop_completion_candidates(now, time_floor)
+            if not finished:
+                return
+            for fid in finished:
+                self._mark_dirty(fid)
+                state = self.active.pop(fid)
+                state.complete(now)
+                self._records[fid] = self._record_of(state)
+                coflow_id = state.spec.coflow_id
+                self._coflow_pending[coflow_id] -= 1
+                if self._coflow_pending[coflow_id] == 0:
+                    self._coflow_records[coflow_id] = CoflowRecord(
+                        spec=self._coflow_spec[coflow_id], finish=now
+                    )
+            # Freed bandwidth can push more flows over the line at this
+            # same instant; drain iteratively until stable instead of
+            # recursing — completion cascades on large traces must not
+            # be bounded by the interpreter's recursion limit.
+            self._reallocate()
+
+    def _pop_completion_candidates(
+        self, now: float, time_floor: float
+    ) -> list[int]:
+        """Pop every flow whose projected finish lands at ``now``, settle
+        it, and return (sorted) the ones that really are done; the rest
+        are re-queued with a freshened projection."""
+        heap = self._finish_heap
+        active = self.active
+        finished: list[int] = []
+        repush: list[tuple[float, int, int]] = []
+        while heap:
+            t, fid, gen = heap[0]
+            state = active.get(fid)
+            if (
+                state is None
+                or gen != state.gen
+                or state.phase is not FlowPhase.ACTIVE
+                or state.rate <= 0.0
+            ):
+                heapq.heappop(heap)
+                continue
+            if t > now + time_floor and t > now + _COMPLETION_EPS / state.rate:
+                break
+            heapq.heappop(heap)
+            state.settle(now)
+            if (
                 state.remaining_bits <= _COMPLETION_EPS
-                or (state.rate > 0 and state.remaining_bits / state.rate <= time_floor)
-            )
-        ]
-        if not finished:
-            return
-        for fid in sorted(finished):
-            state = self.active.pop(fid)
-            state.complete(now)
-            self._records[fid] = self._record_of(state)
-            coflow_id = state.spec.coflow_id
-            self._coflow_pending[coflow_id] -= 1
-            if self._coflow_pending[coflow_id] == 0:
-                self._coflow_records[coflow_id] = CoflowRecord(
-                    spec=self._coflow_spec[coflow_id], finish=now
+                or state.remaining_bits / state.rate <= time_floor
+            ):
+                finished.append(fid)
+            else:
+                repush.append(
+                    (now + state.remaining_bits / state.rate, fid, state.gen)
                 )
-        self._flows_dirty = True
-        self._after_events()
+        for entry in repush:
+            heapq.heappush(heap, entry)
+        finished.sort()
+        return finished
 
     # ------------------------------------------------------------------
     # results

@@ -19,13 +19,29 @@ Invariants (property-tested in ``tests/test_fairshare_properties.py``):
 * fairness — a flow's rate can't be raised without lowering the rate of
   some flow with an equal or smaller rate.
 
-Implementation note: bottleneck selection uses a lazy-deletion heap.
-This is sound because the fair share of any segment is *non-decreasing*
-as flows freeze (a frozen flow's rate is never above the segment's old
-share, so ``(cap − r) / (n − 1) ≥ cap / n``); a popped entry whose
-recorded share is stale is simply re-pushed with its current value.
-That brings a full reallocation to O(P log S) for P total path segments,
-which is what makes trace-scale replays fast enough in pure Python.
+Implementation notes.  The solver is *component-decomposed*: the
+flow↔segment conflict graph (flows adjacent when their paths share a
+directed segment) is partitioned into connected components and each
+component is solved independently.  Progressive filling is separable —
+a bottleneck freeze in one component never touches capacity or counts
+in another — so the decomposition is exact, and it is what lets the
+engine recompute only the components an event touched
+(:mod:`repro.simulation.conflict`): solving a component alone produces
+*bit-identical* rates to solving it inside the full problem, because
+each component gets its own heap, its own tie counter, and iterates its
+flows in the same relative order either way.
+
+The core (:func:`allocate_dense`) works on dense integer ids: flows are
+positions in the input list, segments index a flat capacity array, and
+the per-component state (remaining capacity, unfrozen counts, frozen
+flags) lives in flat lists instead of dict-of-sets.  Bottleneck
+selection uses a lazy-deletion heap.  This is sound because the fair
+share of any segment is *non-decreasing* as flows freeze (a frozen
+flow's rate is never above the segment's old share, so
+``(cap − r) / (n − 1) ≥ cap / n``); a popped entry whose recorded share
+is stale is simply re-pushed with its current value.  That brings a
+full reallocation to O(P log S) for P total path segments, which is
+what makes trace-scale replays fast enough in pure Python.
 """
 
 from __future__ import annotations
@@ -33,11 +49,207 @@ from __future__ import annotations
 import heapq
 from collections.abc import Hashable, Mapping, Sequence
 
-__all__ = ["max_min_rates", "FairShareError"]
+__all__ = [
+    "max_min_rates",
+    "allocate_dense",
+    "AllocatorWorkspace",
+    "FairShareError",
+]
 
 
 class FairShareError(ValueError):
     """Raised on malformed allocation inputs (empty paths, bad capacity)."""
+
+
+class AllocatorWorkspace:
+    """Reusable dense scratch for :func:`allocate_dense`.
+
+    One of these per engine avoids re-allocating O(num_segments) arrays
+    on every reallocation.  Between calls every ``members`` list is
+    empty and ``seg_mark`` is all-zero; ``remaining``/``counts`` carry
+    stale values that the next call overwrites for the segments it uses.
+    """
+
+    def __init__(self, num_segments: int) -> None:
+        self.members: list[list[int]] = [[] for _ in range(num_segments)]
+        self.remaining: list[float] = [0.0] * num_segments
+        self.counts: list[int] = [0] * num_segments
+        self.seg_mark = bytearray(num_segments)
+
+
+def _solve_component(
+    comp_segs: list[int],
+    paths: list[tuple[int, ...]],
+    members: list[list[int]],
+    remaining: list[float],
+    counts: list[int],
+    frozen: bytearray,
+    seg_mark: bytearray,
+    rates: list[float],
+) -> None:
+    """Progressive filling over one connected component.
+
+    ``comp_segs`` must be in first-seen order over the component's flows
+    taken in ascending problem order; the heap and its tie counter are
+    component-local, so the result is a pure function of the component —
+    the separability guarantee the engine relies on.  ``seg_mark`` is
+    shared scratch, all-zero on entry and on exit.
+    """
+    # Lazy-deletion min-heap of (share, tie, segment).
+    tie = 0
+    heap: list[tuple[float, int, int]] = []
+    for s in comp_segs:
+        heap.append((remaining[s] / counts[s], tie, s))
+        tie += 1
+    heapq.heapify(heap)
+
+    while heap:
+        share, _, seg = heapq.heappop(heap)
+        count = counts[seg]
+        if not count:
+            continue  # everything on it froze via other bottlenecks
+        current = remaining[seg] / count
+        if current > share + 1e-12 * (current if current > 1.0 else 1.0):
+            # Stale entry: the share grew since it was pushed; re-queue.
+            heapq.heappush(heap, (current, tie, seg))
+            tie += 1
+            continue
+
+        fair = current
+        touched: list[int] = []
+        for flow in members[seg]:
+            if frozen[flow]:
+                continue
+            frozen[flow] = 1
+            rates[flow] = fair
+            for fseg in paths[flow]:
+                remaining[fseg] -= fair
+                counts[fseg] -= 1
+                if not seg_mark[fseg]:
+                    seg_mark[fseg] = 1
+                    touched.append(fseg)
+        remaining[seg] = 0.0
+        for fseg in touched:
+            seg_mark[fseg] = 0
+            if remaining[fseg] < 0:  # float residue
+                remaining[fseg] = 0.0
+            if fseg != seg and counts[fseg]:
+                heapq.heappush(heap, (remaining[fseg] / counts[fseg], tie, fseg))
+                tie += 1
+
+
+def allocate_dense(
+    pairs: Sequence[tuple[Hashable, tuple[int, ...]]],
+    capacities: Sequence[float],
+    workspace: AllocatorWorkspace | None = None,
+    assume_connected: bool = False,
+) -> dict[Hashable, float]:
+    """Max-min rates for flows whose paths are dense integer segment ids.
+
+    Args:
+        pairs: ordered ``(key, path)`` items; each path is a tuple of
+            indices into ``capacities``, with no duplicate segment
+            within one path.  The order is significant: it fixes the
+            flow-freeze and heap tie order, hence the exact floats.
+        capacities: segment id → capacity in bits/s.
+        workspace: optional reusable scratch (one per engine); a fresh
+            one is allocated when omitted.
+        assume_connected: the caller asserts ``pairs`` form a single
+            conflict component (the engine's incremental path solves one
+            component at a time), skipping the partition pass.  The
+            rates are bit-identical either way.
+
+    Returns:
+        key → allocated rate (bits/s), in input order.
+
+    The problem is split into conflict-graph components and each is
+    solved by :func:`_solve_component` with component-local heap state,
+    so any sub-slice of ``pairs`` that covers whole components yields
+    rates bit-identical to solving the full problem.
+    """
+    if not pairs:
+        return {}
+
+    ws = workspace if workspace is not None else AllocatorWorkspace(len(capacities))
+    members = ws.members
+    remaining = ws.remaining
+    counts = ws.counts
+    seg_mark = ws.seg_mark
+
+    nflows = len(pairs)
+    paths: list[tuple[int, ...]] = []
+    used: list[int] = []  # segment ids of this problem, first-seen order
+    try:
+        for idx, (key, path) in enumerate(pairs):
+            if not path:
+                raise FairShareError(f"flow {key!r} has an empty path")
+            for s in path:
+                m = members[s]
+                if not m:
+                    used.append(s)
+                m.append(idx)
+            paths.append(path)
+        for s in used:
+            cap = float(capacities[s])
+            if cap < 0:
+                raise FairShareError(f"segment {s} has negative capacity {cap}")
+            remaining[s] = cap
+            counts[s] = len(members[s])
+
+        rates = [0.0] * nflows
+        frozen = bytearray(nflows)
+
+        if assume_connected:
+            _solve_component(
+                used, paths, members, remaining, counts, frozen, seg_mark, rates
+            )
+        else:
+            visited = bytearray(nflows)
+            for start in range(nflows):
+                if visited[start]:
+                    continue
+                # Collect the component by BFS over shared segments, then
+                # sort it into problem order so per-component results
+                # match the full solve bit-for-bit.
+                visited[start] = 1
+                comp_flows = [start]
+                stack = [start]
+                while stack:
+                    f = stack.pop()
+                    for s in paths[f]:
+                        if seg_mark[s]:
+                            continue
+                        seg_mark[s] = 1
+                        for nf in members[s]:
+                            if not visited[nf]:
+                                visited[nf] = 1
+                                comp_flows.append(nf)
+                                stack.append(nf)
+                comp_flows.sort()
+                # The BFS left this component's segments marked; collect
+                # them in first-seen order (clearing the marks as we go).
+                comp_segs: list[int] = []
+                for f in comp_flows:
+                    for s in paths[f]:
+                        if seg_mark[s]:
+                            seg_mark[s] = 0
+                            comp_segs.append(s)
+                _solve_component(
+                    comp_segs,
+                    paths,
+                    members,
+                    remaining,
+                    counts,
+                    frozen,
+                    seg_mark,
+                    rates,
+                )
+    finally:
+        for s in used:
+            members[s].clear()
+            seg_mark[s] = 0
+
+    return {key: rates[idx] for idx, (key, _) in enumerate(pairs)}
 
 
 def max_min_rates(
@@ -45,6 +257,11 @@ def max_min_rates(
     capacities: Mapping[Hashable, float],
 ) -> dict[Hashable, float]:
     """Max-min fair rates for ``flow_segments`` under ``capacities``.
+
+    The reference ("oracle") entry point: validates its inputs, interns
+    segments to dense ids, and defers to :func:`allocate_dense` — the
+    same core the engine's incremental path uses, which is what makes
+    incremental-vs-oracle bit-identity hold by construction.
 
     Args:
         flow_segments: flow id → the directed segments its path crosses.
@@ -59,63 +276,31 @@ def max_min_rates(
     if not flow_segments:
         return {}
 
-    seg_flows: dict[Hashable, set[Hashable]] = {}
+    seg_ids: dict[Hashable, int] = {}
+    caps: list[float] = []
+    pairs: list[tuple[Hashable, tuple[int, ...]]] = []
     for flow, segments in flow_segments.items():
         if not segments:
             raise FairShareError(f"flow {flow!r} has an empty path")
+        path: list[int] = []
         for seg in segments:
-            if seg not in capacities:
-                raise FairShareError(f"segment {seg!r} has no capacity entry")
-            seg_flows.setdefault(seg, set()).add(flow)
+            sid = seg_ids.get(seg)
+            if sid is None:
+                if seg not in capacities:
+                    raise FairShareError(f"segment {seg!r} has no capacity entry")
+                cap = float(capacities[seg])
+                if cap < 0:
+                    raise FairShareError(
+                        f"segment {seg!r} has negative capacity {cap}"
+                    )
+                sid = len(caps)
+                seg_ids[seg] = sid
+                caps.append(cap)
+            path.append(sid)
+        if len(path) > 1 and len(set(path)) != len(path):
+            path = list(dict.fromkeys(path))  # drop repeats, keep first-seen order
+        pairs.append((flow, tuple(path)))
 
-    remaining: dict[Hashable, float] = {}
-    unfrozen: dict[Hashable, set[Hashable]] = {}
-    for seg, flows in seg_flows.items():
-        cap = float(capacities[seg])
-        if cap < 0:
-            raise FairShareError(f"segment {seg!r} has negative capacity {cap}")
-        remaining[seg] = cap
-        unfrozen[seg] = set(flows)
-
-    # Lazy-deletion min-heap of (share, tie, segment).
-    heap: list[tuple[float, int, Hashable]] = []
-    tie = 0
-    for seg, flows in unfrozen.items():
-        heap.append((remaining[seg] / len(flows), tie, seg))
-        tie += 1
-    heapq.heapify(heap)
-
-    rates: dict[Hashable, float] = {}
-
-    while heap:
-        share, _, seg = heapq.heappop(heap)
-        flows = unfrozen[seg]
-        if not flows:
-            continue  # everything on it froze via other bottlenecks
-        current = remaining[seg] / len(flows)
-        if current > share + 1e-12 * max(1.0, current):
-            # Stale entry: the share grew since it was pushed; re-queue.
-            heapq.heappush(heap, (current, tie, seg))
-            tie += 1
-            continue
-
-        fair = current
-        touched: set[Hashable] = set()
-        for flow in list(flows):
-            rates[flow] = fair
-            for fseg in flow_segments[flow]:
-                remaining[fseg] -= fair
-                unfrozen[fseg].discard(flow)
-                touched.add(fseg)
-        remaining[seg] = 0.0
-        for fseg in touched:
-            if remaining[fseg] < 0:  # float residue
-                remaining[fseg] = 0.0
-            left = unfrozen[fseg]
-            if fseg is not seg and left:
-                heapq.heappush(heap, (remaining[fseg] / len(left), tie, fseg))
-                tie += 1
-
-    # Every flow crosses >= 1 segment, so all were frozen.
+    rates = allocate_dense(pairs, caps)
     assert len(rates) == len(flow_segments)
     return rates

@@ -80,7 +80,14 @@ class FlowPhase(Enum):
 
 @dataclass
 class FlowState:
-    """Mutable per-flow simulation state."""
+    """Mutable per-flow simulation state.
+
+    ``remaining_bits`` is *lazily* materialised: it is exact as of
+    ``updated_at``, and :meth:`settle` brings it forward to any later
+    instant.  The engine only settles a flow when its rate changes or it
+    becomes a completion candidate, so event processing never sweeps the
+    whole active set.
+    """
 
     spec: FlowSpec
     start: float
@@ -95,6 +102,15 @@ class FlowState:
     #: Node sequence of the last real path held (survives stall windows, so
     #: resuming on the same path after a repair is not counted as a reroute).
     last_nodes: Optional[tuple[str, ...]] = None
+    #: Arrival sequence number; the engine orders allocation inputs by it.
+    seq: int = 0
+    #: Simulated time ``remaining_bits`` was last materialised at.
+    updated_at: float = 0.0
+    #: Generation counter for projected-finish heap entries: bumped on
+    #: every rate change, so stale heap entries identify themselves.
+    gen: int = 0
+    #: Path as dense engine-interned segment ids (mirrors ``segments``).
+    ipath: tuple[int, ...] = ()
     _stall_began: Optional[float] = None
 
     def assign_path(
@@ -105,11 +121,21 @@ class FlowState:
         if path is not None:
             self.last_nodes = path.nodes
 
+    def settle(self, now: float) -> None:
+        """Materialise ``remaining_bits`` at ``now`` under the current rate."""
+        if self.rate > 0.0 and now > self.updated_at:
+            self.remaining_bits = max(
+                0.0, self.remaining_bits - self.rate * (now - self.updated_at)
+            )
+        self.updated_at = now
+
     def begin_stall(self, now: float) -> None:
         if self.phase is FlowPhase.ACTIVE:
+            self.settle(now)
             self.phase = FlowPhase.STALLED
             self._stall_began = now
             self.rate = 0.0
+            self.gen += 1
 
     def end_stall(self, now: float) -> None:
         if self.phase is FlowPhase.STALLED:
@@ -123,6 +149,8 @@ class FlowState:
         self.finish = now
         self.rate = 0.0
         self.remaining_bits = 0.0
+        self.updated_at = now
+        self.gen += 1
 
     @property
     def hops(self) -> Optional[int]:

@@ -35,6 +35,7 @@ EXPECTED_CODES = {
     "PROC001", "PROC002",
     "EXC001", "EXC002",
     "CHS001",
+    "PERF001",
 }
 
 
@@ -433,6 +434,78 @@ class TestRuleFixtures:
                 return client.connect("localhost")
             """
         assert "CHS001" not in codes(check_source(dedent(source)))
+
+    def test_perf001_full_active_sweep_fires(self, tmp_path, capsys):
+        exit_code = lint_file(
+            tmp_path,
+            """\
+            class FluidSimulation:
+                def _throttle_everything(self):
+                    for fid, state in self.active.items():
+                        state.rate = 0.0
+            """,
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "PERF001" in out
+        assert "_throttle_everything" in out
+
+    def test_perf001_catches_wrapped_iteration(self):
+        source = """\
+            class FluidSimulation:
+                def _scan(self):
+                    return [fid for fid in sorted(self.active)]
+            """
+        assert "PERF001" in codes(check_source(dedent(source)))
+
+    def test_perf001_sanctioned_helpers_are_fine(self):
+        source = """\
+            class FluidSimulation:
+                def _repath_flows(self):
+                    for fid in sorted(self.active):
+                        pass
+
+                def _reallocate_oracle(self):
+                    return [s.ipath for s in self.active.values()]
+
+                def _notify_monitor(self):
+                    return {f: s for f, s in self.active.items()}
+
+                def _build_result(self):
+                    for fid, state in self.active.items():
+                        pass
+            """
+        assert "PERF001" not in codes(check_source(dedent(source)))
+
+    def test_perf001_other_classes_and_attrs_are_fine(self):
+        source = """\
+            class PacketLevelSimulator:
+                def sweep(self):
+                    for f in self.active:
+                        pass
+
+            class FluidSimulation:
+                def _drain(self):
+                    for comp in self.components:
+                        pass
+                    for fid in affected:
+                        pass
+            """
+        assert "PERF001" not in codes(check_source(dedent(source)))
+
+    def test_perf001_scoped_to_simulation_modules(self):
+        source = """\
+            class FluidSimulation:
+                def _helper(self):
+                    for fid in self.active:
+                        pass
+            """
+        assert "PERF001" in codes(
+            check_source(dedent(source), module="repro.simulation.engine")
+        )
+        assert "PERF001" not in codes(
+            check_source(dedent(source), module="repro.experiments.slowdown")
+        )
 
     def test_chs001_exempt_inside_repro_core(self):
         source = """\

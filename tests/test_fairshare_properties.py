@@ -1,9 +1,20 @@
-"""Property-based tests of the max-min allocator's defining invariants."""
+"""Property-based tests of the max-min allocator's defining invariants.
+
+The invariants run against the public :func:`max_min_rates` wrapper,
+which now sits on the dense array core (:func:`allocate_dense`), so
+feasibility / Pareto / fairness cover both layers.  The second half of
+the file pins down the array core's own contracts: wrapper/core
+bit-identity, component separability (the property the engine's
+incremental mode is built on), workspace reuse, and the
+``assume_connected`` fast path.
+"""
 
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
-from repro.simulation import max_min_rates
+from repro.simulation import allocate_dense, max_min_rates
+from repro.simulation.fairshare import AllocatorWorkspace, FairShareError
 
 
 @st.composite
@@ -109,3 +120,111 @@ def test_single_link_exact_split(n, cap):
     rates = max_min_rates(flows, {"L": cap})
     for r in rates.values():
         assert abs(r - cap / n) <= 1e-9 * max(1.0, cap)
+
+
+# ----------------------------------------------------------------------
+# array-core contracts: interning, separability, workspace reuse
+# ----------------------------------------------------------------------
+
+
+def intern(flow_segments, capacities):
+    """Hand-rolled interning mirroring what the engine does statically."""
+    seg_ids = {s: i for i, s in enumerate(capacities)}
+    caps = [float(capacities[s]) for s in capacities]
+    pairs = [
+        (f, tuple(seg_ids[s] for s in path)) for f, path in flow_segments.items()
+    ]
+    return pairs, caps
+
+
+def components_of(flow_segments):
+    """Connected components of the flow↔segment conflict graph, each
+    sorted into problem order (reference implementation for the tests)."""
+    seg_flows = {}
+    for f, path in flow_segments.items():
+        for s in path:
+            seg_flows.setdefault(s, []).append(f)
+    seen = set()
+    comps = []
+    for f in flow_segments:
+        if f in seen:
+            continue
+        seen.add(f)
+        comp, stack = [f], [f]
+        while stack:
+            g = stack.pop()
+            for s in flow_segments[g]:
+                for h in seg_flows[s]:
+                    if h not in seen:
+                        seen.add(h)
+                        comp.append(h)
+                        stack.append(h)
+        comps.append(sorted(comp))
+    return comps
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_dense_core_matches_wrapper_bitwise(problem):
+    """allocate_dense on hand-interned inputs == max_min_rates, exactly."""
+    flow_segments, capacities = problem
+    pairs, caps = intern(flow_segments, capacities)
+    dense = allocate_dense(pairs, caps)
+    wrapped = max_min_rates(flow_segments, capacities)
+    assert dense == wrapped  # float == float: bitwise, not approximate
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_component_separability_is_bitwise_exact(problem):
+    """Solving each conflict component alone reproduces the full solve
+    bit-for-bit — the property the engine's incremental mode rests on."""
+    flow_segments, capacities = problem
+    pairs, caps = intern(flow_segments, capacities)
+    merged = allocate_dense(pairs, caps)
+    by_flow = dict(pairs)
+    pieced = {}
+    for comp in components_of(flow_segments):
+        comp_pairs = [(f, by_flow[f]) for f in comp]
+        pieced.update(allocate_dense(comp_pairs, caps))
+    assert pieced == merged
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_assume_connected_matches_partitioned_solve(problem):
+    """Per single component, the assume_connected fast path (what the
+    engine uses) must agree with the partitioning path exactly."""
+    flow_segments, capacities = problem
+    pairs, caps = intern(flow_segments, capacities)
+    by_flow = dict(pairs)
+    for comp in components_of(flow_segments):
+        comp_pairs = [(f, by_flow[f]) for f in comp]
+        fast = allocate_dense(comp_pairs, caps, assume_connected=True)
+        general = allocate_dense(comp_pairs, caps)
+        assert fast == general
+
+
+@given(allocation_problems(), allocation_problems())
+@settings(max_examples=100, deadline=None)
+def test_workspace_reuse_is_clean(problem_a, problem_b):
+    """Back-to-back solves through one shared workspace match fresh
+    solves — i.e. the workspace is truly reset between calls."""
+    pairs_a, caps_a = intern(*problem_a)
+    pairs_b, caps_b = intern(*problem_b)
+    ws = AllocatorWorkspace(max(len(caps_a), len(caps_b)))
+    assert allocate_dense(pairs_a, caps_a, ws) == allocate_dense(pairs_a, caps_a)
+    assert allocate_dense(pairs_b, caps_b, ws) == allocate_dense(pairs_b, caps_b)
+    assert allocate_dense(pairs_a, caps_a, ws) == allocate_dense(pairs_a, caps_a)
+
+
+@given(allocation_problems())
+@settings(max_examples=50, deadline=None)
+def test_workspace_survives_input_errors(problem):
+    """A rejected instance must not poison the shared workspace."""
+    pairs, caps = intern(*problem)
+    ws = AllocatorWorkspace(len(caps))
+    bad = [*pairs, ("broken", ())]  # empty path: rejected after partial fill
+    with pytest.raises(FairShareError):
+        allocate_dense(bad, caps, ws)
+    assert allocate_dense(pairs, caps, ws) == allocate_dense(pairs, caps)

@@ -105,6 +105,35 @@ class TestResultCache:
         # key order in the payload dict must not matter
         assert cache_key("k", {"a": 1, "b": 2}) == cache_key("k", {"b": 2, "a": 1})
 
+    def test_key_depends_on_engine_rev(self, monkeypatch):
+        base = cache_key("k", {"a": 1})
+        assert cache_key("k", {"a": 1}, engine_rev=999) != base
+        # The default rev is read late from repro.simulation, so a code
+        # change there (modelled by monkeypatching) re-keys everything.
+        monkeypatch.setattr("repro.simulation.ENGINE_REV", 999)
+        assert cache_key("k", {"a": 1}) != base
+        assert cache_key("k", {"a": 1}) == cache_key("k", {"a": 1}, engine_rev=999)
+
+    def test_engine_rev_bump_misses_warm_cache(self, tmp_path, monkeypatch):
+        import repro.simulation
+
+        runner = make_runner(tmp_path)
+        tasks = [
+            Task(f"t{i}", "testing-flaky",
+                 {"counter_file": str(tmp_path / f"c{i}"), "fail_times": 0})
+            for i in range(3)
+        ]
+        cold = runner.run(tasks)
+        assert cold.summary.cache_hits == 0
+        warm = runner.run(tasks)
+        assert warm.summary.cache_hits == len(tasks)
+        monkeypatch.setattr(
+            repro.simulation, "ENGINE_REV", repro.simulation.ENGINE_REV + 1
+        )
+        bumped = runner.run(tasks)  # same payloads, new engine rev
+        assert bumped.summary.cache_hits == 0
+        assert bumped.summary.cache_misses == len(tasks)
+
     def test_corrupt_entry_reads_as_miss_and_is_purged(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = cache_key("k", {})
