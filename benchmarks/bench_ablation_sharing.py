@@ -20,6 +20,7 @@ import pytest
 from repro.core import ShareBackupController, ShareBackupNetwork
 from repro.cost import E_DC, one_to_one_extra_cost, sharebackup_extra_cost
 from repro.failures import DEFAULT_FAILURE_MODEL
+from repro.rng import ensure_rng
 
 
 def monte_carlo_group_risk(
@@ -32,8 +33,8 @@ def monte_carlo_group_risk(
     return float(np.mean(downs > spares))
 
 
-def run(k: int, trials: int) -> list[dict]:
-    rng = np.random.default_rng(42)
+def run(k: int, trials: int, seed: int = 42) -> list[dict]:
+    rng = ensure_rng(seed)
     group = k // 2
     rows = []
     one_to_one = one_to_one_extra_cost(k, E_DC).total

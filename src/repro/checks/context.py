@@ -22,10 +22,13 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["FileContext", "module_name_for"]
+__all__ = ["FileContext", "module_name_for", "category_for"]
 
 #: ``# repro: noqa[RNG001]`` / ``# repro: noqa[RNG001, EXC001]`` / ``[*]``.
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_*,\s]+)\]")
+
+#: Directory families that carry their own rule scoping.
+_CATEGORIES = ("benchmarks", "examples", "tests", "src")
 
 
 def module_name_for(path: Path) -> str | None:
@@ -48,7 +51,24 @@ def module_name_for(path: Path) -> str | None:
     return ".".join(names)
 
 
-def _collect_aliases(tree: ast.Module, module: str | None) -> dict[str, str]:
+def category_for(path: Path) -> str | None:
+    """The directory family of ``path``: the *last* path component that
+    names one of the repository's top-level trees (``src``, ``tests``,
+    ``examples``, ``benchmarks``), or ``None`` for anything else (lint
+    fixtures in pytest tmp dirs, scratch files).  Rules use it for
+    per-directory scoping — e.g. the wall-clock rule never polices
+    ``benchmarks/``, whose whole job is timing.
+    """
+    parts = path.resolve().parts[:-1]
+    for part in reversed(parts):
+        if part in _CATEGORIES:
+            return part
+    return None
+
+
+def _collect_aliases(
+    tree: ast.Module, module: str | None, is_package: bool = False
+) -> dict[str, str]:
     """Map local names to the fully-qualified things they import."""
     aliases: dict[str, str] = {}
     for node in ast.walk(tree):
@@ -62,7 +82,7 @@ def _collect_aliases(tree: ast.Module, module: str | None) -> dict[str, str]:
         elif isinstance(node, ast.ImportFrom):
             base = node.module or ""
             if node.level:
-                base = _resolve_relative(base, node.level, module)
+                base = _resolve_relative(base, node.level, module, is_package)
             for item in node.names:
                 if item.name == "*":
                     continue
@@ -71,13 +91,20 @@ def _collect_aliases(tree: ast.Module, module: str | None) -> dict[str, str]:
     return aliases
 
 
-def _resolve_relative(base: str, level: int, module: str | None) -> str:
-    """Absolute form of a relative import, best-effort without the module."""
+def _resolve_relative(
+    base: str, level: int, module: str | None, is_package: bool = False
+) -> str:
+    """Absolute form of a relative import, best-effort without the module.
+
+    In a package ``__init__`` the dotted module name already names the
+    package, so level 1 resolves against it directly; in a plain module
+    level 1 strips the final component first.
+    """
     if module is None:
         return base
     package = module.split(".")
-    # ``from . import x`` at level 1 targets the containing package.
-    package = package[: len(package) - level] if level <= len(package) else []
+    drop = level - 1 if is_package else level
+    package = package[: len(package) - drop] if drop <= len(package) else []
     prefix = ".".join(package)
     if prefix and base:
         return f"{prefix}.{base}"
@@ -107,13 +134,18 @@ class FileContext:
     source: str
     tree: ast.Module
     module: str | None = None
+    category: str | None = None
     lines: list[str] = field(default_factory=list)
     aliases: dict[str, str] = field(default_factory=dict)
     noqa: dict[int, frozenset[str]] = field(default_factory=dict)
 
     @classmethod
     def from_source(
-        cls, source: str, path: str = "<string>", module: str | None = None
+        cls,
+        source: str,
+        path: str = "<string>",
+        module: str | None = None,
+        category: str | None = None,
     ) -> FileContext:
         """Parse ``source`` and build the full context (raises SyntaxError)."""
         tree = ast.parse(source, filename=path)
@@ -123,8 +155,11 @@ class FileContext:
             source=source,
             tree=tree,
             module=module,
+            category=category,
             lines=lines,
-            aliases=_collect_aliases(tree, module),
+            aliases=_collect_aliases(
+                tree, module, path.endswith("__init__.py")
+            ),
             noqa=_collect_noqa(lines),
         )
 
@@ -139,7 +174,20 @@ class FileContext:
             return f"{base}.{node.attr}"
         return None
 
-    def is_suppressed(self, line: int, code: str) -> bool:
-        """True when ``line`` carries a matching ``# repro: noqa[...]``."""
-        codes = self.noqa.get(line)
-        return codes is not None and (code.upper() in codes or "*" in codes)
+    def is_suppressed(
+        self, line: int, code: str, end_line: int | None = None
+    ) -> bool:
+        """True when a matching ``# repro: noqa[...]`` sits on any line
+        of ``[line, end_line]`` (``end_line`` defaults to ``line``).
+
+        The range form is what makes suppressions usable on multi-line
+        statements and decorated defs: the diagnostic points at the
+        first line, but the marker may trail the closing paren or sit on
+        a decorator line.
+        """
+        wanted = code.upper()
+        for candidate in range(line, (end_line or line) + 1):
+            codes = self.noqa.get(candidate)
+            if codes is not None and (wanted in codes or "*" in codes):
+                return True
+        return False

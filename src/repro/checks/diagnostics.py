@@ -8,21 +8,71 @@ determinism discipline the rules themselves enforce.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["Diagnostic"]
 
 
 @dataclass(frozen=True, order=True)
 class Diagnostic:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``span`` is the inclusive line range a ``# repro: noqa[...]``
+    marker may sit on to suppress this diagnostic (a multi-line call
+    spans all its physical lines; a decorated ``def`` spans its
+    decorators and signature).  It never participates in ordering — two
+    diagnostics at the same location compare equal regardless of span.
+    """
 
     path: str
     line: int
     col: int
     code: str
     message: str
+    span: tuple[int, int] | None = field(default=None, compare=False)
 
     def render(self) -> str:
         """The ``path:line:col: CODE message`` form the CLI prints."""
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def suppression_lines(self) -> tuple[int, int]:
+        """The inclusive line range a ``noqa`` marker is honored on."""
+        if self.span is None:
+            return (self.line, self.line)
+        return self.span
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serialisable form (for ``--format json`` and the cache)."""
+        out: dict[str, object] = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.span is not None:
+            out["span"] = [self.span[0], self.span[1]]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Diagnostic":
+        """Rebuild from :meth:`to_dict` output (cache entries)."""
+        raw_span = data.get("span")
+        span: tuple[int, int] | None = None
+        if isinstance(raw_span, (list, tuple)) and len(raw_span) == 2:
+            span = (_as_int(raw_span[0]), _as_int(raw_span[1]))
+        return cls(
+            path=str(data["path"]),
+            line=_as_int(data["line"]),
+            col=_as_int(data["col"]),
+            code=str(data["code"]),
+            message=str(data["message"]),
+            span=span,
+        )
+
+
+def _as_int(value: object) -> int:
+    """Narrow a JSON-decoded number to int (cache entries are untyped)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"expected a number, got {type(value).__name__}")
+    return int(value)

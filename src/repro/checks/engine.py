@@ -1,33 +1,56 @@
 """File discovery and rule execution.
 
-The engine walks the requested paths, parses each Python file once,
-runs every registered rule whose scope covers the file's module, drops
-diagnostics suppressed by ``# repro: noqa[...]`` markers, and returns
-the remainder sorted by location.  A file that does not parse yields a
-single ``SYN001`` diagnostic instead of aborting the run — the linter
-must be able to report on a broken tree, not fall over with it.
+Two entry points share the per-file machinery:
+
+* :func:`check_source` / :func:`check_file` / :func:`check_paths` — the
+  original per-file pass: parse, run every registered per-file rule
+  whose scope covers the file, drop suppressed diagnostics, sort;
+* :func:`lint_paths` — the full pipeline behind ``repro lint``: the
+  per-file pass over the requested paths **plus** the whole-program
+  pass (:mod:`repro.checks.project`) over the reference corpus, with
+  the incremental cache (:mod:`repro.checks.cache`) short-circuiting
+  every unchanged file.  On a warm cache the run parses nothing at
+  all — diagnostics and module summaries both replay from disk.
+
+A file that does not parse yields a single ``SYN001`` diagnostic
+instead of aborting the run — the linter must be able to report on a
+broken tree, not fall over with it.
+
+Project diagnostics are *reported* only into files the caller asked to
+lint, but *judged* against the whole repository: liveness and cycle
+evidence comes from the corpus regardless of the requested paths, so
+``repro lint src/repro`` and a bare ``repro lint`` agree.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
 from pathlib import Path
 
-from .context import FileContext, module_name_for
+from .cache import CachedFile, LintCache
+from .callgraph import summarize, syntax_error_summary
+from .context import FileContext, category_for, module_name_for
 from .diagnostics import Diagnostic
-from .registry import Rule, all_rules
+from .project import ProjectModel, discover_corpus, repo_root_for
+from .registry import Rule, all_rules, project_rules
 
 __all__ = [
     "DEFAULT_TARGETS",
     "SYNTAX_ERROR_CODE",
+    "LintStats",
+    "LintResult",
     "iter_source_files",
     "check_source",
     "check_file",
     "check_paths",
+    "lint_paths",
 ]
 
-#: What ``repro lint`` checks when invoked with no paths.
-DEFAULT_TARGETS = ("src/repro",)
+#: What ``repro lint`` checks when invoked with no paths.  Tests are
+#: deliberately absent: they monkeypatch, reach into privates, and
+#: assert on wall-clock — the rules would drown in sanctioned noise.
+DEFAULT_TARGETS = ("src/repro", "examples", "benchmarks")
 
 #: Pseudo-rule code for files the parser rejects.
 SYNTAX_ERROR_CODE = "SYN001"
@@ -50,40 +73,53 @@ def iter_source_files(paths: Iterable[str | Path]) -> list[Path]:
     return sorted(seen)
 
 
+def _run_file_rules(
+    ctx: FileContext, rules: Sequence[Rule] | None = None
+) -> list[Diagnostic]:
+    """Per-file rules over an already-parsed context, suppressions applied."""
+    active = all_rules() if rules is None else list(rules)
+    diagnostics: list[Diagnostic] = []
+    for rule in active:
+        if not rule.applies_to(ctx.module, ctx.category):
+            continue
+        for diagnostic in rule.check(ctx):
+            start, end = diagnostic.suppression_lines()
+            if not ctx.is_suppressed(start, diagnostic.code, end):
+                diagnostics.append(diagnostic)
+    return sorted(diagnostics)
+
+
 def check_source(
     source: str,
     path: str = "<string>",
     module: str | None = None,
     rules: Sequence[Rule] | None = None,
+    category: str | None = None,
 ) -> list[Diagnostic]:
-    """Run the rule set over one source string."""
+    """Run the per-file rule set over one source string."""
     try:
-        ctx = FileContext.from_source(source, path=path, module=module)
+        ctx = FileContext.from_source(
+            source, path=path, module=module, category=category
+        )
     except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1),
-                code=SYNTAX_ERROR_CODE,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    active = all_rules() if rules is None else list(rules)
-    diagnostics: list[Diagnostic] = []
-    for rule in active:
-        if not rule.applies_to(ctx.module):
-            continue
-        for diagnostic in rule.check(ctx):
-            if not ctx.is_suppressed(diagnostic.line, diagnostic.code):
-                diagnostics.append(diagnostic)
-    return sorted(diagnostics)
+        return [_syntax_diagnostic(path, exc)]
+    return _run_file_rules(ctx, rules)
+
+
+def _syntax_diagnostic(path: str, exc: SyntaxError) -> Diagnostic:
+    return Diagnostic(
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1),
+        code=SYNTAX_ERROR_CODE,
+        message=f"file does not parse: {exc.msg}",
+    )
 
 
 def check_file(
     path: str | Path, rules: Sequence[Rule] | None = None
 ) -> list[Diagnostic]:
-    """Run the rule set over one file on disk."""
+    """Run the per-file rule set over one file on disk."""
     file_path = Path(path)
     source = file_path.read_text(encoding="utf-8")
     return check_source(
@@ -91,14 +127,149 @@ def check_file(
         path=str(file_path),
         module=module_name_for(file_path),
         rules=rules,
+        category=category_for(file_path),
     )
 
 
 def check_paths(
     paths: Iterable[str | Path], rules: Sequence[Rule] | None = None
 ) -> list[Diagnostic]:
-    """Run the rule set over files and directory trees."""
+    """Run the per-file rule set over files and directory trees."""
     diagnostics: list[Diagnostic] = []
     for file_path in iter_source_files(paths):
         diagnostics.extend(check_file(file_path, rules=rules))
     return diagnostics
+
+
+@dataclass
+class LintStats:
+    """What one :func:`lint_paths` run did, for ``--stats`` and tests."""
+
+    linted_files: int = 0
+    corpus_files: int = 0
+    parsed_files: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    project_diagnostics: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "linted_files": self.linted_files,
+            "corpus_files": self.corpus_files,
+            "parsed_files": self.parsed_files,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "project_diagnostics": self.project_diagnostics,
+        }
+
+
+@dataclass
+class LintResult:
+    """Diagnostics plus run accounting from :func:`lint_paths`."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    stats: LintStats = field(default_factory=LintStats)
+    root: Path | None = None
+
+
+def lint_paths(
+    paths: Iterable[str | Path] | None = None,
+    *,
+    use_cache: bool = True,
+    cache_dir: str | Path | None = None,
+    project: bool = True,
+) -> LintResult:
+    """The full ``repro lint`` pipeline: per-file + whole-program rules.
+
+    ``use_cache=False`` disables the incremental cache entirely;
+    ``project=False`` skips the whole-program pass (and the corpus
+    walk that feeds it).  Diagnostic paths are repository-relative
+    whenever a repository root is discoverable, so output and cache
+    entries are stable regardless of the invoking directory.
+    """
+    targets = [Path(p) for p in (DEFAULT_TARGETS if paths is None else paths)]
+    linted = [p.resolve() for p in iter_source_files(targets)]
+    linted_set = set(linted)
+    root = repo_root_for(linted)
+    corpus = discover_corpus(linted) if project else sorted(linted_set)
+
+    cache: LintCache | None = None
+    if use_cache:
+        base = Path(cache_dir) if cache_dir is not None else (
+            (root or Path.cwd()) / ".repro-cache" / "lint"
+        )
+        cache = LintCache(root=base)
+
+    stats = LintStats(linted_files=len(linted), corpus_files=len(corpus))
+    diagnostics: list[Diagnostic] = []
+    summaries = []
+    linted_display: set[str] = set()
+
+    for resolved in corpus:
+        display = _display_path(resolved, root)
+        module = module_name_for(resolved)
+        category = category_for(resolved)
+        content = resolved.read_text(encoding="utf-8")
+        entry = (
+            cache.get(content, module, category, display)
+            if cache is not None
+            else None
+        )
+        if entry is None:
+            stats.parsed_files += 1
+            try:
+                ctx = FileContext.from_source(
+                    content, path=display, module=module, category=category
+                )
+            except SyntaxError as exc:
+                entry = CachedFile(
+                    diagnostics=(_syntax_diagnostic(display, exc),),
+                    summary=syntax_error_summary(display, module, category),
+                )
+            else:
+                entry = CachedFile(
+                    diagnostics=tuple(_run_file_rules(ctx)),
+                    summary=summarize(ctx),
+                )
+            if cache is not None:
+                cache.put(content, module, category, entry, display)
+        summaries.append(entry.summary)
+        if resolved in linted_set:
+            diagnostics.extend(entry.diagnostics)
+            linted_display.add(entry.summary.path)
+
+    if cache is not None:
+        stats.cache_hits = cache.stats.hits
+        stats.cache_misses = cache.stats.misses
+
+    if project:
+        model = ProjectModel.from_summaries(
+            summaries, frozenset(linted_display)
+        )
+        for rule in project_rules():
+            for diagnostic in rule.check(model):
+                summary = model.summaries.get(diagnostic.path)
+                if summary is None or diagnostic.path not in linted_display:
+                    continue
+                if not rule.applies_to(summary.module, summary.category):
+                    continue
+                start, end = diagnostic.suppression_lines()
+                if summary.is_suppressed(start, diagnostic.code, end):
+                    continue
+                diagnostics.append(diagnostic)
+                stats.project_diagnostics += 1
+
+    return LintResult(
+        diagnostics=sorted(diagnostics), stats=stats, root=root
+    )
+
+
+def _display_path(resolved: Path, root: Path | None) -> str:
+    """Repo-relative display form when possible — stable across cwds,
+    which keeps cached diagnostics and SARIF URIs deterministic."""
+    if root is not None:
+        try:
+            return resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return str(resolved)

@@ -1,0 +1,387 @@
+"""The linked whole-program model behind the interprocedural rules.
+
+A :class:`ProjectModel` joins the per-file
+:class:`~repro.checks.callgraph.ModuleSummary` digests into the three
+structures the project rules (:mod:`repro.checks.rules.interproc`)
+query:
+
+* a **module table** keyed by dotted name (only files that live under a
+  ``repro`` package participate — lint fixtures with ``module=None``
+  are carried but can never produce project diagnostics);
+* an **import graph** over module-level imports, with edges resolved to
+  the longest known module prefix (``from repro.core import network``
+  links ``repro.core.network``, not the package);
+* a **function index** keyed by ``(module, qualname)`` plus a
+  name-based method index, with :meth:`ProjectModel.resolve_ref`
+  translating the ``abs:``/``local:``/``method:`` call references the
+  extractor recorded into candidate functions.  Resolution follows one
+  level of package re-export (``repro.checks.lint_paths`` →
+  ``repro.checks.engine.lint_paths``) and is otherwise conservative: an
+  unresolvable reference yields no candidates and therefore no
+  diagnostics.
+
+The model is built from *summaries*, never from trees — so a warm lint
+run can assemble it entirely from the cache without re-parsing a single
+unchanged file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .callgraph import FunctionSummary, ModuleSummary, summarize
+from .context import FileContext
+
+__all__ = ["ProjectModel", "FunctionKey"]
+
+#: ``(module, qualname)`` — the identity of one summarised function.
+FunctionKey = tuple[str, str]
+
+#: How many return-call hops PROC010's payload chase will follow.
+MAX_CHASE_DEPTH = 4
+
+
+@dataclass
+class ProjectModel:
+    """Linked view over every module summary in the reference corpus."""
+
+    #: Every summary, linted or corpus-only, keyed by (normalised) path.
+    summaries: dict[str, ModuleSummary] = field(default_factory=dict)
+    #: Dotted module name -> summary, for files under a ``repro`` package.
+    modules: dict[str, ModuleSummary] = field(default_factory=dict)
+    #: Paths the caller asked to lint — project rules report only here.
+    linted_paths: frozenset[str] = frozenset()
+    #: Module-level import edges between known project modules.
+    import_graph: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: ``(module, qualname)`` -> function summary.
+    functions: dict[FunctionKey, FunctionSummary] = field(
+        default_factory=dict
+    )
+    #: bare function name -> keys of *methods* with that name.
+    _methods_by_name: dict[str, tuple[FunctionKey, ...]] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_summaries(
+        cls,
+        summaries: list[ModuleSummary],
+        linted_paths: frozenset[str] | None = None,
+    ) -> "ProjectModel":
+        """Link ``summaries`` into a queryable model."""
+        model = cls()
+        for summary in summaries:
+            model.summaries[summary.path] = summary
+            if summary.module is not None and not summary.syntax_error:
+                model.modules[summary.module] = summary
+        model.linted_paths = (
+            frozenset(model.summaries)
+            if linted_paths is None
+            else linted_paths
+        )
+        methods: dict[str, list[FunctionKey]] = {}
+        for module, summary in model.modules.items():
+            for fn in summary.functions:
+                key = (module, fn.qualname)
+                model.functions[key] = fn
+                if fn.cls is not None:
+                    methods.setdefault(fn.name, []).append(key)
+        model._methods_by_name = {
+            name: tuple(sorted(keys)) for name, keys in methods.items()
+        }
+        model.import_graph = {
+            module: model._module_edges(summary)
+            for module, summary in model.modules.items()
+        }
+        return model
+
+    @classmethod
+    def from_sources(
+        cls,
+        sources: dict[str, str],
+        linted: set[str] | None = None,
+    ) -> "ProjectModel":
+        """Build a model straight from ``{dotted module: source}`` —
+        the test-fixture entry point.  ``linted`` restricts the
+        reporting surface to those modules (default: all of them).
+        """
+        module_names = set(sources)
+        summaries: list[ModuleSummary] = []
+        linted_paths: set[str] = set()
+        for module, source in sorted(sources.items()):
+            is_package = any(
+                other.startswith(module + ".") for other in module_names
+            )
+            tail = "/__init__.py" if is_package else ".py"
+            path = "src/" + module.replace(".", "/") + tail
+            ctx = FileContext.from_source(
+                source, path=path, module=module, category="src"
+            )
+            summaries.append(summarize(ctx))
+            if linted is None or module in linted:
+                linted_paths.add(path)
+        return cls.from_summaries(summaries, frozenset(linted_paths))
+
+    def _module_edges(self, summary: ModuleSummary) -> tuple[str, ...]:
+        edges: set[str] = set()
+        for record in summary.imports:
+            target = self.known_module(record.target)
+            if target is None and record.fallback:
+                target = self.known_module(record.fallback)
+            if target is not None and target != summary.module:
+                edges.add(target)
+        return tuple(sorted(edges))
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def known_module(self, dotted: str) -> str | None:
+        """The longest prefix of ``dotted`` that names a known module."""
+        parts = dotted.split(".")
+        for length in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:length])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def function(self, key: FunctionKey) -> FunctionSummary | None:
+        return self.functions.get(key)
+
+    def location_of(self, key: FunctionKey) -> tuple[str, int, int]:
+        """``(path, line, col)`` of the function behind ``key``."""
+        summary = self.modules[key[0]]
+        fn = self.functions[key]
+        return (summary.path, fn.lineno, fn.col)
+
+    def resolve_ref(
+        self,
+        caller_module: str,
+        ref: str,
+        *,
+        methods: bool = False,
+        _depth: int = 1,
+    ) -> tuple[FunctionKey, ...]:
+        """Candidate functions a recorded call reference may reach.
+
+        ``methods=True`` additionally resolves opaque ``method:attr``
+        references *by name* to every known method called ``attr`` —
+        appropriate for the payload chase (where over-approximation is
+        safe: extra candidates only mean extra checking), not for seed
+        taint (where it would manufacture false positives).
+        """
+        if ref.startswith("local:"):
+            name = ref[len("local:") :]
+            key = (caller_module, name)
+            if key in self.functions:
+                return (key,)
+            return ()
+        if ref.startswith("abs:"):
+            return self._resolve_abs(ref[len("abs:") :], _depth)
+        if methods and ref.startswith("method:"):
+            return self._methods_by_name.get(ref[len("method:") :], ())
+        return ()
+
+    def _resolve_abs(self, dotted: str, depth: int) -> tuple[FunctionKey, ...]:
+        module = self.known_module(dotted)
+        if module is None:
+            return ()
+        remainder = dotted[len(module) :].lstrip(".")
+        summary = self.modules[module]
+        if not remainder:
+            return ()
+        if remainder in {fn.qualname for fn in summary.functions}:
+            return ((module, remainder),)
+        if "." not in remainder and summary.is_package and depth > 0:
+            # One level of re-export: ``repro.checks.lint_paths`` where
+            # the package ``__init__`` itself imported ``lint_paths``
+            # from a submodule.
+            suffix = "." + remainder
+            for record in summary.imports:
+                if record.target.endswith(suffix):
+                    resolved = self._resolve_abs(record.target, depth - 1)
+                    if resolved:
+                        return resolved
+        return ()
+
+    # ------------------------------------------------------------------
+    # derived analyses
+    # ------------------------------------------------------------------
+
+    def import_cycles(self) -> list[tuple[str, ...]]:
+        """Elementary import cycles, as canonicalised module tuples.
+
+        Computed per strongly-connected component (iterative Tarjan);
+        each non-trivial SCC is reported once as its sorted member
+        list — precise enough to name every module that must change to
+        break the cycle, without enumerating combinatorially many
+        elementary circuits.
+        """
+        index_of: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[tuple[str, ...]] = []
+        counter = 0
+
+        for root in sorted(self.import_graph):
+            if root in index_of:
+                continue
+            work: list[tuple[str, int]] = [(root, 0)]
+            while work:
+                node, edge_index = work.pop()
+                if edge_index == 0:
+                    index_of[node] = low[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                edges = self.import_graph.get(node, ())
+                advanced = False
+                for position in range(edge_index, len(edges)):
+                    successor = edges[position]
+                    if successor not in index_of:
+                        work.append((node, position + 1))
+                        work.append((successor, 0))
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        low[node] = min(low[node], index_of[successor])
+                if advanced:
+                    continue
+                if low[node] == index_of[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1 or node in self.import_graph.get(
+                        node, ()
+                    ):
+                        sccs.append(tuple(sorted(component)))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return sorted(sccs)
+
+    def seed_tainted(self) -> dict[FunctionKey, FunctionKey]:
+        """Functions that transitively draw unseeded entropy.
+
+        Maps each tainted function to the *witness*: the callee (or
+        itself, for a direct draw) that anchors the taint.  A function
+        with a seed/rng parameter is never tainted — the per-file rules
+        already presume such a parameter is threaded, and the project
+        pass keeps the same contract.  Taint flows caller-ward only
+        through call sites that do not visibly thread seed state, and
+        only through ``abs:``/``local:`` references — name-based method
+        matching would manufacture taint between unrelated classes.
+        """
+        tainted: dict[FunctionKey, FunctionKey] = {}
+        for key, fn in self.functions.items():
+            if fn.accepts_seed:
+                continue
+            if any(not draw.threads_seed for draw in fn.draws):
+                tainted[key] = key
+        changed = True
+        while changed:
+            changed = False
+            for key, fn in self.functions.items():
+                if key in tainted or fn.accepts_seed:
+                    continue
+                for call in fn.calls:
+                    if call.threads_seed:
+                        continue
+                    for callee in self.resolve_ref(key[0], call.ref):
+                        if callee in tainted and callee != key:
+                            tainted[key] = callee
+                            changed = True
+                            break
+                    if key in tainted:
+                        break
+        return tainted
+
+    def nonjson_witness(
+        self,
+        key: FunctionKey,
+        _depth: int = MAX_CHASE_DEPTH,
+        _visited: frozenset[FunctionKey] = frozenset(),
+    ) -> tuple[FunctionKey, str] | None:
+        """Whether ``key`` can return a non-JSON-serialisable value.
+
+        Chases calls nested in return expressions up to
+        :data:`MAX_CHASE_DEPTH` hops, returning ``(function, label)``
+        for the first offending construct found, else ``None``.
+        """
+        fn = self.functions.get(key)
+        if fn is None:
+            return None
+        if fn.nonjson_returns:
+            return (key, fn.nonjson_returns[0].label)
+        if _depth <= 0:
+            return None
+        visited = _visited | {key}
+        for call in fn.return_calls:
+            for callee in self.resolve_ref(key[0], call.ref, methods=True):
+                if callee in visited:
+                    continue
+                witness = self.nonjson_witness(
+                    callee, _depth - 1, visited
+                )
+                if witness is not None:
+                    return witness
+        return None
+
+
+def discover_corpus(paths: list[Path]) -> list[Path]:
+    """The reference corpus for whole-program analysis.
+
+    Walks up from the first linted file to the repository root (the
+    nearest ancestor holding ``pyproject.toml`` or ``.git``) and
+    returns every Python file under its ``src``/``tests``/``examples``/
+    ``benchmarks`` trees.  The corpus is a property of the *repository*,
+    not of which paths were linted — ``repro lint src/repro`` and a
+    bare ``repro lint`` judge liveness against the same evidence.
+    Outside any repository (lint fixtures in temp dirs) the corpus is
+    just the linted files themselves.
+    """
+    root = repo_root_for(paths)
+    if root is None:
+        return sorted(paths)
+    corpus: set[Path] = set(paths)
+    for tree in ("src", "tests", "examples", "benchmarks"):
+        base = root / tree
+        if not base.is_dir():
+            continue
+        for candidate in base.rglob("*.py"):
+            if any(
+                part in _CORPUS_SKIP_DIRS for part in candidate.parts
+            ):
+                continue
+            corpus.add(candidate.resolve())
+    return sorted(corpus)
+
+
+_CORPUS_SKIP_DIRS = {"__pycache__", ".git", ".repro-cache"}
+
+
+def repo_root_for(paths: list[Path]) -> Path | None:
+    """The nearest ancestor of any path holding ``pyproject.toml`` or
+    ``.git`` — the anchor for corpus discovery, cache placement, and
+    repo-relative diagnostic paths.  ``None`` outside any repository."""
+    for path in paths:
+        current = path.resolve().parent
+        while True:
+            if (current / "pyproject.toml").is_file() or (
+                current / ".git"
+            ).exists():
+                return current
+            if current.parent == current:
+                break
+            current = current.parent
+    return None

@@ -1,9 +1,15 @@
-"""The rule framework: base class, registry, scoping.
+"""The rule framework: base classes, registry, scoping.
 
-A rule is a class with a unique ``code`` (``ABC123`` shape), a
-human-oriented ``name`` and ``rationale``, optional module ``scope`` /
-``exempt`` prefixes, and a :meth:`Rule.check` generator over one
-:class:`~repro.checks.context.FileContext`.
+Two rule families share one code namespace:
+
+* :class:`Rule` — per-file rules: a unique ``code`` (``ABC123`` shape),
+  a human-oriented ``name`` and ``rationale``, optional module
+  ``scope`` / ``exempt`` prefixes, and a :meth:`Rule.check` generator
+  over one :class:`~repro.checks.context.FileContext`;
+* :class:`ProjectRule` — whole-program rules: same metadata, but
+  :meth:`ProjectRule.check` runs once over the linked
+  :class:`~repro.checks.project.ProjectModel` (import graph, symbol
+  tables, call graph) instead of per file.
 
 Scoping semantics (:meth:`Rule.applies_to`):
 
@@ -15,7 +21,11 @@ Scoping semantics (:meth:`Rule.applies_to`):
 * a non-empty ``scope`` restricts the rule to those module prefixes
   (e.g. determinism-hazard rules only police simulation/experiment
   code, where wall-clock reads would poison reproducibility — the
-  runner legitimately measures wall-clock for its journal).
+  runner legitimately measures wall-clock for its journal);
+* ``category_exempt`` silences a rule per *directory family*
+  (``examples``, ``benchmarks``, ``tests``, ``src``) regardless of the
+  module — a benchmark's whole job is timing, so the wall-clock rule
+  cannot sensibly police it.
 """
 
 from __future__ import annotations
@@ -23,22 +33,36 @@ from __future__ import annotations
 import abc
 import re
 from collections.abc import Iterator
-from typing import ClassVar, TypeVar
+from typing import TYPE_CHECKING, ClassVar, TypeVar
 
 from .context import FileContext
 from .diagnostics import Diagnostic
 
-__all__ = ["Rule", "register", "all_rules", "get_rule"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .project import ProjectModel
+
+__all__ = [
+    "Rule",
+    "ProjectRule",
+    "register",
+    "register_project",
+    "all_rules",
+    "project_rules",
+    "all_rule_codes",
+    "get_rule",
+]
 
 _CODE_RE = re.compile(r"^[A-Z]{2,6}\d{3}$")
 
 _REGISTRY: dict[str, "Rule"] = {}
+_PROJECT_REGISTRY: dict[str, "ProjectRule"] = {}
 
 R = TypeVar("R", bound="type[Rule]")
+P = TypeVar("P", bound="type[ProjectRule]")
 
 
-class Rule(abc.ABC):
-    """One statically-checkable repository invariant."""
+class _RuleMeta:
+    """Metadata and scoping shared by both rule families."""
 
     #: Unique diagnostic code, e.g. ``RNG001``.
     code: ClassVar[str]
@@ -50,9 +74,16 @@ class Rule(abc.ABC):
     scope: ClassVar[tuple[str, ...]] = ()
     #: Module prefixes the rule never fires in.
     exempt: ClassVar[tuple[str, ...]] = ()
+    #: Directory families (``examples``, ``benchmarks``, ``tests``,
+    #: ``src``) the rule never fires in.
+    category_exempt: ClassVar[tuple[str, ...]] = ()
 
-    def applies_to(self, module: str | None) -> bool:
-        """Whether this rule should run against ``module``."""
+    def applies_to(
+        self, module: str | None, category: str | None = None
+    ) -> bool:
+        """Whether this rule should run against ``module``/``category``."""
+        if category is not None and category in self.category_exempt:
+            return False
         if module is None:
             return True
         if any(_prefixed(module, stem) for stem in self.exempt):
@@ -61,6 +92,10 @@ class Rule(abc.ABC):
             return True
         return any(_prefixed(module, stem) for stem in self.scope)
 
+
+class Rule(_RuleMeta, abc.ABC):
+    """One statically-checkable per-file repository invariant."""
+
     @abc.abstractmethod
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         """Yield a :class:`Diagnostic` per violation in ``ctx``."""
@@ -68,13 +103,37 @@ class Rule(abc.ABC):
     def diagnostic(
         self, ctx: FileContext, node: "HasLocation", message: str
     ) -> Diagnostic:
-        """A :class:`Diagnostic` for this rule at ``node``'s location."""
+        """A :class:`Diagnostic` for this rule at ``node``'s location.
+
+        The diagnostic carries the node's *suppression span* so a
+        ``# repro: noqa[...]`` marker anywhere on the lines of a
+        multi-line statement (or on a decorator line of a decorated
+        ``def``) silences it — not just a marker on the first line.
+        """
+        line = getattr(node, "lineno", 1)
         return Diagnostic(
             path=ctx.path,
-            line=getattr(node, "lineno", 1),
+            line=line,
             col=getattr(node, "col_offset", 0) + 1,
             code=self.code,
             message=message,
+            span=suppression_span(node),
+        )
+
+
+class ProjectRule(_RuleMeta, abc.ABC):
+    """One whole-program invariant, checked over the linked project."""
+
+    @abc.abstractmethod
+    def check(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        """Yield a :class:`Diagnostic` per violation in ``model``."""
+
+    def diagnostic(
+        self, path: str, line: int, col: int, message: str
+    ) -> Diagnostic:
+        """A :class:`Diagnostic` for this rule at an explicit location."""
+        return Diagnostic(
+            path=path, line=line, col=col, code=self.code, message=message
         )
 
 
@@ -85,26 +144,70 @@ class HasLocation:
     col_offset: int
 
 
+def suppression_span(node: object) -> tuple[int, int]:
+    """The inclusive line range a ``noqa`` marker may sit on for ``node``.
+
+    * a *simple* node (expression, call, simple statement) spans its own
+      physical lines, so the marker can trail the closing paren of a
+      multi-line call;
+    * a *compound* node (``def``/``class``/``for``/``try``/handler/...)
+      spans from its first decorator (if any) to the last line *before*
+      its body — a marker inside the body must not silence the header.
+    """
+    start = int(getattr(node, "lineno", 1))
+    end = int(getattr(node, "end_lineno", start) or start)
+    decorators = getattr(node, "decorator_list", None)
+    if decorators:
+        start = min([start] + [int(d.lineno) for d in decorators])
+    body = getattr(node, "body", None)
+    if isinstance(body, list) and body and hasattr(body[0], "lineno"):
+        end = max(start, int(body[0].lineno) - 1)
+    return (start, end)
+
+
 def _prefixed(module: str, stem: str) -> bool:
     return module == stem or module.startswith(stem + ".")
 
 
-def register(cls: R) -> R:
-    """Class decorator adding a rule to the global registry."""
+def _claim_code(cls: type) -> str:
     code = getattr(cls, "code", "")
     if not _CODE_RE.match(code):
         raise ValueError(f"rule code {code!r} does not match LETTERS+3digits")
-    if code in _REGISTRY:
+    if code in _REGISTRY or code in _PROJECT_REGISTRY:
         raise ValueError(f"duplicate rule code {code!r}")
-    _REGISTRY[code] = cls()
+    return code
+
+
+def register(cls: R) -> R:
+    """Class decorator adding a per-file rule to the global registry."""
+    _REGISTRY[_claim_code(cls)] = cls()
+    return cls
+
+
+def register_project(cls: P) -> P:
+    """Class decorator adding a whole-program rule to the registry."""
+    _PROJECT_REGISTRY[_claim_code(cls)] = cls()
     return cls
 
 
 def all_rules() -> list[Rule]:
-    """Every registered rule, sorted by code."""
+    """Every registered per-file rule, sorted by code."""
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
 
 
-def get_rule(code: str) -> Rule:
+def project_rules() -> list[ProjectRule]:
+    """Every registered whole-program rule, sorted by code."""
+    return [_PROJECT_REGISTRY[code] for code in sorted(_PROJECT_REGISTRY)]
+
+
+def all_rule_codes() -> list[str]:
+    """Every registered rule code (both families), sorted."""
+    return sorted([*_REGISTRY, *_PROJECT_REGISTRY])
+
+
+def get_rule(code: str) -> Rule | ProjectRule:
     """The registered rule behind ``code`` (KeyError if unknown)."""
-    return _REGISTRY[code.upper()]
+    key = code.upper()
+    if key in _REGISTRY:
+        return _REGISTRY[key]
+    return _PROJECT_REGISTRY[key]

@@ -10,14 +10,36 @@
   mutations flow through the controller's retry/degradation wrapper
   (CHS001);
 * :mod:`.perf` — engine hot-path discipline: no full active-set sweeps
-  outside the sanctioned helpers (PERF001).
+  outside the sanctioned helpers (PERF001);
+* :mod:`.interproc` — whole-program rules over the linked project
+  model: transitive seed taint (RNG010), payload reachability
+  (PROC010), helper circuit mutation (CHS010), import cycles (IMP001),
+  dead exports (DEAD001).
 
 Importing a module registers its rules as a side effect of the
-``@register`` decorators.
+``@register`` / ``@register_project`` decorators.  A module listed in
+this package but missing from the import below would silently drop its
+rules — which is exactly what DEAD001 checks for.
 """
 
 from __future__ import annotations
 
-from . import controlplane, determinism, exceptions, perf, process, rng
+from . import (
+    controlplane,
+    determinism,
+    exceptions,
+    interproc,
+    perf,
+    process,
+    rng,
+)
 
-__all__ = ["controlplane", "determinism", "exceptions", "perf", "process", "rng"]
+__all__ = [
+    "controlplane",
+    "determinism",
+    "exceptions",
+    "interproc",
+    "perf",
+    "process",
+    "rng",
+]

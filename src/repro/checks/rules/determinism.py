@@ -23,6 +23,10 @@ __all__ = ["WallClockRead", "UnorderedSetIteration", "DictPopitem"]
 
 _SCOPE = ("repro.simulation", "repro.experiments")
 
+#: Directory families where determinism discipline is out of scope:
+#: examples are narrative scripts, benchmarks exist to read the clock.
+_CATEGORY_EXEMPT = ("examples", "benchmarks")
+
 #: Calls that read the wall clock or OS entropy — each one makes a
 #: nominally pure worker depend on when/where it ran.
 _BANNED_CALLS = frozenset(
@@ -56,6 +60,7 @@ class WallClockRead(Rule):
         "which the cache key cannot see."
     )
     scope = _SCOPE
+    category_exempt = _CATEGORY_EXEMPT
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):
@@ -84,6 +89,7 @@ class UnorderedSetIteration(Rule):
         "processes, so shards stop agreeing with serial runs."
     )
     scope = _SCOPE
+    category_exempt = _CATEGORY_EXEMPT
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):
@@ -133,6 +139,7 @@ class DictPopitem(Rule):
         "in a different order."
     )
     scope = _SCOPE
+    category_exempt = _CATEGORY_EXEMPT
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):

@@ -1,0 +1,344 @@
+"""Whole-program rules: what no single file can prove.
+
+Every rule here runs once over the linked
+:class:`~repro.checks.project.ProjectModel` instead of per file.  They
+are the offline counterpart of the paper's stance on failure handling:
+the properties that make a parallel sweep trustworthy — seeded
+entropy, process-safe payloads, controller-mediated circuit mutation —
+are verified before anything executes, across module boundaries where
+the per-file rules are blind.
+
+All five rules confine themselves to modules under the ``repro``
+package: lint fixtures and scratch files (``module=None``) never enter
+the model's module table, so project rules cannot fire on them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..diagnostics import Diagnostic
+from ..registry import ProjectRule, register_project
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Typing-only by necessity, not preference: importing the rule
+    # modules is what registers them, so ``callgraph`` (which reuses
+    # their heuristics) is still mid-initialisation whenever this
+    # module loads — a runtime import here would be a cycle.
+    from ..callgraph import CallSite
+    from ..project import FunctionKey, ProjectModel
+
+__all__ = [
+    "TransitiveUnseededEntropy",
+    "PayloadReachesNonJson",
+    "HelperCircuitMutation",
+    "ImportCycle",
+    "DeadExport",
+]
+
+#: Modules the circuit-switch discipline designates as the control plane.
+_CONTROL_PLANE = "repro.core"
+
+
+def _in_control_plane(module: str) -> bool:
+    return module == _CONTROL_PLANE or module.startswith(
+        _CONTROL_PLANE + "."
+    )
+
+
+@register_project
+class TransitiveUnseededEntropy(ProjectRule):
+    """RNG010 — a public function reaches unseeded entropy via callees.
+
+    RNG002 already flags a public function that *itself* draws without
+    a seed parameter; this rule follows the call graph, so a draw
+    hidden two helpers deep — possibly in another module — still
+    surfaces at the public entry point that makes it reachable.  The
+    fix is the same as for RNG002: accept an ``rng``/``seed`` parameter
+    and thread it (:func:`repro.rng.ensure_rng` /
+    :func:`repro.rng.derive_seed`).
+    """
+
+    code = "RNG010"
+    name = "transitive-unseeded-entropy"
+    rationale = (
+        "a public API that transitively constructs fresh entropy cannot "
+        "reproduce bit-identically across sweep shards"
+    )
+    exempt = ("repro.rng",)
+
+    def check(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        tainted = model.seed_tainted()
+        for key in sorted(tainted):
+            if tainted[key] == key:
+                # Direct draw — per-file territory (RNG001/RNG002).
+                continue
+            fn = model.functions[key]
+            if not fn.is_public:
+                continue
+            path, line, col = model.location_of(key)
+            chain = _witness_chain(tainted, key)
+            yield self.diagnostic(
+                path,
+                line,
+                col,
+                f"public function '{key[1]}' reaches an unseeded entropy "
+                f"draw through {_render_chain(chain)}; accept an rng/seed "
+                "parameter and thread it via repro.rng.ensure_rng",
+            )
+
+
+def _witness_chain(
+    tainted: "dict[FunctionKey, FunctionKey]", key: "FunctionKey"
+) -> "list[FunctionKey]":
+    chain: list[FunctionKey] = []
+    current = key
+    while len(chain) < 6:
+        witness = tainted[current]
+        if witness == current:
+            break
+        chain.append(witness)
+        current = witness
+    return chain
+
+
+def _render_chain(chain: "list[FunctionKey]") -> str:
+    return " -> ".join(f"{module}.{qualname}" for module, qualname in chain)
+
+
+@register_project
+class PayloadReachesNonJson(ProjectRule):
+    """PROC010 — a Task payload reaches a non-JSON value through calls.
+
+    PROC002 inspects the payload expression literally; this rule chases
+    every call inside it (``plan.payload(config)``) into the functions
+    that build the value, across modules, and flags any path that can
+    return a lambda, set, bytes, or complex — the constructs a spawned
+    worker cannot receive.
+    """
+
+    code = "PROC010"
+    name = "payload-reaches-non-json"
+    rationale = (
+        "worker payloads cross a process boundary as JSON; a non-"
+        "serialisable value built behind a helper fails at sweep time"
+    )
+
+    def check(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        for module in sorted(model.modules):
+            summary = model.modules[module]
+            for fn in summary.functions:
+                seen: set[tuple[int, int, str]] = set()
+                for site in fn.payload_sites:
+                    for ref in site.call_refs:
+                        for callee in model.resolve_ref(
+                            module, ref, methods=True
+                        ):
+                            witness = model.nonjson_witness(callee)
+                            if witness is None:
+                                continue
+                            origin, label = witness
+                            marker = (site.lineno, site.col, label)
+                            if marker in seen:
+                                continue
+                            seen.add(marker)
+                            yield self.diagnostic(
+                                summary.path,
+                                site.lineno,
+                                site.col,
+                                "task payload can reach a non-JSON value "
+                                f"({label}) returned by "
+                                f"{origin[0]}.{origin[1]}(); payloads must "
+                                "stay JSON-serialisable end to end",
+                            )
+
+
+@register_project
+class HelperCircuitMutation(ProjectRule):
+    """CHS010 — circuit-switch mutation laundered through a helper.
+
+    CHS001 flags a direct ``cs.connect(...)`` outside :mod:`repro.core`;
+    this rule extends the discipline one level of indirection deep, in
+    both directions it can be evaded:
+
+    * passing circuit-switch state into a helper (outside the control
+      plane) whose body mutates that parameter — the helper's own
+      parameter name is usually too generic for CHS001 to see;
+    * calling a *private* ``repro.core`` function that mutates circuits
+      from outside the control plane — private entry points are not
+      part of the sanctioned controller API.
+    """
+
+    code = "CHS010"
+    name = "helper-circuit-mutation"
+    rationale = (
+        "circuit-switch state must only change through the repro.core "
+        "controller; helper indirection bypasses failover bookkeeping"
+    )
+    exempt = (_CONTROL_PLANE,)
+
+    def check(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        for module in sorted(model.modules):
+            if _in_control_plane(module):
+                continue
+            summary = model.modules[module]
+            for fn in summary.functions:
+                for call in fn.calls:
+                    yield from self._check_call(model, module, summary.path, call)
+
+    def _check_call(
+        self,
+        model: "ProjectModel",
+        module: str,
+        path: str,
+        call: "CallSite",
+    ) -> Iterator[Diagnostic]:
+        callees = model.resolve_ref(module, call.ref)
+        for callee_key in callees:
+            callee = model.functions[callee_key]
+            callee_module = callee_key[0]
+            if _in_control_plane(callee_module):
+                if callee.name.startswith("_") and callee.mutates_circuit:
+                    yield self.diagnostic(
+                        path,
+                        call.lineno,
+                        call.col,
+                        f"calls private control-plane function "
+                        f"{callee_module}.{callee.qualname}(), which "
+                        "mutates circuit-switch state; use the public "
+                        "controller API",
+                    )
+                continue
+            if callee.cls is not None:
+                continue
+            for position in call.cs_arg_positions:
+                if position >= len(callee.params):
+                    continue
+                param = callee.params[position]
+                if param in callee.mutated_params:
+                    yield self.diagnostic(
+                        path,
+                        call.lineno,
+                        call.col,
+                        "passes circuit-switch state into "
+                        f"{callee_module}.{callee.qualname}(), which "
+                        f"mutates parameter '{param}'; circuit state may "
+                        "only change through the repro.core controller",
+                    )
+
+
+@register_project
+class ImportCycle(ProjectRule):
+    """IMP001 — module-level import cycle inside the repro package.
+
+    Cycles are judged over *module-level* imports only: a deferred
+    import inside a function is the sanctioned cycle-breaker and never
+    counts.  Each strongly-connected component is reported once, at the
+    first participating import of its alphabetically-first member.
+    """
+
+    code = "IMP001"
+    name = "import-cycle"
+    rationale = (
+        "an import cycle makes module initialisation order-dependent "
+        "and breaks partial imports in spawned workers"
+    )
+
+    def check(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        for cycle in model.import_cycles():
+            anchor = cycle[0]
+            summary = model.modules[anchor]
+            members = set(cycle)
+            line = 1
+            for record in summary.imports:
+                target = model.known_module(record.target)
+                if target is None and record.fallback:
+                    target = model.known_module(record.fallback)
+                if target in members:
+                    line = record.lineno
+                    break
+            rendered = " -> ".join([*cycle, anchor])
+            yield self.diagnostic(
+                summary.path,
+                line,
+                1,
+                f"module-level import cycle: {rendered}; break it with a "
+                "deferred (function-level) import",
+            )
+
+
+@register_project
+class DeadExport(ProjectRule):
+    """DEAD001 — exported public API nothing in the repository reaches.
+
+    An ``__all__`` entry is dead when no *other* file in the reference
+    corpus (``src``/``tests``/``examples``/``benchmarks``) mentions its
+    name — by identifier, attribute, import, or by-name string
+    reference (the runner resolves workers from strings).  Two
+    liveness escapes are built in: classes that register themselves via
+    a ``@register``-style decorator, and package ``__init__`` re-export
+    surfaces.  Separately, a module under ``repro.checks.rules`` that
+    the rules package never imports is dead wholesale — its rules are
+    silently unregistered.
+    """
+
+    code = "DEAD001"
+    name = "dead-export"
+    rationale = (
+        "an exported-but-unreachable name is untested surface area; "
+        "dead rule modules silently drop their checks"
+    )
+
+    _RULES_PACKAGE = "repro.checks.rules"
+
+    def check(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        for module in sorted(model.modules):
+            summary = model.modules[module]
+            for name, lineno in summary.exports:
+                if name in summary.self_registering:
+                    continue
+                if summary.is_package and name in summary.toplevel_bound:
+                    continue
+                if self._referenced_elsewhere(model, summary.path, name):
+                    continue
+                yield self.diagnostic(
+                    summary.path,
+                    lineno,
+                    1,
+                    f"'{name}' is exported from {module} but never "
+                    "referenced anywhere else in the repository",
+                )
+        yield from self._unregistered_rule_modules(model)
+
+    def _referenced_elsewhere(
+        self, model: "ProjectModel", path: str, name: str
+    ) -> bool:
+        for other_path in model.summaries:
+            if other_path == path:
+                continue
+            if name in model.summaries[other_path].refs:
+                return True
+        return False
+
+    def _unregistered_rule_modules(
+        self, model: "ProjectModel"
+    ) -> Iterator[Diagnostic]:
+        package = model.modules.get(self._RULES_PACKAGE)
+        if package is None:
+            return
+        imported = set(model.import_graph.get(self._RULES_PACKAGE, ()))
+        prefix = self._RULES_PACKAGE + "."
+        for module in sorted(model.modules):
+            if not module.startswith(prefix):
+                continue
+            if module in imported:
+                continue
+            summary = model.modules[module]
+            yield self.diagnostic(
+                summary.path,
+                1,
+                1,
+                f"rule module {module} is never imported by "
+                f"{self._RULES_PACKAGE}; its rules are never registered",
+            )

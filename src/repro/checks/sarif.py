@@ -1,0 +1,120 @@
+"""Machine-readable lint output: ``--format json`` and ``--format sarif``.
+
+The SARIF renderer targets the minimal SARIF 2.1.0 shape GitHub code
+scanning ingests: a single run, a tool driver carrying the full rule
+catalogue (every registered code, fired or not, so annotations link to
+rule help), and one result per diagnostic with a physical location.
+Paths are emitted repository-relative with forward slashes when a root
+is supplied — SARIF consumers resolve ``artifactLocation.uri`` against
+the checkout, not the linting machine's filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .diagnostics import Diagnostic
+from .registry import ProjectRule, Rule, all_rules, project_rules
+
+__all__ = ["render_json", "render_sarif", "SARIF_VERSION", "SARIF_SCHEMA"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "repro-checks"
+
+
+def _relative_uri(path: str, root: Path | None) -> str:
+    candidate = Path(path)
+    if root is not None:
+        try:
+            candidate = candidate.resolve().relative_to(root.resolve())
+        except ValueError:
+            candidate = Path(path)
+    return candidate.as_posix()
+
+
+def _catalogue() -> list[Rule | ProjectRule]:
+    merged: list[Rule | ProjectRule] = [*all_rules(), *project_rules()]
+    return sorted(merged, key=lambda rule: rule.code)
+
+
+def render_json(
+    diagnostics: list[Diagnostic],
+    *,
+    stats: dict[str, object] | None = None,
+) -> str:
+    """The ``--format json`` document: diagnostics plus run stats."""
+    document: dict[str, object] = {
+        "diagnostics": [d.to_dict() for d in diagnostics],
+        "count": len(diagnostics),
+    }
+    if stats is not None:
+        document["stats"] = stats
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(
+    diagnostics: list[Diagnostic],
+    *,
+    root: Path | None = None,
+) -> str:
+    """A SARIF 2.1.0 document for ``diagnostics``."""
+    catalogue = _catalogue()
+    rule_index = {rule.code: index for index, rule in enumerate(catalogue)}
+    results: list[dict[str, object]] = []
+    for diagnostic in diagnostics:
+        result: dict[str, object] = {
+            "ruleId": diagnostic.code,
+            "level": "error",
+            "message": {"text": diagnostic.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(diagnostic.path, root),
+                        },
+                        "region": {
+                            "startLine": diagnostic.line,
+                            "startColumn": diagnostic.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if diagnostic.code in rule_index:
+            result["ruleIndex"] = rule_index[diagnostic.code]
+        results.append(result)
+    document: dict[str, object] = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static-analysis"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule.code,
+                                "name": rule.name,
+                                "shortDescription": {
+                                    "text": rule.rationale,
+                                },
+                            }
+                            for rule in catalogue
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -24,9 +24,12 @@ Commands map onto the library's main entry points:
   campaign journal; ``--smoke`` is the small maximally-hostile campaign
   CI gates on;
 * ``lint``      — the repository's own static-analysis pass
-  (:mod:`repro.checks`): RNG discipline, determinism hazards,
-  process-boundary safety, exception hygiene (see
-  ``docs/static-analysis.md``).
+  (:mod:`repro.checks`): per-file rules (RNG discipline, determinism
+  hazards, process-boundary safety, exception hygiene) plus
+  whole-program rules over the linked project model (transitive seed
+  taint, payload chasing, import cycles, dead exports), with an
+  incremental cache under ``.repro-cache/lint/`` and ``text``/
+  ``json``/``sarif`` output (see ``docs/static-analysis.md``).
 
 The CLI is deliberately a thin shell over the public API — each command
 body doubles as usage documentation for the corresponding library calls.
@@ -171,11 +174,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "paths", nargs="*", metavar="PATH",
-        help="files/directories to check (default: src/repro)",
+        help="files/directories to check "
+             "(default: src/repro, examples, benchmarks)",
     )
     p_lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        dest="format", help="report format (default: text)",
+    )
+    p_lint.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    p_lint.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the incremental lint cache",
+    )
+    p_lint.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="lint-cache directory "
+             "(default: <repo root>/.repro-cache/lint)",
+    )
+    p_lint.add_argument(
+        "--no-project", action="store_true",
+        help="run only the per-file rules, skipping the whole-program "
+             "pass and its corpus walk",
+    )
+    p_lint.add_argument(
+        "--stats", action="store_true",
+        help="print cache and run statistics to stderr",
     )
 
     return parser
@@ -512,20 +542,39 @@ def cmd_chaos(args) -> int:
 def cmd_lint(args) -> int:
     from pathlib import Path
 
-    from repro.checks import DEFAULT_TARGETS, all_rules, check_paths
+    from repro.checks import (
+        DEFAULT_TARGETS,
+        all_rules,
+        lint_paths,
+        project_rules,
+        render_json,
+        render_sarif,
+    )
 
     if args.list_rules:
         for rule in all_rules():
             scope = ", ".join(rule.scope) if rule.scope else "everywhere"
             print(f"{rule.code}  {rule.name}  [{scope}]")
             print(f"    {rule.rationale}")
+        for rule in project_rules():
+            print(f"{rule.code}  {rule.name}  [whole-program]")
+            print(f"    {rule.rationale}")
         return 0
 
     if args.paths:
         paths = [Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(
+                f"error: no such path: "
+                f"{', '.join(str(p) for p in missing)}",
+                file=sys.stderr,
+            )
+            return 2
     else:
-        paths = [Path(target) for target in DEFAULT_TARGETS]
-        if not any(p.exists() for p in paths):
+        # Default targets are best-effort: lint whichever exist here.
+        paths = [Path(t) for t in DEFAULT_TARGETS if Path(t).exists()]
+        if not paths:
             print(
                 "error: no paths given and none of the default targets "
                 f"({', '.join(DEFAULT_TARGETS)}) exist here; run from the "
@@ -533,21 +582,44 @@ def cmd_lint(args) -> int:
                 file=sys.stderr,
             )
             return 2
-    missing = [p for p in paths if not p.exists()]
-    if missing:
+
+    result = lint_paths(
+        paths,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        project=not args.no_project,
+    )
+    diagnostics = result.diagnostics
+
+    if args.format == "sarif":
+        report = render_sarif(diagnostics, root=result.root)
+    elif args.format == "json":
+        report = render_json(diagnostics, stats=result.stats.as_dict())
+    else:
+        lines = [d.render() for d in diagnostics]
+        if not diagnostics:
+            lines.append(
+                f"clean: {len(paths)} target(s), "
+                f"{result.stats.linted_files} file(s)"
+            )
+        report = "\n".join(lines) + "\n"
+
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+    else:
+        sys.stdout.write(report)
+
+    if args.stats:
+        stats = result.stats
         print(
-            f"error: no such path: {', '.join(str(p) for p in missing)}",
+            f"lint: {stats.linted_files} linted / {stats.corpus_files} "
+            f"corpus files, {stats.parsed_files} parsed, "
+            f"{stats.cache_hits} cache hits, {stats.cache_misses} misses",
             file=sys.stderr,
         )
-        return 2
-
-    diagnostics = check_paths(paths)
-    for diagnostic in diagnostics:
-        print(diagnostic.render())
     if diagnostics:
         print(f"{len(diagnostics)} problem(s) found", file=sys.stderr)
         return 1
-    print(f"clean: {len(paths)} target(s), {len(all_rules())} rules")
     return 0
 
 

@@ -27,7 +27,10 @@ import itertools
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx as nx
 
 __all__ = [
     "NodeKind",
@@ -212,7 +215,7 @@ class Topology:
         a: str,
         b: str,
         capacity: float = DEFAULT_LINK_CAPACITY,
-        **attrs,
+        **attrs: object,
     ) -> Link:
         """Connect nodes ``a`` and ``b`` with a new link.
 
@@ -354,7 +357,7 @@ class Topology:
     # interop & utilities
     # ------------------------------------------------------------------
 
-    def to_networkx(self, operational_only: bool = False):
+    def to_networkx(self, operational_only: bool = False) -> "nx.MultiGraph":
         """Export to a ``networkx.MultiGraph`` (lazy import keeps startup cheap)."""
         import networkx as nx
 

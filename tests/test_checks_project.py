@@ -1,0 +1,674 @@
+"""Tests for the whole-program half of :mod:`repro.checks`.
+
+Four layers:
+
+* model-level: :meth:`ProjectModel.from_sources` builds a linked model
+  straight from ``{module: source}`` fixtures, so every interprocedural
+  rule is proven able to *fire* (the real tree is expected clean);
+* cache-level: the incremental lint cache round-trips, invalidates on
+  revision changes, and purges corrupt entries;
+* pipeline-level: a warm ``lint_paths`` run replays diagnostics and
+  summaries without calling the parser once (counted by monkeypatching
+  ``FileContext.from_source``);
+* output-level: ``--format sarif`` matches the SARIF 2.1.0 shape GitHub
+  code scanning ingests, and the rule catalogue in
+  ``docs/static-analysis.md`` stays in sync with the registry.
+"""
+
+import json
+from pathlib import Path
+
+from repro.checks import (
+    CHECKS_REV,
+    LintCache,
+    ProjectModel,
+    all_rule_codes,
+    check_source,
+    checks_rev,
+    lint_paths,
+    render_json,
+    render_sarif,
+)
+from repro.checks.cache import CachedFile
+from repro.checks.callgraph import (
+    CallSite,
+    DrawSite,
+    ImportRecord,
+    ModuleSummary,
+    NonJsonReturn,
+    PayloadSite,
+    summarize,
+)
+from repro.checks.context import FileContext
+from repro.checks.rules.interproc import (
+    DeadExport,
+    HelperCircuitMutation,
+    ImportCycle,
+    PayloadReachesNonJson,
+    TransitiveUnseededEntropy,
+)
+from repro.checks.sarif import SARIF_SCHEMA, SARIF_VERSION
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def model_of(**sources):
+    """Build a model from ``module="source"`` kwargs (dots as ``__``)."""
+    return ProjectModel.from_sources(
+        {name.replace("__", "."): src for name, src in sources.items()}
+    )
+
+
+# ----------------------------------------------------------------------
+# model mechanics
+# ----------------------------------------------------------------------
+
+
+class TestProjectModel:
+    def test_known_module_longest_prefix(self):
+        model = model_of(
+            repro__core="",
+            repro__core__network="def f():\n    return 1\n",
+        )
+        assert model.known_module("repro.core.network.f") == (
+            "repro.core.network"
+        )
+        assert model.known_module("repro.core") == "repro.core"
+        assert model.known_module("unrelated.mod") is None
+
+    def test_resolve_local_ref(self):
+        model = model_of(repro__m="def helper():\n    return 1\n")
+        assert model.resolve_ref("repro.m", "local:helper") == (
+            ("repro.m", "helper"),
+        )
+        assert model.resolve_ref("repro.m", "local:missing") == ()
+
+    def test_resolve_abs_through_package_reexport(self):
+        model = model_of(
+            repro__pkg="from .engine import lint_all\n",
+            repro__pkg__engine="def lint_all():\n    return []\n",
+            repro__user=(
+                "from repro.pkg import lint_all\n"
+                "def go():\n"
+                "    return lint_all()\n"
+            ),
+        )
+        assert model.resolve_ref("repro.user", "abs:repro.pkg.lint_all") == (
+            ("repro.pkg.engine", "lint_all"),
+        )
+
+    def test_method_refs_resolve_only_on_request(self):
+        model = model_of(
+            repro__plan=(
+                "class Plan:\n"
+                "    def payload(self):\n"
+                "        return {}\n"
+            ),
+        )
+        assert model.resolve_ref("repro.plan", "method:payload") == ()
+        assert model.resolve_ref(
+            "repro.plan", "method:payload", methods=True
+        ) == (("repro.plan", "Plan.payload"),)
+
+
+# ----------------------------------------------------------------------
+# RNG010 — transitive seed taint
+# ----------------------------------------------------------------------
+
+
+class TestRng010:
+    UTIL = (
+        "from repro.rng import ensure_rng\n"
+        "def _fresh():\n"
+        "    return ensure_rng(None)\n"
+    )
+
+    def test_fires_across_module_boundary(self):
+        model = model_of(
+            repro__util=self.UTIL,
+            repro__api=(
+                "from repro.util import _fresh\n"
+                "def sample(n):\n"
+                "    return [_fresh().random() for _ in range(n)]\n"
+            ),
+        )
+        diags = list(TransitiveUnseededEntropy().check(model))
+        assert [d.code for d in diags] == ["RNG010"]
+        assert diags[0].path == "src/repro/api.py"
+        assert "'sample'" in diags[0].message
+        assert "repro.util._fresh" in diags[0].message
+
+    def test_direct_draws_left_to_per_file_rules(self):
+        # _fresh itself draws directly: that is RNG001/RNG002 territory,
+        # so the project rule must stay silent about it.
+        model = model_of(repro__util=self.UTIL)
+        assert list(TransitiveUnseededEntropy().check(model)) == []
+
+    def test_seed_parameter_stops_the_taint(self):
+        model = model_of(
+            repro__util=self.UTIL,
+            repro__api=(
+                "from repro.util import _fresh\n"
+                "def sample(n, seed):\n"
+                "    return [_fresh().random() for _ in range(n)]\n"
+            ),
+        )
+        assert list(TransitiveUnseededEntropy().check(model)) == []
+
+    def test_threading_seed_state_stops_the_taint(self):
+        model = model_of(
+            repro__util=self.UTIL,
+            repro__api=(
+                "from repro.util import _fresh\n"
+                "def sample(cfg):\n"
+                "    return _fresh(cfg.seed)\n"
+            ),
+        )
+        assert list(TransitiveUnseededEntropy().check(model)) == []
+
+    def test_private_entry_points_not_reported(self):
+        model = model_of(
+            repro__util=self.UTIL,
+            repro__api=(
+                "from repro.util import _fresh\n"
+                "def _sample():\n"
+                "    return _fresh()\n"
+            ),
+        )
+        assert list(TransitiveUnseededEntropy().check(model)) == []
+
+
+# ----------------------------------------------------------------------
+# PROC010 — payload chase
+# ----------------------------------------------------------------------
+
+
+class TestProc010:
+    def test_fires_through_helper_in_other_module(self):
+        model = model_of(
+            repro__plans=(
+                "def build_payload():\n"
+                "    return {'fn': lambda x: x}\n"
+            ),
+            repro__sweep=(
+                "from repro.plans import build_payload\n"
+                "def enqueue(make_task):\n"
+                "    return make_task(payload=build_payload())\n"
+            ),
+        )
+        diags = list(PayloadReachesNonJson().check(model))
+        assert [d.code for d in diags] == ["PROC010"]
+        assert diags[0].path == "src/repro/sweep.py"
+        assert "repro.plans.build_payload" in diags[0].message
+
+    def test_fires_through_opaque_method_call(self):
+        model = model_of(
+            repro__plans=(
+                "class Plan:\n"
+                "    def payload(self, config):\n"
+                "        return {'edges': {1, 2, 3}}\n"
+            ),
+            repro__sweep=(
+                "def enqueue(plan, make_task):\n"
+                "    return make_task(payload=plan.payload({}))\n"
+            ),
+        )
+        diags = list(PayloadReachesNonJson().check(model))
+        assert [d.code for d in diags] == ["PROC010"]
+        assert "set" in diags[0].message
+
+    def test_json_safe_helper_is_clean(self):
+        model = model_of(
+            repro__plans=(
+                "def build_payload():\n"
+                "    return {'k': 4, 'rate': 0.5}\n"
+            ),
+            repro__sweep=(
+                "from repro.plans import build_payload\n"
+                "def enqueue(make_task):\n"
+                "    return make_task(payload=build_payload())\n"
+            ),
+        )
+        assert list(PayloadReachesNonJson().check(model)) == []
+
+
+# ----------------------------------------------------------------------
+# CHS010 — helper circuit mutation
+# ----------------------------------------------------------------------
+
+
+class TestChs010:
+    def test_fires_when_cs_state_passed_into_mutating_helper(self):
+        # The helper's parameter name is deliberately generic: the
+        # per-file CHS001 cannot see it, only the linked model can.
+        model = model_of(
+            repro__toolbox=(
+                "def rewire(net):\n"
+                "    force(net.circuit_switches['cs-E0'])\n"
+                "def force(target):\n"
+                "    target.connect(('d', 0), ('u', 0))\n"
+            ),
+        )
+        diags = list(HelperCircuitMutation().check(model))
+        assert [d.code for d in diags] == ["CHS010"]
+        assert "repro.toolbox.force" in diags[0].message
+        assert "'target'" in diags[0].message
+
+    def test_fires_on_private_control_plane_call(self):
+        model = model_of(
+            repro__core__network=(
+                "def _force_failover(net, spare):\n"
+                "    net.failover('E.0.0', spare)\n"
+            ),
+            repro__chaosx=(
+                "from repro.core.network import _force_failover\n"
+                "def smash(net, spare):\n"
+                "    _force_failover(net, spare)\n"
+            ),
+        )
+        diags = list(HelperCircuitMutation().check(model))
+        assert [d.code for d in diags] == ["CHS010"]
+        assert diags[0].path == "src/repro/chaosx.py"
+        assert "private control-plane" in diags[0].message
+
+    def test_public_control_plane_api_is_sanctioned(self):
+        model = model_of(
+            repro__core__network=(
+                "def force_failover(net, spare):\n"
+                "    net.failover('E.0.0', spare)\n"
+            ),
+            repro__chaosx=(
+                "from repro.core.network import force_failover\n"
+                "def smash(net, spare):\n"
+                "    force_failover(net, spare)\n"
+            ),
+        )
+        assert list(HelperCircuitMutation().check(model)) == []
+
+    def test_control_plane_callers_exempt(self):
+        model = model_of(
+            repro__core__patch=(
+                "def rewire(net):\n"
+                "    force(net.circuit_switches['cs-E0'])\n"
+                "def force(target):\n"
+                "    target.connect(('d', 0), ('u', 0))\n"
+            ),
+        )
+        assert list(HelperCircuitMutation().check(model)) == []
+
+
+# ----------------------------------------------------------------------
+# IMP001 — import cycles
+# ----------------------------------------------------------------------
+
+
+class TestImp001:
+    def test_two_module_cycle_reported_once(self):
+        model = model_of(
+            repro__a="import repro.b\n",
+            repro__b="import repro.a\n",
+        )
+        diags = list(ImportCycle().check(model))
+        assert [d.code for d in diags] == ["IMP001"]
+        assert diags[0].path == "src/repro/a.py"
+        assert "repro.a -> repro.b -> repro.a" in diags[0].message
+
+    def test_deferred_import_breaks_the_cycle(self):
+        model = model_of(
+            repro__a="import repro.b\n",
+            repro__b="def late():\n    import repro.a\n",
+        )
+        assert list(ImportCycle().check(model)) == []
+
+    def test_type_checking_import_does_not_count(self):
+        model = model_of(
+            repro__a="import repro.b\n",
+            repro__b=(
+                "from typing import TYPE_CHECKING\n"
+                "if TYPE_CHECKING:\n"
+                "    import repro.a\n"
+            ),
+        )
+        assert list(ImportCycle().check(model)) == []
+
+
+# ----------------------------------------------------------------------
+# DEAD001 — dead exports
+# ----------------------------------------------------------------------
+
+
+class TestDead001:
+    def test_unreferenced_export_fires(self):
+        model = model_of(
+            repro__lib=(
+                "__all__ = ['used_thing', 'dead_thing']\n"
+                "def used_thing():\n"
+                "    return 1\n"
+                "def dead_thing():\n"
+                "    return 2\n"
+            ),
+            repro__client=(
+                "from repro.lib import used_thing\n"
+                "def go():\n"
+                "    return used_thing()\n"
+            ),
+        )
+        diags = list(DeadExport().check(model))
+        assert [d.code for d in diags] == ["DEAD001"]
+        assert "'dead_thing'" in diags[0].message
+
+    def test_by_name_string_reference_counts_as_live(self):
+        model = model_of(
+            repro__workers=(
+                "__all__ = ['payload_fn']\n"
+                "def payload_fn():\n"
+                "    return 1\n"
+            ),
+            repro__config="WORKER = 'repro.workers:payload_fn'\n",
+        )
+        assert list(DeadExport().check(model)) == []
+
+    def test_self_registering_class_is_live(self):
+        model = model_of(
+            repro__rulesx=(
+                "from repro.framework import register\n"
+                "__all__ = ['MyRule']\n"
+                "@register\n"
+                "class MyRule:\n"
+                "    pass\n"
+            ),
+        )
+        assert list(DeadExport().check(model)) == []
+
+    def test_package_reexport_surface_is_live(self):
+        model = model_of(
+            repro__pkg=(
+                "from .impl import helper\n"
+                "__all__ = ['helper']\n"
+            ),
+            repro__pkg__impl="def helper():\n    return 1\n",
+        )
+        assert list(DeadExport().check(model)) == []
+
+    def test_unregistered_rule_module_fires(self):
+        model = model_of(
+            repro__checks__rules="from . import alpha\n",
+            repro__checks__rules__alpha="X = 1\n",
+            repro__checks__rules__beta="Y = 1\n",
+        )
+        diags = list(DeadExport().check(model))
+        assert [d.code for d in diags] == ["DEAD001"]
+        assert diags[0].path == "src/repro/checks/rules/beta.py"
+        assert "never imported" in diags[0].message
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+
+RICH_SOURCE = (
+    "from repro.rng import ensure_rng\n"
+    "__all__ = ['sample']\n"
+    "def sample(n, seed):\n"
+    "    rng = ensure_rng(seed)\n"
+    "    return [rng.random() for _ in range(n)]  # repro: noqa[DET002]\n"
+)
+
+
+def _cached_entry(path="src/repro/fixture.py", module="repro.fixture"):
+    ctx = FileContext.from_source(
+        RICH_SOURCE, path=path, module=module, category="src"
+    )
+    return CachedFile(diagnostics=(), summary=summarize(ctx))
+
+
+class TestLintCache:
+    def test_round_trip_and_stats(self, tmp_path):
+        cache = LintCache(root=tmp_path / "lint")
+        entry = _cached_entry()
+        assert cache.get(RICH_SOURCE, "repro.fixture", "src", "f.py") is None
+        cache.put(RICH_SOURCE, "repro.fixture", "src", entry, "f.py")
+        restored = cache.get(RICH_SOURCE, "repro.fixture", "src", "f.py")
+        assert restored == entry
+        assert cache.stats.as_dict() == {"hits": 1, "misses": 1}
+
+    def test_identical_content_distinct_paths_get_distinct_entries(
+        self, tmp_path
+    ):
+        cache = LintCache(root=tmp_path / "lint")
+        cache.put(RICH_SOURCE, None, "src", _cached_entry(path="a.py"), "a.py")
+        assert cache.get(RICH_SOURCE, None, "src", "b.py") is None
+
+    def test_rev_bump_invalidates(self, tmp_path, monkeypatch):
+        cache = LintCache(root=tmp_path / "lint")
+        cache.put(RICH_SOURCE, None, "src", _cached_entry(), "f.py")
+        assert cache.get(RICH_SOURCE, None, "src", "f.py") is not None
+        monkeypatch.setattr(
+            "repro.checks.cache.CHECKS_REV", CHECKS_REV + ".bumped"
+        )
+        assert cache.get(RICH_SOURCE, None, "src", "f.py") is None
+
+    def test_checks_rev_contains_every_registered_code(self):
+        rev = checks_rev()
+        assert rev.startswith(CHECKS_REV + ":")
+        for code in all_rule_codes():
+            assert code in rev
+
+    def test_corrupt_entry_purged_and_treated_as_miss(self, tmp_path):
+        cache = LintCache(root=tmp_path / "lint")
+        cache.put(RICH_SOURCE, None, "src", _cached_entry(), "f.py")
+        entry_path = cache._entry_path(
+            cache.key(RICH_SOURCE, None, "src", "f.py")
+        )
+        entry_path.write_text("{not json", encoding="utf-8")
+        assert cache.get(RICH_SOURCE, None, "src", "f.py") is None
+        assert not entry_path.exists()
+        assert cache.stats.misses == 1
+
+
+# ----------------------------------------------------------------------
+# pipeline: cold vs warm runs
+# ----------------------------------------------------------------------
+
+
+def _mini_repo(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "clean.py").write_text("def tidy():\n    return 1\n")
+    (src / "noisy.py").write_text("import random\nV = random.random()\n")
+    return src
+
+
+class TestLintPipeline:
+    def test_cold_run_parses_everything(self, tmp_path):
+        src = _mini_repo(tmp_path)
+        result = lint_paths([src], cache_dir=tmp_path / "cache")
+        assert result.root == tmp_path
+        assert result.stats.corpus_files == 2
+        assert result.stats.parsed_files == 2
+        assert result.stats.cache_misses == 2
+        assert [d.code for d in result.diagnostics] == ["RNG001"]
+        assert result.diagnostics[0].path == "src/noisy.py"
+
+    def test_warm_run_never_parses(self, tmp_path, monkeypatch):
+        src = _mini_repo(tmp_path)
+        cold = lint_paths([src], cache_dir=tmp_path / "cache")
+
+        parsed = []
+        original = FileContext.from_source.__func__
+
+        def counting(source, **kwargs):
+            parsed.append(kwargs.get("path"))
+            return original(FileContext, source, **kwargs)
+
+        monkeypatch.setattr(FileContext, "from_source", counting)
+        warm = lint_paths([src], cache_dir=tmp_path / "cache")
+        assert parsed == []
+        assert warm.stats.parsed_files == 0
+        assert warm.stats.cache_hits == 2
+        assert warm.diagnostics == cold.diagnostics
+
+    def test_edited_file_alone_reparses(self, tmp_path):
+        src = _mini_repo(tmp_path)
+        lint_paths([src], cache_dir=tmp_path / "cache")
+        (src / "noisy.py").write_text("def quiet():\n    return 2\n")
+        warm = lint_paths([src], cache_dir=tmp_path / "cache")
+        assert warm.stats.parsed_files == 1
+        assert warm.stats.cache_hits == 1
+        assert warm.diagnostics == []
+
+    def test_cache_disabled_always_parses(self, tmp_path):
+        src = _mini_repo(tmp_path)
+        lint_paths([src], cache_dir=tmp_path / "cache")
+        result = lint_paths([src], use_cache=False)
+        assert result.stats.parsed_files == 2
+        assert result.stats.cache_hits == 0
+        assert not (tmp_path / ".repro-cache").exists()
+
+
+# ----------------------------------------------------------------------
+# output formats
+# ----------------------------------------------------------------------
+
+
+class TestRenderers:
+    def _diagnostic(self):
+        (diag,) = check_source(
+            "import random\nrandom.seed(7)\n", path="src/x.py"
+        )
+        return diag
+
+    def test_json_document_shape(self):
+        diag = self._diagnostic()
+        doc = json.loads(render_json([diag], stats={"parsed_files": 1}))
+        assert doc["count"] == 1
+        assert doc["stats"] == {"parsed_files": 1}
+        assert doc["diagnostics"][0]["code"] == "RNG001"
+        assert doc["diagnostics"][0]["path"] == "src/x.py"
+
+    def test_sarif_envelope(self):
+        doc = json.loads(render_sarif([self._diagnostic()]))
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert len(doc["runs"]) == 1
+
+    def test_sarif_driver_carries_full_catalogue(self):
+        doc = json.loads(render_sarif([]))
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-checks"
+        assert [r["id"] for r in driver["rules"]] == all_rule_codes()
+        for rule in driver["rules"]:
+            assert rule["name"]
+            assert rule["shortDescription"]["text"]
+
+    def test_sarif_result_shape_and_rule_index(self):
+        doc = json.loads(render_sarif([self._diagnostic()]))
+        (result,) = doc["runs"][0]["results"]
+        assert result["ruleId"] == "RNG001"
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/x.py"
+        assert location["region"] == {"startLine": 2, "startColumn": 1}
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["rules"][result["ruleIndex"]]["id"] == "RNG001"
+
+    def test_sarif_syntax_errors_carry_no_rule_index(self):
+        (diag,) = check_source("def broken(:\n", path="bad.py")
+        doc = json.loads(render_sarif([diag]))
+        (result,) = doc["runs"][0]["results"]
+        assert result["ruleId"] == "SYN001"
+        assert "ruleIndex" not in result
+
+    def test_sarif_uris_relative_to_root(self, tmp_path):
+        src = _mini_repo(tmp_path)
+        result = lint_paths([src], use_cache=False)
+        doc = json.loads(
+            render_sarif(result.diagnostics, root=result.root)
+        )
+        (sarif_result,) = doc["runs"][0]["results"]
+        uri = sarif_result["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"]
+        assert uri == "src/noisy.py"
+
+
+# ----------------------------------------------------------------------
+# summary serialisation
+# ----------------------------------------------------------------------
+
+
+class TestSummaryRoundTrips:
+    def test_module_summary_round_trips_through_json(self):
+        source = (
+            "from repro.rng import ensure_rng\n"
+            "from repro.core import network\n"
+            "__all__ = ['build', 'enqueue']\n"
+            "def build(make_task):\n"
+            "    return make_task(payload={'blob': b'raw'})\n"
+            "def enqueue(pool, seed):\n"
+            "    rng = ensure_rng(seed)\n"
+            "    return helper(rng)  # repro: noqa[RNG001]\n"
+        )
+        ctx = FileContext.from_source(
+            source, path="src/repro/m.py", module="repro.m", category="src"
+        )
+        summary = summarize(ctx)
+        restored = ModuleSummary.from_json(
+            json.loads(json.dumps(summary.to_json()))
+        )
+        assert restored == summary
+
+    def test_summary_suppression_spans(self):
+        summary = ModuleSummary(
+            path="m.py",
+            module="repro.m",
+            category="src",
+            is_package=False,
+            noqa={4: frozenset({"DEAD001"})},
+        )
+        assert summary.is_suppressed(4, "dead001")
+        assert not summary.is_suppressed(2, "DEAD001")
+        assert summary.is_suppressed(2, "DEAD001", end_line=5)
+        assert not summary.is_suppressed(4, "RNG001")
+
+    def test_site_dataclasses_round_trip(self):
+        sites = [
+            CallSite(
+                ref="abs:repro.m.f",
+                lineno=3,
+                col=5,
+                threads_seed=True,
+                cs_arg_positions=(0, 2),
+            ),
+            DrawSite(what="ensure_rng", lineno=4, col=1, threads_seed=False),
+            PayloadSite(lineno=5, col=9, call_refs=("local:g",)),
+            NonJsonReturn(label="lambda", lineno=6, col=2),
+            ImportRecord(target="repro.core.network", fallback="repro.core", lineno=1),
+        ]
+        for site in sites:
+            restored = type(site).from_json(
+                json.loads(json.dumps(site.to_json()))
+            )
+            assert restored == site
+
+
+# ----------------------------------------------------------------------
+# documentation sync
+# ----------------------------------------------------------------------
+
+
+class TestDocSync:
+    CATALOGUE = REPO_ROOT / "docs" / "static-analysis.md"
+
+    def test_every_registered_code_documented_exactly_once(self):
+        text = self.CATALOGUE.read_text(encoding="utf-8")
+        for code in all_rule_codes():
+            assert text.count(f"| `{code}` ") == 1, (
+                f"{code} must appear exactly once in the rule catalogue"
+            )
+
+    def test_syntax_pseudo_code_documented(self):
+        text = self.CATALOGUE.read_text(encoding="utf-8")
+        assert "SYN001" in text

@@ -1,5 +1,6 @@
 """Tests of the experiment-pipeline package (tiny configurations)."""
 
+import json
 import math
 
 import pytest
@@ -135,3 +136,34 @@ class TestReportHelpers:
 
     def test_cdf_text_empty(self):
         assert "no finite samples" in cdf_text([math.inf])
+
+
+class TestPlannedTasks:
+    """The planned-task dataclasses are the sweep's public currency:
+    their payloads must stay JSON-safe (they cross the worker boundary
+    and *are* the cache key)."""
+
+    def test_affected_plan_is_planned_evaluations(self):
+        from repro.experiments.affected import PlannedEvaluation
+
+        plan = AffectedSweepStudy(TINY, rates=(0.1,)).plan("node")
+        assert plan
+        assert all(isinstance(task, PlannedEvaluation) for task in plan)
+        ids = [task.task_id for task in plan]
+        assert len(ids) == len(set(ids))
+        payload = plan[0].payload(TINY)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_slowdown_plan_is_planned_replays(self):
+        from repro.experiments.slowdown import PlannedReplay
+
+        plan = SlowdownStudy(TINY).plan()
+        assert plan
+        assert all(isinstance(task, PlannedReplay) for task in plan)
+        sharebackup = [t for t in plan if t.architecture == "sharebackup"]
+        rerouting = [t for t in plan if t.architecture != "sharebackup"]
+        assert all(t.victim is not None for t in sharebackup)
+        assert all(t.scenario is not None for t in rerouting)
+        for task in (sharebackup + rerouting)[:2]:
+            payload = task.payload(TINY)
+            assert json.loads(json.dumps(payload)) == payload

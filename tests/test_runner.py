@@ -391,3 +391,58 @@ class TestRunnerValidation:
             Task("", "kind", {})
         with pytest.raises(ValueError, match="kind"):
             Task("id", "", {})
+
+
+class TestWorkers:
+    """Direct coverage of the worker-dispatch API (resolve/execute)."""
+
+    def test_resolve_worker_alias(self):
+        from repro.runner.testing import flaky_payload
+        from repro.runner.workers import resolve_worker
+
+        assert resolve_worker("testing-flaky") is flaky_payload
+
+    def test_resolve_worker_explicit_path(self):
+        from repro.runner.testing import sleep_payload
+        from repro.runner.workers import resolve_worker
+
+        fn = resolve_worker("repro.runner.testing:sleep_payload")
+        assert fn is sleep_payload
+
+    def test_resolve_worker_rejects_garbage(self):
+        from repro.runner.workers import resolve_worker
+
+        with pytest.raises(ValueError, match="unknown worker kind"):
+            resolve_worker("not-an-alias-or-path")
+        with pytest.raises(ValueError, match="does not exist"):
+            resolve_worker("repro.runner.testing:no_such_worker")
+
+    def test_execute_task_runs_in_process(self, tmp_path):
+        from repro.runner.workers import execute_task
+
+        counter = tmp_path / "attempts"
+        result = execute_task(
+            "testing-flaky",
+            {"counter_file": str(counter), "fail_times": 0, "value": "v"},
+        )
+        assert result == {"attempts": 1, "value": "v"}
+        assert attempt_count(counter) == 1
+
+    def test_shard_seed_scoped_to_shard_execution(self):
+        from repro.runner.workers import execute_shard, shard_seed
+
+        assert shard_seed() is None
+        shard = {
+            "seed": 1234,
+            "tasks": [
+                {
+                    "task_id": "t0",
+                    "kind": "repro.runner.testing:sleep_payload",
+                    "payload": {"seconds": 0.0},
+                }
+            ],
+        }
+        results = execute_shard(shard)
+        assert results == {"t0": {"slept": 0.0}}
+        # The ambient seed is cleared once the shard finishes.
+        assert shard_seed() is None
