@@ -11,6 +11,8 @@
   (CHS001);
 * :mod:`.perf` — engine hot-path discipline: no full active-set sweeps
   outside the sanctioned helpers (PERF001);
+* :mod:`.service` — event-loop discipline in the recovery service: no
+  blocking calls inside ``repro.service`` coroutines (SVC001);
 * :mod:`.interproc` — whole-program rules over the linked project
   model: transitive seed taint (RNG010), payload reachability
   (PROC010), helper circuit mutation (CHS010), import cycles (IMP001),
@@ -32,6 +34,7 @@ from . import (
     perf,
     process,
     rng,
+    service,
 )
 
 __all__ = [
@@ -42,4 +45,5 @@ __all__ = [
     "perf",
     "process",
     "rng",
+    "service",
 ]

@@ -1,0 +1,97 @@
+"""Event-loop discipline in the recovery service (SVC001).
+
+:mod:`repro.service` is a single-threaded asyncio control plane: every
+coroutine shares one event loop with the probe-ingestion drain, the
+boundary scan, and the failure-group resolver.  One blocking call —
+``time.sleep``, synchronous file or socket I/O, a subprocess wait —
+stalls *all* of them at once: heartbeats pile into the bounded queues,
+probe boundaries are missed, and decision latency (the SLO the service
+exists to bound) spikes by the length of the stall.  Waiting must go
+through the service clock (``await clock.sleep(...)``) and I/O through
+asyncio streams.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register
+
+__all__ = ["BlockingCallInCoroutine"]
+
+#: Import-resolvable calls that block the calling thread.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system", "os.wait", "os.waitpid",
+        "subprocess.run", "subprocess.call", "subprocess.check_call",
+        "subprocess.check_output", "subprocess.Popen",
+        "socket.create_connection", "socket.getaddrinfo",
+        "urllib.request.urlopen",
+        "http.client.HTTPConnection", "http.client.HTTPSConnection",
+    }
+)
+
+#: Builtins that block on the terminal or filesystem.
+_BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+#: Method names that are synchronous filesystem I/O wherever they appear
+#: (the ``pathlib.Path`` read/write family).
+_BLOCKING_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+@register
+class BlockingCallInCoroutine(Rule):
+    """SVC001: no blocking calls inside ``repro.service`` coroutines."""
+
+    code = "SVC001"
+    name = "blocking-call-in-coroutine"
+    rationale = (
+        "The recovery service is one shared event loop; a blocking call "
+        "in any coroutine stalls probe ingestion, boundary scans, and "
+        "failover decisions together, breaking the decision-latency SLO. "
+        "Wait via the service clock and do I/O through asyncio."
+    )
+    scope = ("repro.service",)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        reported: set[int] = set()
+        for outer in ast.walk(ctx.tree):
+            if not isinstance(outer, ast.AsyncFunctionDef):
+                continue
+            for node in ast.walk(outer):
+                if not isinstance(node, ast.Call) or id(node) in reported:
+                    continue
+                offence = self._blocking_call(ctx, node)
+                if offence is not None:
+                    reported.add(id(node))
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"{offence} inside a repro.service coroutine blocks "
+                        "the shared event loop; await the service clock "
+                        "(clock.sleep) or use asyncio I/O instead",
+                    )
+
+    @staticmethod
+    def _blocking_call(ctx: FileContext, node: ast.Call) -> str | None:
+        resolved = ctx.resolve(node.func)
+        if resolved in _BLOCKING_CALLS:
+            return f"call to {resolved}()"
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _BLOCKING_BUILTINS
+            and ctx.resolve(node.func) is None  # not an import-shadowed name
+        ):
+            return f"call to builtin {node.func.id}()"
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _BLOCKING_METHODS
+        ):
+            return f"synchronous file I/O via .{node.func.attr}()"
+        return None

@@ -169,6 +169,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the deterministic campaign journal "
                               "(JSONL) to PATH")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the asyncio recovery control-plane service (repro.service)",
+    )
+    p_serve.add_argument("--k", type=int, default=6, help="fat-tree arity")
+    p_serve.add_argument("--n", type=int, default=1,
+                         help="backups per failure group")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="controller RNG seed")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address for the HTTP API")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="bind port for the HTTP API (0 = ephemeral)")
+    p_serve.add_argument("--heartbeat-queue", type=int, default=4096,
+                         help="bounded heartbeat queue size (drop-oldest)")
+    p_serve.add_argument("--report-queue", type=int, default=1024,
+                         help="bounded failure-report queue size (reject)")
+    p_serve.add_argument("--smoke", action="store_true",
+                         help="CI gate: deterministic virtual-clock chaos "
+                              "replay plus a wall-clock HTTP round-trip, "
+                              "then exit")
+
     p_lint = sub.add_parser(
         "lint", help="repository invariant linter (repro.checks)"
     )
@@ -539,6 +561,160 @@ def cmd_chaos(args) -> int:
     return 0 if outcome.stats.human_interventions == 0 else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    if args.smoke:
+        return _serve_smoke(args)
+
+    print(f"recovery service: k={args.k} n={args.n} seed={args.seed}")
+    asyncio.run(_serve_forever(args))
+    return 0
+
+
+async def _serve_forever(args) -> None:
+    from repro.core import ShareBackupController, ShareBackupNetwork
+    from repro.service import RecoveryService, ServiceAPI, ServiceConfig
+
+    import asyncio
+
+    net = ShareBackupNetwork(args.k, n=args.n)
+    controller = ShareBackupController(
+        net, degrade_to_reroute=True, rng=args.seed
+    )
+    service = RecoveryService(
+        controller,
+        config=ServiceConfig(
+            heartbeat_queue_size=args.heartbeat_queue,
+            report_queue_size=args.report_queue,
+        ),
+    )
+    api = ServiceAPI(service, host=args.host, port=args.port)
+    await service.start()
+    await api.start()
+    print(f"listening on {api.address}  (GET /healthz /metrics /decisions "
+          "/events; POST /heartbeats /failures; Ctrl-C to stop)")
+    try:
+        await asyncio.Event().wait()  # serve until interrupted
+    finally:
+        await api.stop()
+        await service.stop()
+
+
+def _serve_smoke(args) -> int:
+    """The ``service-smoke`` CI gate: both personalities, end to end.
+
+    1. A deterministic virtual-clock replay of a maximally hostile
+       (``control-plane`` profile) chaos schedule through the live
+       service — every fault kind crosses the queues, the boundary
+       scan, and the resolver.
+    2. A wall-clock HTTP round-trip: real sockets, a posted failure, a
+       decision observed on the JSONL event stream.
+    """
+    import asyncio
+
+    from repro.chaos.harness import ChaosScenarioConfig
+    from repro.service import run_service_replay
+
+    config = ChaosScenarioConfig(
+        k=args.k, n=args.n, seed=7, duration=0.2, profile="control-plane"
+    )
+    outcome = run_service_replay(config)
+    print(f"replay: {len(outcome.decisions)} decisions "
+          f"{outcome.outcome_counts()}  detections={len(outcome.detections)}  "
+          f"errors={outcome.errors}  events={outcome.events_published}")
+    if not outcome.decisions or outcome.errors:
+        print("error: chaos replay produced no decisions (or errored)",
+              file=sys.stderr)
+        return 1
+
+    result = asyncio.run(_smoke_http(args))
+    print(f"http: decision for {result['logical']} via {result['address']} "
+          f"latency={result['latency'] * 1e3:.3f} ms "
+          f"stream_seq={result['stream_seq']}")
+    print("service smoke: OK")
+    return 0
+
+
+async def _smoke_http(args) -> dict:
+    import asyncio
+    import json
+
+    from repro.core import ShareBackupController, ShareBackupNetwork
+    from repro.service import RecoveryService, ServiceAPI, ServiceConfig
+
+    net = ShareBackupNetwork(args.k, n=args.n)
+    controller = ShareBackupController(
+        net, degrade_to_reroute=True, rng=args.seed
+    )
+    service = RecoveryService(controller, config=ServiceConfig())
+    api = ServiceAPI(service, host=args.host, port=0)
+    await service.start()
+    await api.start()
+    try:
+        victim = sorted(
+            slot
+            for group in net.groups.values()
+            for slot in group.logical_slots
+        )[0]
+        health = await _http(api, "GET", "/healthz")
+        assert health["status"] == "ok", health
+        posted = await _http(
+            api, "POST", "/failures", {"kind": "node", "logical": victim}
+        )
+        assert posted.get("accepted"), posted
+        # The decision must surface on the live JSONL event stream.
+        reader, writer = await asyncio.open_connection(api.host, api.port)
+        writer.write(b"GET /events HTTP/1.1\r\nHost: x\r\n\r\n")
+        await writer.drain()
+        while True:  # consume status line + headers
+            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        stream_seq = None
+        while stream_seq is None:
+            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            event = json.loads(line)
+            if event.get("type") == "decision":
+                stream_seq = event["seq"]
+        writer.close()
+        decisions = await _http(api, "GET", "/decisions")
+        assert decisions["decisions"], decisions
+        decision = decisions["decisions"][0]
+        metrics = await _http(api, "GET", "/metrics")
+        assert metrics["decisions"] >= 1, metrics
+        return {
+            "address": api.address,
+            "logical": decision["logical"],
+            "latency": decision["latency"],
+            "stream_seq": stream_seq,
+        }
+    finally:
+        await api.stop()
+        await service.stop()
+
+
+async def _http(api, method: str, path: str, body: dict | None = None) -> dict:
+    """One-shot JSON request against a running ServiceAPI."""
+    import asyncio
+    import json
+
+    reader, writer = await asyncio.open_connection(api.host, api.port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\nHost: x\r\n"
+            f"Content-Length: {len(payload)}\r\n\r\n"
+        ).encode()
+        + payload
+    )
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(), timeout=10.0)
+    writer.close()
+    head, _, body_text = raw.partition(b"\r\n\r\n")
+    return json.loads(body_text)
+
+
 def cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -632,6 +808,7 @@ _COMMANDS = {
     "study": cmd_study,
     "sweep": cmd_sweep,
     "chaos": cmd_chaos,
+    "serve": cmd_serve,
     "lint": cmd_lint,
 }
 

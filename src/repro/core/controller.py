@@ -41,6 +41,7 @@ and the paper's timing claims are tested against the same code path.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Optional
 
@@ -72,6 +73,13 @@ __all__ = [
 DEFAULT_CONTROLLER_RETRY = RetryPolicy(
     max_retries=2, backoff_base=2e-4, backoff_factor=2.0
 )
+
+#: Slack for the silence-threshold comparison.  A probe that arrived at
+#: boundary *b* must not count as "missed" at boundary *b + threshold*
+#: just because ``(b + threshold) - b`` lands a few ulps above the
+#: threshold in floats; without this the detection boundary depends on
+#: the binary representation of the probe times instead of the schedule.
+_DETECTION_EPS = 1e-9
 
 
 class HumanInterventionRequired(Exception):
@@ -170,14 +178,31 @@ class ShareBackupController:
         matters for maintenance, not for recovery, and offline switches
         are expected to be silent.
         """
-        deadline = self.miss_threshold * self.timing.probe_interval
-        silent = []
+        deadline = (
+            self.miss_threshold * self.timing.probe_interval + _DETECTION_EPS
+        )
+        silent: list[str] = []
         for group in self.net.groups.values():
             for slot in group.logical_slots:
                 physical = group.physical_of(slot)
                 if now - self._last_heartbeat.get(physical, 0.0) > deadline:
                     silent.append(physical)
         return sorted(set(silent))
+
+    def detection_deadline(self, death_time: float) -> float:
+        """First probe boundary at which a ``death_time`` silence is
+        detectable.
+
+        Boundaries are integer multiples of the probe interval; the
+        switch is declared dead at the first boundary where
+        ``now - last_heartbeat`` exceeds ``miss_threshold × interval``.
+        Both the call-driven watchdog and the service's boundary scan
+        derive their schedules from this one method, which is what the
+        chaos-replay A/B regression relies on.
+        """
+        interval = self.timing.probe_interval
+        threshold = self.miss_threshold * interval
+        return math.ceil((death_time + threshold) / interval - 1e-12) * interval
 
     # ==================================================================
     # node-failure recovery (§4.1)

@@ -19,8 +19,6 @@ reconfiguration* remainder is charged before the element returns.
 
 from __future__ import annotations
 
-import math
-
 from ..simulation.engine import FluidSimulation
 from ..simulation.flow import CoflowSpec
 from .controller import ShareBackupController
@@ -56,14 +54,12 @@ class WatchdogSimulation(ShareBackupSimulation):
     def detection_deadline(self, death_time: float) -> float:
         """First probe boundary at which the silence exceeds the threshold.
 
-        Boundaries are at integer multiples of the probe interval; the
-        controller declares a switch dead once ``now - last_heartbeat``
-        exceeds ``miss_threshold × interval``.
+        The arithmetic lives on the controller
+        (:meth:`ShareBackupController.detection_deadline`) so the
+        service's boundary scan and this call-driven simulation detect
+        at identical instants.
         """
-        interval = self.probe_interval()
-        threshold = self.controller.miss_threshold * interval
-        first = death_time + threshold
-        return math.ceil(first / interval - 1e-12) * interval
+        return self.controller.detection_deadline(death_time)
 
     def inject_silent_switch_failure(self, time: float, logical_switch: str) -> None:
         """The switch dies at ``time`` without telling anyone."""

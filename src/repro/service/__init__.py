@@ -1,0 +1,74 @@
+"""repro.service — the asyncio recovery control plane.
+
+The long-lived, event-driven face of the ShareBackup controller stack
+(ROADMAP item 2): probe ingestion with explicit backpressure, a
+concurrent failure-group resolver with per-decision latency, a REST +
+JSONL-events API, chaos-schedule replay under a deterministic virtual
+clock, and a wall-clock load-test harness behind
+``benchmarks/bench_service_slo.py``.  See ``docs/service.md``.
+"""
+
+from .api import ApiError, ServiceAPI
+from .clock import SETTLE_ROUNDS, ServiceClock, VirtualClock, WallClock
+from .events import EventBus, Subscription
+from .fleet import FleetRegistry
+from .ingest import (
+    OVERFLOW_POLICIES,
+    FailureReport,
+    Heartbeat,
+    Probe,
+    ProbeQueue,
+    QueueCounters,
+    QueueFullError,
+)
+from .loadgen import LoadTestConfig, LoadTestResult, run_load_test
+from .replay import (
+    DecisionKey,
+    ReplayOutcome,
+    ServiceReplay,
+    decision_key,
+    report_decision_key,
+    run_service_replay,
+)
+from .resolver import (
+    FailoverDecision,
+    FailureGroupResolver,
+    PendingFailure,
+    report_outcome,
+)
+from .service import RecoveryService, ServiceConfig, percentile
+
+__all__ = [
+    "SETTLE_ROUNDS",
+    "OVERFLOW_POLICIES",
+    "ServiceClock",
+    "WallClock",
+    "VirtualClock",
+    "EventBus",
+    "Subscription",
+    "FleetRegistry",
+    "Heartbeat",
+    "FailureReport",
+    "Probe",
+    "ProbeQueue",
+    "QueueCounters",
+    "QueueFullError",
+    "PendingFailure",
+    "FailoverDecision",
+    "FailureGroupResolver",
+    "report_outcome",
+    "RecoveryService",
+    "ServiceConfig",
+    "percentile",
+    "ApiError",
+    "ServiceAPI",
+    "DecisionKey",
+    "ReplayOutcome",
+    "ServiceReplay",
+    "decision_key",
+    "report_decision_key",
+    "run_service_replay",
+    "LoadTestConfig",
+    "LoadTestResult",
+    "run_load_test",
+]

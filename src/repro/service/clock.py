@@ -1,0 +1,154 @@
+"""The service's time authority: one clock interface, two personalities.
+
+The recovery service (:mod:`repro.service.service`) is a long-lived set
+of coroutines — probe ingestion, boundary scans, failure-group
+resolution — and every one of them asks *this* object what time it is
+and how to wait.  That indirection is what lets the same service code
+run in two modes:
+
+* :class:`WallClock` — real time: ``now()`` is a monotonic offset from
+  service start and ``sleep()`` is :func:`asyncio.sleep`.  The SLO
+  benchmark (:mod:`repro.service.loadgen`) runs here, so its decision
+  latencies are genuine wall-clock numbers.
+* :class:`VirtualClock` — simulated time under test control: ``sleep()``
+  parks the coroutine on a deadline heap and time only advances when the
+  driver (:meth:`VirtualClock.run_until`) says so.  Two runs of the same
+  scenario execute the exact same interleaving, which is what makes the
+  chaos-replay A/B test (service path vs. call-driven
+  :class:`~repro.core.watchdog.WatchdogSimulation`) a determinism
+  *equation* rather than a flaky race.
+
+The virtual driver alternates two moves: *settle* (yield to the event
+loop a fixed number of times so every causal chain at the current
+instant runs dry — offer → ingest → resolve → publish is four hops) and
+*advance* (pop the earliest deadline, move ``now``, wake that sleeper).
+Sleepers due at one instant wake in the order their sleeps were issued,
+so the schedule is a pure function of the program, never of the host.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+from typing import Protocol
+
+__all__ = ["ServiceClock", "WallClock", "VirtualClock", "SETTLE_ROUNDS"]
+
+#: Event-loop yields per settle pass.  Each yield lets every runnable
+#: task take one step; the longest same-instant causal chain in the
+#: service (probe offer → ingest handle → resolver batch → decision →
+#: event fan-out → subscriber) is well under this.
+SETTLE_ROUNDS = 16
+
+#: Deadlines within this of each other count as the same instant.
+_TIME_EPS = 1e-12
+
+
+class ServiceClock(Protocol):
+    """What the service needs from time: a reading and a wait."""
+
+    def now(self) -> float:
+        """Seconds since the clock's origin."""
+        ...  # pragma: no cover - protocol
+
+    async def sleep(self, delay: float) -> None:
+        """Suspend the calling coroutine for ``delay`` seconds."""
+        ...  # pragma: no cover - protocol
+
+
+class WallClock:
+    """Real time, as a monotonic offset from construction."""
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+    async def sleep(self, delay: float) -> None:
+        await asyncio.sleep(max(0.0, delay))
+
+
+class VirtualClock:
+    """Deterministic simulated time for service tests and replays.
+
+    Coroutines call :meth:`sleep`; the test/replay driver pumps time
+    forward with :meth:`run_until` (or one :meth:`settle` at the current
+    instant).  Nothing here reads the host clock.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._seq = itertools.count()
+        #: (deadline, issue order, waiter) — a min-heap.
+        self._sleepers: list[tuple[float, int, asyncio.Future[None]]] = []
+
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending_sleepers(self) -> int:
+        """Sleeps issued but not yet woken (cancelled ones included
+        until their turn comes up)."""
+        return len(self._sleepers)
+
+    def next_deadline(self) -> float | None:
+        """The earliest pending wake-up time, if any."""
+        return self._sleepers[0][0] if self._sleepers else None
+
+    async def sleep(self, delay: float) -> None:
+        if delay <= 0:
+            # A zero-length sleep is still a scheduling point.
+            await asyncio.sleep(0)
+            return
+        waiter: asyncio.Future[None] = (
+            asyncio.get_running_loop().create_future()
+        )
+        heapq.heappush(
+            self._sleepers, (self._now + delay, next(self._seq), waiter)
+        )
+        await waiter
+
+    # ------------------------------------------------------------------
+    # the driver side
+    # ------------------------------------------------------------------
+
+    async def settle(self, rounds: int = SETTLE_ROUNDS) -> None:
+        """Let every causal chain at the current instant run dry."""
+        for _ in range(rounds):
+            await asyncio.sleep(0)
+
+    async def run_until(self, deadline: float) -> None:
+        """Advance virtual time to ``deadline``, waking sleepers in order.
+
+        Each due sleeper is woken individually and the loop settles
+        before the next advance, so a woken coroutine that issues a new
+        (possibly earlier-than-the-next) sleep is honoured.
+        """
+        await self.settle()
+        while self._sleepers and (
+            self._sleepers[0][0] <= deadline + _TIME_EPS
+        ):
+            due, _, waiter = heapq.heappop(self._sleepers)
+            self._now = max(self._now, due)
+            if not waiter.done():
+                waiter.set_result(None)
+            await self.settle()
+        self._now = max(self._now, deadline)
+        await self.settle()
+
+    async def run_all(self, horizon: float = float("inf")) -> None:
+        """Drain every pending sleeper up to ``horizon``."""
+        # Settle before the first deadline check: freshly spawned tasks
+        # have not run yet, so their initial sleeps are not on the heap.
+        await self.settle()
+        while True:
+            upcoming = self.next_deadline()
+            if upcoming is None or upcoming > horizon:
+                break
+            await self.run_until(upcoming)
+        if horizon != float("inf"):
+            self._now = max(self._now, horizon)
+        await self.settle()

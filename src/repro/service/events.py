@@ -1,0 +1,125 @@
+"""Fan-out of service events to streaming subscribers.
+
+The service publishes JSON-safe event dicts — failover decisions,
+:class:`~repro.core.degradation.DegradationReport` records, lifecycle
+markers — and any number of subscribers (the ``GET /events`` JSONL
+stream, the chaos replay driver, tests) each read their own bounded
+buffer.  A slow subscriber never stalls the control plane: its buffer
+drops oldest events and counts what it lost, mirroring the ingestion
+layer's backpressure discipline on the egress side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from collections.abc import AsyncIterator
+
+__all__ = ["EventBus", "Subscription"]
+
+#: Sentinel queued to tell a subscriber the bus closed.
+_CLOSED = object()
+
+
+class Subscription:
+    """One subscriber's bounded view of the event stream."""
+
+    def __init__(self, bus: "EventBus", maxsize: int) -> None:
+        self._bus = bus
+        self._maxsize = maxsize
+        self._items: deque[object] = deque()
+        self._waiter: asyncio.Future[None] | None = None
+        self.dropped = 0
+        self.closed = False
+
+    def _push(self, event: object) -> None:
+        if self.closed:
+            return
+        if len(self._items) >= self._maxsize:
+            self._items.popleft()
+            self.dropped += 1
+        self._items.append(event)
+        self._wake()
+
+    def _wake(self) -> None:
+        if self._waiter is not None and not self._waiter.done():
+            self._waiter.set_result(None)
+
+    async def next_event(self) -> dict | None:
+        """The next event, or ``None`` once the bus has closed."""
+        while True:
+            if self._items:
+                item = self._items.popleft()
+                if item is _CLOSED:
+                    self.closed = True
+                    return None
+                assert isinstance(item, dict)
+                return item
+            if self.closed:
+                return None
+            self._waiter = asyncio.get_running_loop().create_future()
+            try:
+                await self._waiter
+            finally:
+                self._waiter = None
+
+    def __aiter__(self) -> AsyncIterator[dict]:
+        return self._iterate()
+
+    async def _iterate(self) -> AsyncIterator[dict]:
+        while True:
+            event = await self.next_event()
+            if event is None:
+                return
+            yield event
+
+    def unsubscribe(self) -> None:
+        self.closed = True
+        self._items.clear()
+        self._wake()
+        self._bus._subscriptions.discard(self)
+
+
+class EventBus:
+    """Publish/subscribe hub for the service's event stream."""
+
+    def __init__(self) -> None:
+        self._subscriptions: set[Subscription] = set()
+        self._seq = 0
+        self.published = 0
+        self.closed = False
+
+    def subscribe(self, maxsize: int = 1024) -> Subscription:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        sub = Subscription(self, maxsize)
+        if self.closed:
+            sub._push(_CLOSED)
+        else:
+            self._subscriptions.add(sub)
+        return sub
+
+    def publish(self, event: dict) -> dict:
+        """Stamp ``event`` with a sequence number and fan it out.
+
+        Returns the stamped event (the caller's dict, mutated) so
+        publishers can log exactly what subscribers saw.
+        """
+        if self.closed:
+            return event
+        event.setdefault("seq", self._seq)
+        self._seq += 1
+        self.published += 1
+        for sub in list(self._subscriptions):
+            sub._push(event)
+        return event
+
+    def close(self) -> None:
+        """End every stream; subscribers see end-of-stream after their
+        buffered backlog."""
+        if self.closed:
+            return
+        self.closed = True
+        for sub in list(self._subscriptions):
+            sub._push(_CLOSED)
+        self._subscriptions.clear()

@@ -1,0 +1,237 @@
+"""Deterministic load-test harness for the service SLO benchmark.
+
+Drives a live :class:`~repro.service.service.RecoveryService` (wall
+clock) with the two loads the paper's control plane must absorb at
+once:
+
+* a **probe storm** — a synthetic fleet of tens of thousands of
+  switches heartbeating continuously through the bounded ingestion
+  queue (drop-oldest soaks the excess, and the counters prove it);
+* **failure waves** — bursts of over a thousand concurrent failure
+  reports, round-robined across every logical slot of a real
+  ShareBackup network with graceful degradation on, every spare pool
+  repaired between waves.
+
+Every report produces exactly one failover decision (recovered,
+rerouted, or stranded), each carrying its submission→decision latency;
+the harness distils them into the p50/p99/p999 SLO summary that
+``benchmarks/bench_service_slo.py`` records as ``BENCH_service.json``.
+Target order is a pure function of the seed
+(:func:`repro.rng.derive_seed` discipline); only the measured latencies
+depend on the host.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from ..core.controller import ShareBackupController
+from ..core.sharebackup import ShareBackupNetwork
+from ..rng import derive_seed, ensure_rng
+from .clock import WallClock
+from .ingest import FailureReport, Heartbeat
+from .service import RecoveryService, ServiceConfig
+
+__all__ = ["LoadTestConfig", "LoadTestResult", "run_load_test"]
+
+#: Safety valve: a wave that produces no new decision for this many
+#: polls in a row aborts the run instead of hanging CI.
+_STALL_POLLS = 5000
+
+
+@dataclass(frozen=True)
+class LoadTestConfig:
+    """One SLO load-test run, fully specified."""
+
+    k: int = 8
+    n: int = 2
+    switches: int = 10_000
+    failures: int = 1_024
+    wave_size: int = 1_024
+    seed: int = 0
+    heartbeat_queue_size: int = 4_096
+    report_queue_size: int = 4_096
+
+    def __post_init__(self) -> None:
+        if self.switches < 1 or self.failures < 1 or self.wave_size < 1:
+            raise ValueError("switches, failures, wave_size must be >= 1")
+        if self.wave_size > self.report_queue_size:
+            raise ValueError(
+                "wave_size must fit in the report queue "
+                f"({self.wave_size} > {self.report_queue_size})"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "k": self.k,
+            "n": self.n,
+            "switches": self.switches,
+            "failures": self.failures,
+            "wave_size": self.wave_size,
+            "seed": self.seed,
+            "heartbeat_queue_size": self.heartbeat_queue_size,
+            "report_queue_size": self.report_queue_size,
+        }
+
+
+@dataclass(frozen=True)
+class LoadTestResult:
+    """Distilled outcome of one load-test run (JSON-safe)."""
+
+    config: LoadTestConfig
+    duration: float
+    failures_submitted: int
+    failures_rejected: int
+    decisions: int
+    errors: int
+    latency: dict[str, float]
+    outcomes: dict[str, int]
+    heartbeat_queue: dict[str, object]
+    report_queue: dict[str, object]
+    fleet_heartbeats: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "config": self.config.to_dict(),
+            "duration": self.duration,
+            "failures_submitted": self.failures_submitted,
+            "failures_rejected": self.failures_rejected,
+            "decisions": self.decisions,
+            "errors": self.errors,
+            "latency": dict(self.latency),
+            "outcomes": dict(self.outcomes),
+            "heartbeat_queue": dict(self.heartbeat_queue),
+            "report_queue": dict(self.report_queue),
+            "fleet_heartbeats": self.fleet_heartbeats,
+        }
+
+
+def run_load_test(config: LoadTestConfig | None = None) -> LoadTestResult:
+    """Run one load test on a fresh event loop and distil the result."""
+    return asyncio.run(_run(config or LoadTestConfig()))
+
+
+async def _run(config: LoadTestConfig) -> LoadTestResult:
+    net = ShareBackupNetwork(config.k, config.n)
+    controller = ShareBackupController(
+        net,
+        degrade_to_reroute=True,
+        rng=derive_seed(config.seed, "controller"),
+    )
+    service = RecoveryService(
+        controller,
+        clock=WallClock(),
+        config=ServiceConfig(
+            heartbeat_queue_size=config.heartbeat_queue_size,
+            report_queue_size=config.report_queue_size,
+            # Failures are injected by *report* here, and under wall
+            # clock a 10k-probe storm cycle can outlast the 3 ms miss
+            # window — so the boundary scan is parked, or it would
+            # condemn switches whose heartbeats are merely queued
+            # behind the storm.  The scan path has its own coverage
+            # (the virtual-clock chaos replays), where detection
+            # timing is exact by construction.
+            scan_interval=3600.0,
+        ),
+    )
+    fleet = service.fleet.register_many("sw-", config.switches)
+    await service.start()
+    storm = asyncio.ensure_future(_heartbeat_storm(service, fleet))
+    try:
+        submitted, rejected = await _failure_waves(config, service, controller)
+    finally:
+        storm.cancel()
+        await asyncio.gather(storm, return_exceptions=True)
+        duration = service.clock.now()
+        metrics = service.metrics()
+        await service.stop()
+    latency = service.latency_summary() or {}
+    heartbeat_queue = metrics["heartbeat_queue"]
+    report_queue = metrics["report_queue"]
+    assert isinstance(heartbeat_queue, dict)
+    assert isinstance(report_queue, dict)
+    return LoadTestResult(
+        config=config,
+        duration=duration,
+        failures_submitted=submitted,
+        failures_rejected=rejected,
+        decisions=len(service.decisions),
+        errors=len(service.errors),
+        latency=latency,
+        outcomes=service.outcome_counts(),
+        heartbeat_queue=heartbeat_queue,
+        report_queue=report_queue,
+        fleet_heartbeats=service.fleet.heartbeats_recorded,
+    )
+
+
+async def _heartbeat_storm(
+    service: RecoveryService, fleet: list[str]
+) -> None:
+    """The whole synthetic fleet heartbeats, forever, politely yielding."""
+    while True:
+        now = service.clock.now()
+        for index, switch in enumerate(fleet):
+            service.submit_heartbeat(Heartbeat(switch, now))
+            if (index + 1) % 512 == 0:
+                await asyncio.sleep(0)
+        await service.clock.sleep(0.001)
+
+
+async def _failure_waves(
+    config: LoadTestConfig,
+    service: RecoveryService,
+    controller: ShareBackupController,
+) -> tuple[int, int]:
+    """Submit failures in concurrent bursts; repair pools between waves.
+
+    Returns ``(submitted_accepted, rejected)``.
+    """
+    rng = ensure_rng(derive_seed(config.seed, "loadgen"))
+    slots = sorted(
+        slot
+        for group in controller.net.groups.values()
+        for slot in group.logical_slots
+    )
+    submitted = 0
+    rejected = 0
+    while submitted + rejected < config.failures:
+        remaining = config.failures - submitted - rejected
+        wave = min(config.wave_size, remaining)
+        order = rng.permutation(len(slots))
+        targets = [slots[int(order[i % len(slots)])] for i in range(wave)]
+        for logical in targets:
+            report = FailureReport(
+                kind="node", logical=logical, reported_at=service.clock.now()
+            )
+            if service.submit_failure(report):
+                submitted += 1
+            else:
+                rejected += 1
+        await _await_decisions(service, submitted)
+        _repair_all(service, controller)
+    return submitted, rejected
+
+
+async def _await_decisions(service: RecoveryService, expected: int) -> None:
+    """Wait until every accepted report has a decision (or errored)."""
+    stalled = 0
+    last = -1
+    while len(service.decisions) + len(service.errors) < expected:
+        settled = len(service.decisions) + len(service.errors)
+        stalled = stalled + 1 if settled == last else 0
+        if stalled >= _STALL_POLLS:  # give up rather than hang CI
+            return
+        last = settled
+        await service.clock.sleep(0.001)
+
+
+def _repair_all(
+    service: RecoveryService, controller: ShareBackupController
+) -> None:
+    """Refill every spare pool so the next wave starts from full health."""
+    for group in controller.net.groups.values():
+        for physical in sorted(group.offline):
+            controller.repair(physical)
+            service.mark_repaired(physical)

@@ -1,0 +1,335 @@
+"""Replay chaos schedules through the *live* service, deterministically.
+
+:class:`ServiceReplay` is the service-path twin of
+:class:`repro.chaos.harness.ChaosHarness`: the same network, the same
+controller construction (seed discipline included), the same
+:class:`~repro.chaos.faults.FaultSchedule` vocabulary — but instead of
+a call-driven :class:`~repro.core.watchdog.WatchdogSimulation`, the
+faults play out against a running :class:`RecoveryService` under a
+:class:`~repro.service.clock.VirtualClock`:
+
+* a heartbeat emitter submits keep-alives for every healthy,
+  non-silenced physical switch at each probe boundary (the probes a
+  real fleet would send);
+* ``silent-node-failure`` just *stops the target's heartbeats* — the
+  service's boundary scan must notice, exactly like the paper's
+  keep-alive detection;
+* ``heartbeat-loss`` suppresses a healthy switch's probes for
+  ``duration`` (spurious failover if it outlives the miss threshold);
+* the hardware/control-plane kinds (``stuck-crosspoint``,
+  ``transient-reconfig``, ``cs-reboot``, ``pool-drain``,
+  ``controller-crash``) mutate the same state the chaos harness
+  mutates, on the virtual timeline.
+
+Because the clock is virtual and every queue/batch boundary is settled
+between time advances, a replay is a pure function of
+``(config, schedule)`` — which is what lets the regression suite assert
+the service path is *decision-identical* to the call-driven path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+
+from ..chaos.faults import ChaosFault, FaultSchedule, generate_schedule
+from ..chaos.harness import ChaosScenarioConfig
+from ..core.circuit_switch import CircuitSwitch, CircuitSwitchError
+from ..core.controller import (
+    ControllerCluster,
+    RecoveryReport,
+    ShareBackupController,
+)
+from ..core.sharebackup import ShareBackupNetwork
+from ..rng import derive_seed
+from .clock import VirtualClock
+from .ingest import Heartbeat
+from .resolver import FailoverDecision, report_outcome
+from .service import RecoveryService, ServiceConfig
+
+__all__ = [
+    "DecisionKey",
+    "ReplayOutcome",
+    "ServiceReplay",
+    "decision_key",
+    "report_decision_key",
+    "run_service_replay",
+]
+
+#: The order-insensitive identity of one failover decision.
+DecisionKey = tuple[
+    str,  # kind
+    str,  # logical slot
+    str,  # outcome
+    tuple[tuple[str, str], ...],  # replaced
+    tuple[str, ...],  # unrecoverable
+    tuple[str, ...],  # degraded
+]
+
+
+def decision_key(decision: FailoverDecision) -> DecisionKey:
+    """Comparable identity of a service-path decision."""
+    return (
+        decision.kind,
+        decision.logical,
+        decision.outcome,
+        tuple(decision.replaced),
+        tuple(decision.unrecoverable),
+        tuple(decision.degraded),
+    )
+
+
+def report_decision_key(report: RecoveryReport) -> DecisionKey:
+    """Comparable identity of a call-driven :class:`RecoveryReport`.
+
+    Uses the same outcome/logical derivation as
+    :meth:`FailoverDecision.from_report`, so the two paths meet on
+    common ground.
+    """
+    if report.replaced:
+        logical = report.replaced[0][0]
+    elif report.unrecoverable:
+        logical = report.unrecoverable[0]
+    else:
+        logical = ""
+    return (
+        report.kind,
+        logical,
+        report_outcome(report),
+        tuple(report.replaced),
+        tuple(report.unrecoverable),
+        tuple(report.degraded),
+    )
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """The distilled result of one service-path replay."""
+
+    seed: int
+    decisions: tuple[FailoverDecision, ...]
+    detections: tuple[tuple[str, float], ...]
+    elections: int
+    errors: int
+    events_published: int
+    metrics: dict[str, object]
+
+    def decision_keys(self) -> tuple[DecisionKey, ...]:
+        """Sorted (order-insensitive) decision identities."""
+        return tuple(sorted(decision_key(d) for d in self.decisions))
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for decision in self.decisions:
+            counts[decision.outcome] = counts.get(decision.outcome, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "seed": self.seed,
+            "decisions": [d.to_dict() for d in self.decisions],
+            "detections": [list(d) for d in self.detections],
+            "elections": self.elections,
+            "errors": self.errors,
+            "events_published": self.events_published,
+            "outcomes": self.outcome_counts(),
+        }
+
+
+class ServiceReplay:
+    """One chaos schedule, replayed through a live RecoveryService."""
+
+    def __init__(
+        self,
+        config: ChaosScenarioConfig,
+        schedule: FaultSchedule | None = None,
+        service_config: ServiceConfig | None = None,
+    ) -> None:
+        self.config = config
+        self.schedule = schedule or generate_schedule(
+            config.k,
+            config.n,
+            derive_seed(config.seed, "schedule"),
+            duration=config.duration,
+            profile=config.profile,
+        )
+        self.net = ShareBackupNetwork(config.k, config.n)
+        # Same construction (and controller RNG label) as ChaosHarness:
+        # the two paths must start from interchangeable controllers.
+        self.controller = ShareBackupController(
+            self.net,
+            degrade_to_reroute=True,
+            rng=derive_seed(config.seed, "controller"),
+        )
+        self.cluster = ControllerCluster(controller=self.controller)
+        self.clock = VirtualClock()
+        self.service = RecoveryService(
+            self.controller,
+            clock=self.clock,
+            config=service_config or ServiceConfig(),
+        )
+        #: Physical switches whose heartbeats stopped (dead switches).
+        self.silenced: set[str] = set()
+        #: Healthy switches whose heartbeats chaos is eating in transit.
+        self.suppressed: set[str] = set()
+
+    # ------------------------------------------------------------------
+
+    def probe_interval(self) -> float:
+        return self.controller.timing.probe_interval
+
+    def detection_deadline(self, death_time: float) -> float:
+        """Delegates to the controller — shared with the watchdog path."""
+        return self.controller.detection_deadline(death_time)
+
+    def default_horizon(self) -> float:
+        """Far enough to detect and settle every scheduled fault."""
+        interval = self.probe_interval()
+        latest = interval
+        for fault in self.schedule.faults:
+            latest = max(
+                latest,
+                fault.time + fault.duration,
+                self.detection_deadline(fault.time + fault.duration),
+            )
+        return latest + 2 * interval
+
+    # ------------------------------------------------------------------
+
+    def run(self, horizon: float | None = None) -> ReplayOutcome:
+        """Replay to ``horizon`` (default: past every detection)."""
+        return asyncio.run(self._run(horizon))
+
+    async def _run(self, horizon: float | None) -> ReplayOutcome:
+        end = horizon if horizon is not None else self.default_horizon()
+        await self.service.start()
+        side_tasks = [asyncio.ensure_future(self._emit_heartbeats())]
+        side_tasks.extend(
+            asyncio.ensure_future(self._inject(fault))
+            for fault in self.schedule.faults
+        )
+        await self.clock.run_all(end)
+        for task in side_tasks:
+            task.cancel()
+        await asyncio.gather(*side_tasks, return_exceptions=True)
+        metrics = self.service.metrics()
+        await self.service.stop()
+        return ReplayOutcome(
+            seed=self.config.seed,
+            decisions=tuple(self.service.decisions),
+            detections=tuple(self.service.detections),
+            elections=self.cluster.elections,
+            errors=len(self.service.errors),
+            events_published=self.service.bus.published,
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------
+    # the simulated fleet
+    # ------------------------------------------------------------------
+
+    async def _emit_heartbeats(self) -> None:
+        """Keep-alives from every healthy switch, at each probe boundary."""
+        interval = self.probe_interval()
+        while True:
+            now = self.clock.now()
+            boundary = (math.floor(now / interval + 1e-9) + 1) * interval
+            await self.clock.sleep(boundary - now)
+            now = self.clock.now()
+            for physical in sorted(self.net.physical_health):
+                if (
+                    self.net.physical_health[physical]
+                    and physical not in self.silenced
+                    and physical not in self.suppressed
+                ):
+                    self.service.submit_heartbeat(Heartbeat(physical, now))
+
+    # ------------------------------------------------------------------
+    # fault injection (mirrors repro.chaos.harness installers)
+    # ------------------------------------------------------------------
+
+    async def _inject(self, fault: ChaosFault) -> None:
+        await self.clock.sleep(fault.time)
+        handler = {
+            "silent-node-failure": self._silent_failure,
+            "heartbeat-loss": self._heartbeat_loss,
+            "stuck-crosspoint": self._stuck_crosspoint,
+            "transient-reconfig": self._transient_reconfig,
+            "cs-reboot": self._cs_reboot,
+            "pool-drain": self._pool_drain,
+            "controller-crash": self._controller_crash,
+        }[fault.kind]
+        await handler(fault)
+
+    async def _silent_failure(self, fault: ChaosFault) -> None:
+        physical = self.net.serving_switch(fault.target)
+        self.silenced.add(physical)
+
+    async def _heartbeat_loss(self, fault: ChaosFault) -> None:
+        physical = self.net.serving_switch(fault.target)
+        self.suppressed.add(physical)
+        if fault.duration <= 0:
+            return
+        await self.clock.sleep(fault.duration)
+        self.suppressed.discard(physical)
+        if self.net.physical_health.get(physical, False):
+            # Not yet condemned: the backlog of keep-alives arrives and
+            # the silence window closes (watchdog's resume path).
+            self.service.submit_heartbeat(
+                Heartbeat(physical, self.clock.now())
+            )
+
+    async def _stuck_crosspoint(self, fault: ChaosFault) -> None:
+        cs = self.net.circuit_switches[fault.target]
+        jammed = 0
+        for group in self.net.groups.values():
+            for spare in list(group.spares):
+                ports = cs.ports_of_device(spare)
+                if ports:
+                    cs.stuck_ports.update(ports)
+                    jammed += 1
+                    if jammed >= fault.count:
+                        return
+
+    async def _transient_reconfig(self, fault: ChaosFault) -> None:
+        budget = {"remaining": fault.count}
+
+        def injector(cs: CircuitSwitch, changes: dict) -> None:
+            if budget["remaining"] > 0:
+                budget["remaining"] -= 1
+                raise CircuitSwitchError(
+                    f"{cs.name}: injected transient reconfiguration failure "
+                    f"({budget['remaining']} more to come)"
+                )
+
+        self.net.circuit_switches[fault.target].fault_injector = injector
+
+    async def _cs_reboot(self, fault: ChaosFault) -> None:
+        self.net.circuit_switches[fault.target].crash()
+        await self.clock.sleep(max(fault.duration, 1e-6))
+        self.controller.circuit_switch_rebooted(
+            fault.target, now=self.clock.now()
+        )
+
+    async def _pool_drain(self, fault: ChaosFault) -> None:
+        group = self.net.groups[fault.target]
+        for _ in range(min(fault.count, len(group.spares))):
+            spare = group.spares.pop()
+            group.offline.add(spare)
+            self.net.physical_health[spare] = False
+
+    async def _controller_crash(self, fault: ChaosFault) -> None:
+        failed = self.cluster.fail_primary()
+        if failed is not None and fault.duration > 0:
+            await self.clock.sleep(fault.duration)
+            self.cluster.restore_replica(failed)
+
+
+def run_service_replay(
+    config: ChaosScenarioConfig,
+    schedule: FaultSchedule | None = None,
+    horizon: float | None = None,
+) -> ReplayOutcome:
+    """Build the service stack, replay the schedule, distil the result."""
+    return ServiceReplay(config, schedule=schedule).run(horizon)

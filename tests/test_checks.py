@@ -40,6 +40,7 @@ EXPECTED_CODES = {
     "EXC001", "EXC002",
     "CHS001",
     "PERF001",
+    "SVC001",
 }
 
 PROJECT_CODES = {"RNG010", "PROC010", "CHS010", "IMP001", "DEAD001"}
@@ -559,6 +560,75 @@ class TestRuleFixtures:
             check_source(dedent(source), module="repro.chaos.harness")
         )
 
+    def test_svc001_time_sleep_in_coroutine_fires(self, tmp_path, capsys):
+        exit_code = lint_file(
+            tmp_path,
+            """\
+            import time
+
+            async def drain_loop(queue):
+                while True:
+                    time.sleep(0.1)
+            """,
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "SVC001" in out
+        assert "time.sleep" in out
+
+    def test_svc001_sync_io_in_coroutine_fires(self):
+        source = """\
+            async def dump(path, payload):
+                with open(path, "w") as fh:
+                    fh.write(payload)
+                path.write_text(payload)
+            """
+        diagnostics = [
+            d
+            for d in check_source(
+                dedent(source), module="repro.service.service"
+            )
+            if d.code == "SVC001"
+        ]
+        assert len(diagnostics) == 2  # open() and .write_text()
+
+    def test_svc001_sync_functions_are_fine(self):
+        source = """\
+            import time
+
+            def snapshot():
+                time.sleep(0.1)
+                return open("state.json").read()
+            """
+        assert "SVC001" not in codes(
+            check_source(dedent(source), module="repro.service.service")
+        )
+
+    def test_svc001_awaiting_the_clock_is_fine(self):
+        source = """\
+            async def scan_loop(self):
+                while True:
+                    await self.clock.sleep(self.interval)
+                    await self._scan_once()
+            """
+        assert "SVC001" not in codes(
+            check_source(dedent(source), module="repro.service.service")
+        )
+
+    def test_svc001_scoped_to_service_modules(self):
+        source = """\
+            import time
+
+            async def worker():
+                time.sleep(1.0)
+            """
+        assert "SVC001" in codes(
+            check_source(dedent(source), module="repro.service.resolver")
+        )
+        assert "SVC001" not in codes(
+            check_source(dedent(source), module="repro.experiments.sweep")
+        )
+
 
 # ----------------------------------------------------------------------
 # suppressions
@@ -590,6 +660,17 @@ class TestSuppressions:
             """
         diags = [d for d in check_source(dedent(source)) if d.code == "RNG001"]
         assert [d.line for d in diags] == [5]
+
+    def test_noqa_suppresses_svc001(self):
+        source = """\
+            import time
+
+            async def settle():
+                time.sleep(0.01)  # repro: noqa[SVC001]
+            """
+        assert "SVC001" not in codes(
+            check_source(dedent(source), module="repro.service.clock")
+        )
 
     def test_noqa_wrong_code_does_not_suppress(self):
         source = """\

@@ -1,0 +1,191 @@
+"""Tests for :mod:`repro.service.clock` — the service time authority.
+
+The virtual clock is what turns the chaos-replay A/B comparison into a
+determinism equation, so its scheduling contract is pinned here: sleeps
+wake in deadline order, ties break by issue order, `run_until` honours
+sleeps issued *by* woken coroutines, and `run_all` drains freshly
+spawned tasks (their first sleeps are not on the heap until the loop
+has settled once).
+"""
+
+import asyncio
+
+from repro.service.clock import VirtualClock, WallClock
+
+
+def drive(coro):
+    return asyncio.run(coro)
+
+
+class TestVirtualClock:
+    def test_starts_at_origin_and_never_reads_host_time(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        assert clock.next_deadline() is None
+        assert clock.pending_sleepers == 0
+
+    def test_sleepers_wake_in_deadline_order(self):
+        async def scenario():
+            clock = VirtualClock()
+            woke = []
+
+            async def sleeper(name, delay):
+                await clock.sleep(delay)
+                woke.append((name, clock.now()))
+
+            tasks = [
+                asyncio.ensure_future(sleeper("late", 3.0)),
+                asyncio.ensure_future(sleeper("early", 1.0)),
+                asyncio.ensure_future(sleeper("mid", 2.0)),
+            ]
+            await clock.run_all(10.0)
+            await asyncio.gather(*tasks)
+            return woke
+
+        woke = drive(scenario())
+        assert woke == [("early", 1.0), ("mid", 2.0), ("late", 3.0)]
+
+    def test_same_deadline_ties_break_by_issue_order(self):
+        async def scenario():
+            clock = VirtualClock()
+            woke = []
+
+            async def sleeper(name):
+                await clock.sleep(1.0)
+                woke.append(name)
+
+            tasks = [
+                asyncio.ensure_future(sleeper(name))
+                for name in ("a", "b", "c")
+            ]
+            await clock.run_all(2.0)
+            await asyncio.gather(*tasks)
+            return woke
+
+        assert drive(scenario()) == ["a", "b", "c"]
+
+    def test_run_until_honours_sleeps_issued_by_woken_coroutines(self):
+        # A chain: each wake-up schedules the next sleep.  run_until
+        # must interleave advance and settle or the chain stalls after
+        # the first hop.
+        async def scenario():
+            clock = VirtualClock()
+            ticks = []
+
+            async def chain():
+                for _ in range(4):
+                    await clock.sleep(0.5)
+                    ticks.append(clock.now())
+
+            task = asyncio.ensure_future(chain())
+            await clock.run_until(2.0)
+            await task
+            return ticks
+
+        assert drive(scenario()) == [0.5, 1.0, 1.5, 2.0]
+
+    def test_run_all_settles_before_first_deadline_check(self):
+        # The regression behind the comment in run_all: a task spawned
+        # immediately before run_all has not executed yet, so its first
+        # sleep is not on the heap.  Without the leading settle the
+        # driver would see an empty heap and return at t=0.
+        async def scenario():
+            clock = VirtualClock()
+            done = []
+
+            async def late_starter():
+                await clock.sleep(1.5)
+                done.append(clock.now())
+
+            task = asyncio.ensure_future(late_starter())
+            await clock.run_all(5.0)
+            await task
+            return clock.now(), done
+
+        now, done = drive(scenario())
+        assert done == [1.5]
+        assert now == 5.0
+
+    def test_run_all_leaves_sleepers_beyond_horizon(self):
+        async def scenario():
+            clock = VirtualClock()
+
+            async def far_future():
+                await clock.sleep(100.0)
+
+            task = asyncio.ensure_future(far_future())
+            await clock.run_all(5.0)
+            remaining = clock.pending_sleepers
+            deadline = clock.next_deadline()
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+            return clock.now(), remaining, deadline
+
+        now, remaining, deadline = drive(scenario())
+        assert now == 5.0
+        assert remaining == 1
+        assert deadline == 100.0
+
+    def test_zero_sleep_is_a_scheduling_point_not_a_parking(self):
+        async def scenario():
+            clock = VirtualClock()
+            await clock.sleep(0.0)
+            await clock.sleep(-1.0)
+            return clock.pending_sleepers, clock.now()
+
+        assert drive(scenario()) == (0, 0.0)
+
+    def test_cancelled_sleeper_does_not_wedge_the_driver(self):
+        async def scenario():
+            clock = VirtualClock()
+
+            async def doomed():
+                await clock.sleep(1.0)
+
+            task = asyncio.ensure_future(doomed())
+            await clock.settle()
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+            await clock.run_all(2.0)
+            return clock.now(), clock.pending_sleepers
+
+        assert drive(scenario()) == (2.0, 0)
+
+    def test_two_runs_produce_identical_interleavings(self):
+        async def scenario():
+            clock = VirtualClock()
+            trace = []
+
+            async def worker(name, period):
+                while True:
+                    await clock.sleep(period)
+                    trace.append((name, round(clock.now(), 6)))
+
+            tasks = [
+                asyncio.ensure_future(worker("fast", 0.3)),
+                asyncio.ensure_future(worker("slow", 0.7)),
+            ]
+            await clock.run_all(3.0)
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            return trace
+
+        assert drive(scenario()) == drive(scenario())
+
+
+class TestWallClock:
+    def test_monotone_from_origin(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert first >= 0.0
+        assert second >= first
+
+    def test_sleep_clamps_negative_delay(self):
+        async def scenario():
+            clock = WallClock()
+            await clock.sleep(-5.0)  # must not raise or hang
+            return clock.now()
+
+        assert drive(scenario()) >= 0.0

@@ -1,0 +1,178 @@
+"""A/B regression: the service path equals the call-driven path.
+
+The acceptance criterion of the service subsystem: replaying one chaos
+schedule through the live :class:`RecoveryService` (virtual clock,
+heartbeat emitter, boundary scans, resolver) must produce the *same
+failover decisions* — order-insensitive — as the call-driven
+:class:`WatchdogSimulation` inside :class:`ChaosHarness`, and must
+detect each silent switch at the *same probe boundary*.  The service
+adds scheduling, queues, and an API around the controller; it must not
+add (or lose) a single recovery.
+"""
+
+import pytest
+
+from repro.chaos.faults import ChaosFault, FaultSchedule
+from repro.chaos.harness import ChaosHarness, ChaosScenarioConfig
+from repro.core.sharebackup import ShareBackupNetwork
+from repro.service import (
+    ServiceReplay,
+    decision_key,
+    report_decision_key,
+    run_service_replay,
+)
+
+
+def slots_of(k, n):
+    net = ShareBackupNetwork(k, n)
+    slots = []
+    for gid in sorted(net.groups):
+        slots.extend(sorted(net.groups[gid].logical_slots))
+    return slots
+
+
+def call_driven_keys(config, schedule):
+    """Run the chaos harness; distil sorted decision keys + detections."""
+    harness = ChaosHarness(config, schedule=schedule)
+    harness.run()
+    keys = tuple(sorted(report_decision_key(r) for r in harness.sim.reports))
+    detections = tuple(
+        sorted((switch, detected) for switch, _died, detected
+               in harness.sim.detections)
+    )
+    return keys, detections
+
+
+def service_keys(config, schedule):
+    outcome = run_service_replay(config, schedule=schedule)
+    detections = tuple(sorted(outcome.detections))
+    return outcome.decision_keys(), detections, outcome
+
+
+class TestDecisionIdentity:
+    def test_silent_failures_pinned_schedule(self):
+        config = ChaosScenarioConfig(k=4, n=1, seed=21, duration=0.3)
+        slots = slots_of(4, 1)
+        schedule = FaultSchedule(
+            seed=21,
+            faults=(
+                ChaosFault(0.0123, "silent-node-failure", slots[0]),
+                ChaosFault(0.0217, "silent-node-failure", slots[3]),
+                ChaosFault(0.0409, "silent-node-failure", slots[5]),
+            ),
+        )
+        ab_keys, ab_detections = call_driven_keys(config, schedule)
+        svc_keys, svc_detections, outcome = service_keys(config, schedule)
+        assert svc_keys == ab_keys
+        assert len(svc_keys) == 3
+        assert [s for s, _t in svc_detections] == [
+            s for s, _t in ab_detections
+        ]
+        for (_sw_a, t_a), (_sw_b, t_b) in zip(svc_detections, ab_detections):
+            assert t_a == pytest.approx(t_b)  # identical probe boundary
+        assert outcome.errors == 0
+
+    def test_heartbeat_loss_spurious_vs_absorbed(self):
+        # One outage outlives the miss threshold (3 × 1 ms): a spurious
+        # failover both paths must commit.  One is shorter: both paths
+        # must absorb it without any decision.
+        config = ChaosScenarioConfig(k=4, n=1, seed=22, duration=0.3)
+        slots = slots_of(4, 1)
+        spurious = FaultSchedule(
+            seed=22,
+            faults=(
+                ChaosFault(0.0311, "heartbeat-loss", slots[1],
+                           duration=0.0045),
+            ),
+        )
+        absorbed = FaultSchedule(
+            seed=22,
+            faults=(
+                ChaosFault(0.0402, "heartbeat-loss", slots[1],
+                           duration=0.0012),
+            ),
+        )
+        for schedule, expected in ((spurious, 1), (absorbed, 0)):
+            ab_keys, ab_detections = call_driven_keys(config, schedule)
+            svc_keys, svc_detections, _ = service_keys(config, schedule)
+            assert svc_keys == ab_keys
+            assert len(svc_keys) == expected
+            assert len(svc_detections) == len(ab_detections) == expected
+
+    def test_generated_control_plane_schedule(self):
+        # The stock generator's control-plane profile mixes fault kinds
+        # (reboots, drains, crashes, losses); identity must survive the
+        # full vocabulary, not just hand-picked silences.
+        config = ChaosScenarioConfig(
+            k=4, n=1, seed=7, duration=0.2, profile="control-plane"
+        )
+        ab_keys, ab_detections = call_driven_keys(config, schedule=None)
+        svc_keys, svc_detections, outcome = service_keys(
+            config, schedule=None
+        )
+        assert svc_keys == ab_keys
+        assert [s for s, _t in svc_detections] == [
+            s for s, _t in ab_detections
+        ]
+        for (_sw_a, t_a), (_sw_b, t_b) in zip(svc_detections, ab_detections):
+            assert t_a == pytest.approx(t_b)
+
+    def test_mixed_profile_schedule_across_seeds(self):
+        for seed in (3, 13):
+            config = ChaosScenarioConfig(
+                k=4, n=1, seed=seed, duration=0.2, profile="mixed"
+            )
+            ab_keys, _ = call_driven_keys(config, schedule=None)
+            svc_keys, _, outcome = service_keys(config, schedule=None)
+            assert svc_keys == ab_keys
+            assert svc_keys, f"seed {seed} produced no decisions at all"
+            assert outcome.errors == 0
+
+
+class TestReplayDeterminism:
+    def test_same_inputs_same_outcome(self):
+        config = ChaosScenarioConfig(
+            k=4, n=1, seed=7, duration=0.2, profile="control-plane"
+        )
+        first = run_service_replay(config)
+        second = run_service_replay(config)
+        assert first.to_dict() == second.to_dict()
+
+    def test_decision_keys_are_order_insensitive(self):
+        config = ChaosScenarioConfig(
+            k=4, n=1, seed=7, duration=0.2, profile="control-plane"
+        )
+        outcome = run_service_replay(config)
+        keys = outcome.decision_keys()
+        assert keys == tuple(sorted(keys))
+        assert all(
+            decision_key(d) in keys for d in outcome.decisions
+        )
+
+    def test_default_horizon_covers_every_detection(self):
+        config = ChaosScenarioConfig(k=4, n=1, seed=21, duration=0.3)
+        slots = slots_of(4, 1)
+        schedule = FaultSchedule(
+            seed=21,
+            faults=(ChaosFault(0.05, "silent-node-failure", slots[0]),),
+        )
+        replay = ServiceReplay(config, schedule=schedule)
+        horizon = replay.default_horizon()
+        assert horizon > replay.detection_deadline(0.05)
+        outcome = replay.run()
+        assert len(outcome.decisions) == 1
+        # The detection landed before the horizon with margin to spare.
+        assert outcome.detections[0][1] <= horizon
+
+    def test_metrics_travel_with_the_outcome(self):
+        config = ChaosScenarioConfig(k=4, n=1, seed=21, duration=0.3)
+        slots = slots_of(4, 1)
+        schedule = FaultSchedule(
+            seed=21,
+            faults=(ChaosFault(0.02, "silent-node-failure", slots[2]),),
+        )
+        outcome = run_service_replay(config, schedule=schedule)
+        assert outcome.metrics["decisions"] == len(outcome.decisions) == 1
+        assert outcome.metrics["heartbeat_queue"]["dropped_oldest"] == 0
+        assert outcome.events_published >= 2  # lifecycle + decision
+        assert outcome.outcome_counts() == {"recovered": 1}
