@@ -47,6 +47,8 @@ model design, and the cache/SARIF workflow.
 from __future__ import annotations
 
 from .cache import CHECKS_REV, CacheStats, LintCache, checks_rev
+from .cfg import ControlFlowGraph, build_cfg
+from .concurrency import ConcurrencySummary, InterferenceEngine
 from .context import FileContext, category_for, module_name_for
 from .diagnostics import Diagnostic
 from .engine import (
@@ -54,6 +56,7 @@ from .engine import (
     SYNTAX_ERROR_CODE,
     LintResult,
     LintStats,
+    changed_source_files,
     check_file,
     check_paths,
     check_source,
@@ -75,6 +78,7 @@ from .sarif import render_json, render_sarif
 
 # Importing the rule modules registers every shipped rule.
 from .rules import (  # noqa: F401
+    concurrency,
     controlplane,
     determinism,
     exceptions,
@@ -87,9 +91,12 @@ from .rules import (  # noqa: F401
 __all__ = [
     "CHECKS_REV",
     "CacheStats",
+    "ConcurrencySummary",
+    "ControlFlowGraph",
     "DEFAULT_TARGETS",
     "Diagnostic",
     "FileContext",
+    "InterferenceEngine",
     "LintCache",
     "LintResult",
     "LintStats",
@@ -99,7 +106,9 @@ __all__ = [
     "SYNTAX_ERROR_CODE",
     "all_rule_codes",
     "all_rules",
+    "build_cfg",
     "category_for",
+    "changed_source_files",
     "check_file",
     "check_paths",
     "check_source",

@@ -1,0 +1,635 @@
+"""Await-segmented control-flow graphs for ``async def`` bodies.
+
+The concurrency rules (SVC010–SVC013) reason about *interleavings*: in
+asyncio, a coroutine runs atomically between awaits, so the unit of
+analysis is not the statement but the **segment** — a maximal await-free
+region of the control-flow graph.  This module builds that graph for one
+``async def``: basic blocks of :class:`Op` events in evaluation order
+(shared-state reads and writes, awaits, blocking calls), with edges for
+branches, loops, ``try`` dispatch, and ``async with``/``async for``
+suspension points.
+
+Shared state is modelled by name, conservatively:
+
+* ``self.<attr>`` — instance attributes read or written through the
+  literal ``self`` receiver (including mutator-method calls such as
+  ``self.items.append(x)``, which count as an *atomic* read+write);
+* ``g:<name>`` — module-level names from the supplied ``module_globals``
+  set, unless the function shadows the name locally.
+
+Lock regions are the *lexically structured* ones: ``async with <lock>:``
+where the context expression names a known lock attribute or carries a
+lock-ish name.  Every :class:`Op` with kind ``"await"`` records the
+locks lexically held at that suspension point, plus a classification of
+why the wait is unbounded (bare future, ``.get()``/``.wait()``,
+``gather``, ``sleep``) — the raw material for SVC012's lock-discipline
+judgement and for SVC010's "outside a lock region" exemption.
+Manual ``lock.acquire()``/``release()`` pairing is judged separately
+(:mod:`repro.checks.concurrency`), not through the graph.
+
+The builder is deliberately forgiving: unknown statement kinds emit
+their expressions and fall through, nested function/class bodies are
+skipped (they run on their own schedule), and unreachable blocks simply
+receive no dataflow — a linter must survive any tree the parser accepts.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Op",
+    "Block",
+    "ControlFlowGraph",
+    "build_cfg",
+    "dotted_name",
+    "blocking_call_reason",
+]
+
+#: Import-resolvable calls that block the calling thread.  Lives here —
+#: the leaf of the checks import graph — because both SVC001 (per-file)
+#: and the CFG feeding SVC012 (whole-program) classify blocking calls,
+#: and they must agree on what "blocking" means.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system", "os.wait", "os.waitpid",
+        "subprocess.run", "subprocess.call", "subprocess.check_call",
+        "subprocess.check_output", "subprocess.Popen",
+        "socket.create_connection", "socket.getaddrinfo",
+        "urllib.request.urlopen",
+        "http.client.HTTPConnection", "http.client.HTTPSConnection",
+    }
+)
+
+#: Builtins that block on the terminal or filesystem.
+BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+#: Method names that are synchronous filesystem I/O wherever they appear
+#: (the ``pathlib.Path`` read/write family).
+BLOCKING_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+def blocking_call_reason(
+    resolve: "Callable[[ast.expr], str | None]", node: ast.Call
+) -> str | None:
+    """Why ``node`` blocks the event-loop thread, ``None`` if it doesn't."""
+    resolved = resolve(node.func)
+    if resolved in BLOCKING_CALLS:
+        return f"call to {resolved}()"
+    if (
+        isinstance(node.func, ast.Name)
+        and node.func.id in BLOCKING_BUILTINS
+        and resolved is None  # not an import-shadowed name
+    ):
+        return f"call to builtin {node.func.id}()"
+    if (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in BLOCKING_METHODS
+    ):
+        return f"synchronous file I/O via .{node.func.attr}()"
+    return None
+
+#: Method names that mutate their receiver in place — receiver counts as
+#: an (atomic) read+write of the shared variable.
+MUTATOR_METHODS = frozenset(
+    {
+        "append", "appendleft", "add", "update", "extend", "insert",
+        "remove", "discard", "pop", "popleft", "popitem", "clear",
+        "setdefault", "sort", "reverse",
+    }
+)
+
+#: Attribute-call tails whose await may park for an unbounded time (or,
+#: for ``sleep``, deliberately parks while holding whatever is held).
+_UNBOUNDED_AWAIT_ATTRS = frozenset(
+    {"get", "wait", "join", "acquire", "gather", "sleep"}
+)
+
+#: Import-resolved callables with the same property.
+_UNBOUNDED_AWAIT_CALLS = frozenset(
+    {"asyncio.gather", "asyncio.wait", "asyncio.sleep"}
+)
+
+#: Name fragments that mark an attribute/variable as a lock-like
+#: synchronisation primitive even without a resolvable constructor.
+_LOCKISH_FRAGMENTS = ("lock", "mutex", "sem", "cond")
+
+
+@dataclass(frozen=True)
+class Op:
+    """One atomic event inside a block, in evaluation order."""
+
+    kind: str  #: ``"read"`` | ``"write"`` | ``"await"`` | ``"call"``
+    var: str  #: shared-var key for read/write; ``""`` otherwise
+    lineno: int
+    col: int
+    #: Locks lexically held at this point (``await``/``call`` ops).
+    locks: tuple[str, ...] = ()
+    #: Why this await may park unboundedly (``""`` = bounded/benign).
+    unbounded: str = ""
+    #: Why this call blocks the loop thread (``""`` = not blocking).
+    blocking: str = ""
+
+
+@dataclass
+class Block:
+    """A straight-line run of ops with explicit successors."""
+
+    index: int
+    ops: list[Op] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+
+
+@dataclass
+class ControlFlowGraph:
+    """Blocks + edges for one ``async def``; entry is block 0."""
+
+    blocks: list[Block] = field(default_factory=list)
+    entry: int = 0
+
+    def all_ops(self) -> Iterator[Op]:
+        for block in self.blocks:
+            yield from block.ops
+
+    @property
+    def await_count(self) -> int:
+        return sum(1 for op in self.all_ops() if op.kind == "await")
+
+    def segment_count(self) -> int:
+        """Number of await-free segments on a straight-line reading."""
+        return self.await_count + 1
+
+
+def dotted_name(node: ast.expr) -> str:
+    """``self._lock`` / ``queue.get`` as a dotted string, ``""`` if not
+    a plain name/attribute chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else ""
+    return ""
+
+
+def _lockish(key: str, lock_names: frozenset[str]) -> bool:
+    if not key:
+        return False
+    if key in lock_names or key.split(".")[-1] in lock_names:
+        return True
+    tail = key.split(".")[-1].lower()
+    return any(fragment in tail for fragment in _LOCKISH_FRAGMENTS)
+
+
+def _local_bindings(fn: ast.AsyncFunctionDef) -> tuple[set[str], set[str]]:
+    """``(locally_bound, declared_global)`` names of ``fn``'s own scope."""
+    bound: set[str] = set()
+    declared: set[str] = set()
+    args = fn.args
+    for arg in (
+        *args.posonlyargs, *args.args, *args.kwonlyargs,
+        *([args.vararg] if args.vararg else []),
+        *([args.kwarg] if args.kwarg else []),
+    ):
+        bound.add(arg.arg)
+    for node in _walk_own_scope(fn):
+        if isinstance(node, ast.Global):
+            declared.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for leaf in ast.walk(node.target):
+                if isinstance(leaf, ast.Name):
+                    bound.add(leaf.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, ast.comprehension):
+            for leaf in ast.walk(node.target):
+                if isinstance(leaf, ast.Name):
+                    bound.add(leaf.id)
+    return bound - declared, declared
+
+
+def _walk_own_scope(fn: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk ``fn`` without descending into nested def/class bodies."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def build_cfg(
+    fn: ast.AsyncFunctionDef,
+    *,
+    resolve: Callable[[ast.expr], str | None],
+    module_globals: frozenset[str] = frozenset(),
+    lock_names: frozenset[str] = frozenset(),
+    blocking_call: Callable[[ast.Call], str | None] | None = None,
+) -> ControlFlowGraph:
+    """Build the await-segmented CFG of one ``async def``.
+
+    ``resolve`` maps name/attribute expressions to dotted import
+    targets (:meth:`FileContext.resolve`); ``blocking_call`` optionally
+    classifies calls that block the loop thread (SVC001's judgement,
+    reused so SVC012 agrees with it about what "blocking" means).
+    """
+    builder = _Builder(
+        resolve=resolve,
+        module_globals=module_globals,
+        lock_names=lock_names,
+        blocking_call=blocking_call or (lambda call: None),
+    )
+    builder.locals_, builder.declared_globals = _local_bindings(fn)
+    builder.body(fn.body)
+    return builder.cfg
+
+
+class _Builder:
+    """Single-pass recursive CFG construction with a lexical lock stack."""
+
+    def __init__(
+        self,
+        resolve: Callable[[ast.expr], str | None],
+        module_globals: frozenset[str],
+        lock_names: frozenset[str],
+        blocking_call: Callable[[ast.Call], str | None],
+    ) -> None:
+        self.resolve = resolve
+        self.module_globals = module_globals
+        self.lock_names = lock_names
+        self.blocking_call = blocking_call
+        self.locals_: set[str] = set()
+        self.declared_globals: set[str] = set()
+        self.cfg = ControlFlowGraph(blocks=[Block(index=0)])
+        self.current = 0
+        self.locks: list[str] = []
+        #: ``(header, exit)`` block indices of enclosing loops.
+        self.loop_stack: list[tuple[int, int]] = []
+
+    # -- graph plumbing -------------------------------------------------
+
+    def new_block(self) -> int:
+        index = len(self.cfg.blocks)
+        self.cfg.blocks.append(Block(index=index))
+        return index
+
+    def link(self, src: int, dst: int) -> None:
+        succs = self.cfg.blocks[src].succs
+        if dst not in succs:
+            succs.append(dst)
+
+    def emit(self, op: Op) -> None:
+        self.cfg.blocks[self.current].ops.append(op)
+
+    def start_linked_block(self) -> None:
+        nxt = self.new_block()
+        self.link(self.current, nxt)
+        self.current = nxt
+
+    # -- shared-variable classification ---------------------------------
+
+    def var_of(self, node: ast.expr) -> str:
+        """Shared-var key of ``node``, ``""`` when not shared state."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return f"self.{node.attr}"
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name in self.module_globals and (
+                name in self.declared_globals or name not in self.locals_
+            ):
+                return f"g:{name}"
+        return ""
+
+    def read(self, node: ast.expr, var: str) -> None:
+        if var:
+            self.emit(
+                Op("read", var, node.lineno, node.col_offset + 1)
+            )
+
+    def write(self, node: ast.AST, var: str) -> None:
+        if var:
+            lineno = int(getattr(node, "lineno", 1))
+            col = int(getattr(node, "col_offset", 0)) + 1
+            self.emit(Op("write", var, lineno, col))
+
+    # -- expression emission (evaluation order, approximated) -----------
+
+    def expr(self, node: ast.expr | None) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.Await):
+            self.expr(node.value)
+            self.emit_await(node)
+            return
+        if isinstance(node, ast.Call):
+            self.call(node)
+            return
+        if isinstance(node, ast.Attribute):
+            var = self.var_of(node)
+            if var and isinstance(node.ctx, ast.Load):
+                self.read(node, var)
+            else:
+                self.expr(node.value)
+            return
+        if isinstance(node, ast.Name):
+            var = self.var_of(node)
+            if var and isinstance(node.ctx, ast.Load):
+                self.read(node, var)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # runs later, on its own schedule
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for comp in node.generators:
+                self.expr(comp.iter)
+                for condition in comp.ifs:
+                    self.expr(condition)
+                if comp.is_async:
+                    self.emit_await(comp.iter, reason="async-for iteration")
+            if isinstance(node, ast.DictComp):
+                self.expr(node.key)
+                self.expr(node.value)
+            else:
+                self.expr(node.elt)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr(child)
+            elif isinstance(child, ast.keyword):
+                self.expr(child.value)
+
+    def call(self, node: ast.Call) -> None:
+        self.expr(node.func)
+        for arg in node.args:
+            self.expr(arg.value if isinstance(arg, ast.Starred) else arg)
+        for kw in node.keywords:
+            self.expr(kw.value)
+        # Mutator-method calls are an atomic read+write of the receiver.
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+            self.write(node, self.var_of(func.value))
+        blocking = self.blocking_call(node)
+        if blocking:
+            self.emit(
+                Op(
+                    "call", "", node.lineno, node.col_offset + 1,
+                    locks=tuple(self.locks), blocking=blocking,
+                )
+            )
+
+    def emit_await(self, anchor: ast.expr, reason: str | None = None) -> None:
+        value = anchor.value if isinstance(anchor, ast.Await) else anchor
+        self.emit(
+            Op(
+                "await", "", anchor.lineno, anchor.col_offset + 1,
+                locks=tuple(self.locks),
+                unbounded=(
+                    reason
+                    if reason is not None
+                    else self.classify_await(value)
+                ),
+            )
+        )
+
+    def classify_await(self, value: ast.expr) -> str:
+        """Why the awaited value may park unboundedly (``""`` = benign)."""
+        if isinstance(value, (ast.Name, ast.Attribute, ast.Subscript)):
+            return "a bare future/awaitable"
+        if isinstance(value, ast.Call):
+            resolved = self.resolve(value.func)
+            if resolved == "asyncio.wait_for":
+                return ""  # carries its own timeout
+            if resolved in _UNBOUNDED_AWAIT_CALLS:
+                return f"{resolved}()"
+            func = value.func
+            if (
+                resolved is None
+                and isinstance(func, ast.Attribute)
+                and func.attr in _UNBOUNDED_AWAIT_ATTRS
+            ):
+                return f".{func.attr}()"
+        return ""
+
+    # -- assignment targets ---------------------------------------------
+
+    def target(self, node: ast.expr) -> None:
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self.target(element)
+            return
+        if isinstance(node, ast.Starred):
+            self.target(node.value)
+            return
+        var = self.var_of(node)
+        if var:
+            self.write(node, var)
+            return
+        if isinstance(node, ast.Subscript):
+            # ``self.table[k] = v`` mutates the container in place —
+            # an atomic read+write of the container variable.
+            inner = self.var_of(node.value)
+            if inner:
+                self.read(node.value, inner)
+                self.write(node, inner)
+            else:
+                self.expr(node.value)
+            self.expr(node.slice)
+            return
+        if isinstance(node, ast.Attribute):
+            self.expr(node.value)
+
+    # -- statements -----------------------------------------------------
+
+    def body(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.stmt(stmt)
+
+    def stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return  # nested scopes are analysed on their own
+        if isinstance(stmt, ast.Assign):
+            self.expr(stmt.value)
+            for tgt in stmt.targets:
+                self.target(tgt)
+        elif isinstance(stmt, ast.AugAssign):
+            var = self.var_of(stmt.target)
+            if var:
+                self.read(stmt.target, var)
+            else:
+                self.target(stmt.target)
+            self.expr(stmt.value)
+            if var:
+                self.write(stmt, var)
+        elif isinstance(stmt, ast.AnnAssign):
+            self.expr(stmt.value)
+            if stmt.value is not None:
+                self.target(stmt.target)
+        elif isinstance(stmt, ast.Delete):
+            for tgt in stmt.targets:
+                self.target(tgt)
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            self.expr(stmt.value)
+            if isinstance(stmt, ast.Return):
+                self.current = self.new_block()  # fresh, unreachable
+        elif isinstance(stmt, ast.Raise):
+            self.expr(stmt.exc)
+            self.expr(stmt.cause)
+            self.current = self.new_block()
+        elif isinstance(stmt, ast.If):
+            self.if_stmt(stmt)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self.loop_stmt(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.with_stmt(stmt)
+        elif isinstance(stmt, ast.Try):
+            self.try_stmt(stmt)
+        elif isinstance(stmt, ast.Break):
+            if self.loop_stack:
+                self.link(self.current, self.loop_stack[-1][1])
+            self.current = self.new_block()
+        elif isinstance(stmt, ast.Continue):
+            if self.loop_stack:
+                self.link(self.current, self.loop_stack[-1][0])
+            self.current = self.new_block()
+        elif isinstance(stmt, ast.Match):
+            self.match_stmt(stmt)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.expr(child)
+
+    def if_stmt(self, stmt: ast.If) -> None:
+        self.expr(stmt.test)
+        fork = self.current
+        then_entry = self.new_block()
+        self.link(fork, then_entry)
+        self.current = then_entry
+        self.body(stmt.body)
+        then_exit = self.current
+        else_entry = self.new_block()
+        self.link(fork, else_entry)
+        self.current = else_entry
+        self.body(stmt.orelse)
+        else_exit = self.current
+        join = self.new_block()
+        self.link(then_exit, join)
+        self.link(else_exit, join)
+        self.current = join
+
+    def loop_stmt(self, stmt: ast.While | ast.For | ast.AsyncFor) -> None:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.expr(stmt.iter)
+        self.start_linked_block()
+        header = self.current
+        if isinstance(stmt, ast.While):
+            self.expr(stmt.test)
+        elif isinstance(stmt, ast.AsyncFor):
+            # Each iteration awaits ``__anext__`` — a suspension point.
+            self.emit_await(stmt.iter, reason="async-for iteration")
+            self.target(stmt.target)
+        else:
+            self.target(stmt.target)
+        exit_block = self.new_block()
+        body_entry = self.new_block()
+        self.link(header, body_entry)
+        self.link(header, exit_block)
+        self.loop_stack.append((header, exit_block))
+        self.current = body_entry
+        self.body(stmt.body)
+        self.link(self.current, header)  # back edge
+        self.loop_stack.pop()
+        self.current = exit_block
+        self.body(stmt.orelse)
+
+    def with_stmt(self, stmt: ast.With | ast.AsyncWith) -> None:
+        is_async = isinstance(stmt, ast.AsyncWith)
+        entered: list[str] = []
+        for item in stmt.items:
+            self.expr(item.context_expr)
+            key = dotted_name(item.context_expr)
+            if not key and isinstance(item.context_expr, ast.Call):
+                key = dotted_name(item.context_expr.func)
+            is_lock = is_async and _lockish(key, self.lock_names)
+            if is_async:
+                # ``__aenter__`` suspends (for a lock: until acquired) —
+                # a suspension point *before* the lock is held.
+                self.emit_await(
+                    item.context_expr,
+                    reason="" if is_lock else self.classify_await(
+                        item.context_expr
+                    ),
+                )
+            if is_lock:
+                self.locks.append(key or "<lock>")
+                entered.append(key or "<lock>")
+            if item.optional_vars is not None:
+                self.target(item.optional_vars)
+        self.body(stmt.body)
+        for _ in entered:
+            self.locks.pop()
+        if is_async and not entered:
+            # Generic async CM: ``__aexit__`` may suspend too.
+            self.emit_await(stmt.items[-1].context_expr, reason="")
+
+    def try_stmt(self, stmt: ast.Try) -> None:
+        before = len(self.cfg.blocks)
+        entry = self.current
+        self.start_linked_block()
+        self.body(stmt.body)
+        self.body(stmt.orelse)
+        body_exit = self.current
+        body_blocks = [entry, *range(before, len(self.cfg.blocks))]
+        handler_exits: list[int] = []
+        for handler in stmt.handlers:
+            handler_entry = self.new_block()
+            # An exception may surface after *any* prefix of the body.
+            for block in body_blocks:
+                self.link(block, handler_entry)
+            self.current = handler_entry
+            if handler.type is not None:
+                self.expr(handler.type)
+            self.body(handler.body)
+            handler_exits.append(self.current)
+        final_entry = self.new_block()
+        self.link(body_exit, final_entry)
+        for exit_block in handler_exits:
+            self.link(exit_block, final_entry)
+        if stmt.finalbody:
+            # ``finally`` also runs when the body raises uncaught.
+            for block in body_blocks:
+                self.link(block, final_entry)
+        self.current = final_entry
+        self.body(stmt.finalbody)
+
+    def match_stmt(self, stmt: ast.Match) -> None:
+        self.expr(stmt.subject)
+        fork = self.current
+        join = self.new_block()
+        self.link(fork, join)  # no case may match
+        for case in stmt.cases:
+            case_entry = self.new_block()
+            self.link(fork, case_entry)
+            self.current = case_entry
+            if case.guard is not None:
+                self.expr(case.guard)
+            self.body(case.body)
+            self.link(self.current, join)
+        self.current = join

@@ -1,0 +1,940 @@
+"""Per-coroutine concurrency facts and the whole-program interference engine.
+
+The concurrency rules split the same way the RNG/process rules do: a
+per-file *extraction* half that reads one parsed tree, and a linked
+*judgement* half that runs over the whole program.
+
+**Extraction** (:func:`analyze_function`) distils one ``async def`` into
+a JSON-serialisable :class:`ConcurrencySummary` riding on the function's
+:class:`~repro.checks.callgraph.FunctionSummary`:
+
+* the shared variables read and written (``self.*`` attributes and
+  module globals, keyed as in :mod:`repro.checks.cfg`);
+* *stale-write candidates* — a shared read whose value may survive an
+  un-locked await and feed a later write of the same variable, found by
+  a latest-read-wins dataflow over the await-segmented CFG;
+* *spawn sites* — ``asyncio.create_task`` / ``ensure_future`` /
+  ``gather`` / ``TaskGroup.create_task`` calls, with the coroutine
+  references they launch, whether the handle is discarded, and whether
+  the site can fire more than once;
+* *lock-discipline violations* — unbounded awaits or blocking calls
+  under a held lock, and manual ``acquire()`` without a guaranteed
+  ``release()`` path;
+* mutations of module-level state from coroutine context.
+
+**Judgement** (:class:`InterferenceEngine`) links the summaries through
+the project call graph: coroutines reachable from a spawn site form the
+*concurrent set* (they share the event loop with whatever spawned them),
+and a stale-write candidate in ``F`` on variable ``v`` only becomes
+SVC010 when some concurrent coroutine *also writes* ``v`` — either a
+different coroutine, or ``F`` itself when two instances of ``F`` can be
+in flight at once.  No spawn sites, or no second writer, means no
+interleaving can lose an update, and the candidate stays silent.
+
+Everything here is conservative in the linter's direction: opaque
+receivers, unresolvable coroutine references, and sync helpers simply
+contribute nothing, so they can hide a true positive but never invent
+a false one (beyond the path-insensitivity documented on SVC010).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .cfg import (
+    MUTATOR_METHODS,
+    ControlFlowGraph,
+    _local_bindings,
+    _lockish,
+    _walk_own_scope,
+    blocking_call_reason,
+    build_cfg,
+    dotted_name,
+)
+from .context import FileContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .project import FunctionKey, ProjectModel
+
+__all__ = [
+    "StaleWrite",
+    "SpawnSite",
+    "LockViolation",
+    "GlobalMutation",
+    "ConcurrencySummary",
+    "analyze_function",
+    "module_global_names",
+    "lock_attribute_names",
+    "InterferenceEngine",
+]
+
+#: Import-resolved spawn entry points.
+_SPAWN_CALLS = frozenset(
+    {"asyncio.create_task", "asyncio.ensure_future", "asyncio.gather"}
+)
+
+#: Attribute spellings of the same (``loop.create_task``, ``tg.create_task``).
+_SPAWN_ATTRS = frozenset({"create_task", "ensure_future", "gather"})
+
+#: Receiver-name fragments that mark a structured-concurrency scope
+#: (``TaskGroup``/nursery): its tasks are supervised, never leaked.
+_SUPERVISED_FRAGMENTS = ("tg", "group", "nursery")
+
+#: Constructors whose result is a lock-like synchronisation primitive.
+_LOCK_CONSTRUCTORS = frozenset(
+    {
+        "asyncio.Lock", "asyncio.Condition", "asyncio.Semaphore",
+        "asyncio.BoundedSemaphore",
+        "threading.Lock", "threading.RLock", "threading.Condition",
+        "threading.Semaphore", "threading.BoundedSemaphore",
+    }
+)
+
+
+# ----------------------------------------------------------------------
+# summary records (all JSON round-trippable for the lint cache)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StaleWrite:
+    """A write of ``var`` that may consume a read from before an await."""
+
+    var: str
+    read_line: int  #: the (earliest) read the value may be stale from
+    lineno: int  #: the write
+    col: int
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "var": self.var,
+            "read_line": self.read_line,
+            "lineno": self.lineno,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "StaleWrite":
+        return cls(
+            var=str(data["var"]),
+            read_line=_i(data["read_line"]),
+            lineno=_i(data["lineno"]),
+            col=_i(data["col"]),
+        )
+
+
+@dataclass(frozen=True)
+class SpawnSite:
+    """One task-spawn expression inside a coroutine."""
+
+    lineno: int
+    col: int
+    via: str  #: ``asyncio.create_task`` / ``.ensure_future()`` / …
+    refs: tuple[str, ...]  #: call refs of the coroutines launched
+    multi: bool  #: the site can launch more than one instance
+    discarded: bool  #: no handle kept, never awaited — SVC011 material
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "lineno": self.lineno,
+            "col": self.col,
+            "via": self.via,
+            "refs": list(self.refs),
+            "multi": self.multi,
+            "discarded": self.discarded,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "SpawnSite":
+        return cls(
+            lineno=_i(data["lineno"]),
+            col=_i(data["col"]),
+            via=str(data["via"]),
+            refs=tuple(str(r) for r in _l(data["refs"])),
+            multi=bool(data["multi"]),
+            discarded=bool(data["discarded"]),
+        )
+
+
+@dataclass(frozen=True)
+class LockViolation:
+    """A lock-discipline breach (SVC012)."""
+
+    kind: str  #: ``unbounded-await`` | ``blocking-call`` | ``unreleased-acquire``
+    lock: str  #: the lock expression, dotted
+    what: str  #: what was awaited/called under the lock
+    lineno: int
+    col: int
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "lock": self.lock,
+            "what": self.what,
+            "lineno": self.lineno,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "LockViolation":
+        return cls(
+            kind=str(data["kind"]),
+            lock=str(data["lock"]),
+            what=str(data["what"]),
+            lineno=_i(data["lineno"]),
+            col=_i(data["col"]),
+        )
+
+
+@dataclass(frozen=True)
+class GlobalMutation:
+    """A coroutine-side mutation of module-level state (SVC013)."""
+
+    name: str
+    how: str
+    lineno: int
+    col: int
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "how": self.how,
+            "lineno": self.lineno,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "GlobalMutation":
+        return cls(
+            name=str(data["name"]),
+            how=str(data["how"]),
+            lineno=_i(data["lineno"]),
+            col=_i(data["col"]),
+        )
+
+
+@dataclass(frozen=True)
+class ConcurrencySummary:
+    """Everything the concurrency rules know about one ``async def``."""
+
+    awaits: int
+    reads: tuple[str, ...]  #: shared variables read anywhere in the body
+    writes: tuple[str, ...]  #: shared variables written anywhere
+    stale_writes: tuple[StaleWrite, ...]
+    spawns: tuple[SpawnSite, ...]
+    lock_violations: tuple[LockViolation, ...]
+    global_mutations: tuple[GlobalMutation, ...]
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "awaits": self.awaits,
+            "reads": list(self.reads),
+            "writes": list(self.writes),
+            "stale_writes": [s.to_json() for s in self.stale_writes],
+            "spawns": [s.to_json() for s in self.spawns],
+            "lock_violations": [v.to_json() for v in self.lock_violations],
+            "global_mutations": [
+                m.to_json() for m in self.global_mutations
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "ConcurrencySummary":
+        return cls(
+            awaits=_i(data["awaits"]),
+            reads=tuple(str(v) for v in _l(data["reads"])),
+            writes=tuple(str(v) for v in _l(data["writes"])),
+            stale_writes=tuple(
+                StaleWrite.from_json(_d(s)) for s in _l(data["stale_writes"])
+            ),
+            spawns=tuple(
+                SpawnSite.from_json(_d(s)) for s in _l(data["spawns"])
+            ),
+            lock_violations=tuple(
+                LockViolation.from_json(_d(v))
+                for v in _l(data["lock_violations"])
+            ),
+            global_mutations=tuple(
+                GlobalMutation.from_json(_d(m))
+                for m in _l(data["global_mutations"])
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# module-level extraction helpers
+# ----------------------------------------------------------------------
+
+
+def module_global_names(tree: ast.Module) -> frozenset[str]:
+    """Names bound by module-level assignment — the candidates for
+    "module global" in the shared-state model.  Imports are excluded:
+    rebinding an imported module object is not state the coroutines
+    share by mutation."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+    return frozenset(names - {"__all__"})
+
+
+def lock_attribute_names(
+    cls_node: ast.ClassDef,
+    resolve: Callable[[ast.expr], str | None],
+) -> frozenset[str]:
+    """Attribute names a class binds to lock constructors anywhere in
+    its methods (``self._gate = asyncio.Lock()`` → ``{"_gate"}``) —
+    extra evidence for :func:`repro.checks.cfg.build_cfg` beyond the
+    name heuristic."""
+    names: set[str] = set()
+    for node in ast.walk(cls_node):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        resolved = resolve(value.func)
+        if resolved not in _LOCK_CONSTRUCTORS:
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                names.add(target.attr)
+            elif isinstance(target, ast.Name):
+                names.add(target.id)
+    return frozenset(names)
+
+
+# ----------------------------------------------------------------------
+# per-function analysis
+# ----------------------------------------------------------------------
+
+
+def analyze_function(
+    ctx: FileContext,
+    fn: ast.AsyncFunctionDef,
+    *,
+    module_globals: frozenset[str] = frozenset(),
+    lock_names: frozenset[str] = frozenset(),
+) -> ConcurrencySummary:
+    """Distil one ``async def`` into its :class:`ConcurrencySummary`."""
+    cfg = build_cfg(
+        fn,
+        resolve=ctx.resolve,
+        module_globals=module_globals,
+        lock_names=lock_names,
+        blocking_call=lambda node: blocking_call_reason(ctx.resolve, node),
+    )
+    violations = list(_cfg_lock_violations(cfg))
+    violations.extend(_bare_acquires(fn, lock_names))
+    return ConcurrencySummary(
+        awaits=cfg.await_count,
+        reads=tuple(
+            sorted({op.var for op in cfg.all_ops() if op.kind == "read"})
+        ),
+        writes=tuple(
+            sorted({op.var for op in cfg.all_ops() if op.kind == "write"})
+        ),
+        stale_writes=tuple(_stale_writes(cfg)),
+        spawns=tuple(_scan_spawns(fn, ctx.resolve)),
+        lock_violations=tuple(
+            sorted(violations, key=lambda v: (v.lineno, v.col, v.kind))
+        ),
+        global_mutations=tuple(_global_mutations(fn, module_globals)),
+    )
+
+
+# -- stale-write dataflow ----------------------------------------------
+
+#: Per-variable fact: the set of reads whose value may be live here,
+#: each tagged with whether an un-locked await separated it from now.
+_VarState = dict[str, frozenset[tuple[int, bool]]]
+
+
+def _stale_writes(cfg: ControlFlowGraph) -> list[StaleWrite]:
+    """Latest-read-wins dataflow over the await-segmented CFG.
+
+    A *read* of ``v`` replaces everything known about ``v`` (the newest
+    read dominates — re-reading after the await is exactly the fix);
+    an *await with no lock held* promotes every live read to stale;
+    a *write* of ``v`` fires a candidate if any promoted read is live,
+    then clears ``v``.  The join is set union, so any path with a
+    surviving pre-await read reports.
+    """
+    findings: set[tuple[str, int, int, int]] = set()
+    in_states: dict[int, _VarState] = {cfg.entry: {}}
+    worklist: list[int] = [cfg.entry]
+    while worklist:
+        index = worklist.pop()
+        state: dict[str, set[tuple[int, bool]]] = {
+            var: set(pairs) for var, pairs in in_states[index].items()
+        }
+        for op in cfg.blocks[index].ops:
+            if op.kind == "read":
+                state[op.var] = {(op.lineno, False)}
+            elif op.kind == "await" and not op.locks:
+                for var, pairs in state.items():
+                    state[var] = {(line, True) for line, _flag in pairs}
+            elif op.kind == "write":
+                stale = sorted(
+                    line
+                    for line, awaited in state.get(op.var, set())
+                    if awaited
+                )
+                if stale:
+                    findings.add((op.var, stale[0], op.lineno, op.col))
+                state[op.var] = set()
+        out: _VarState = {
+            var: frozenset(pairs) for var, pairs in state.items() if pairs
+        }
+        for successor in cfg.blocks[index].succs:
+            known = in_states.get(successor)
+            merged = _join(known, out)
+            if merged != known:
+                in_states[successor] = merged
+                worklist.append(successor)
+    # Several paths can blame distinct reads for one write; keep the
+    # earliest read per write site so reports are deterministic.
+    per_write: dict[tuple[str, int, int], int] = {}
+    for var, read_line, lineno, col in findings:
+        key = (var, lineno, col)
+        per_write[key] = min(per_write.get(key, read_line), read_line)
+    return [
+        StaleWrite(var=var, read_line=read, lineno=lineno, col=col)
+        for (var, lineno, col), read in sorted(
+            per_write.items(), key=lambda item: (item[0][1], item[0][2])
+        )
+    ]
+
+
+def _join(known: _VarState | None, incoming: _VarState) -> _VarState:
+    if known is None:
+        return dict(incoming)
+    merged = dict(known)
+    for var, pairs in incoming.items():
+        merged[var] = merged.get(var, frozenset()) | pairs
+    return merged
+
+
+# -- lock discipline ---------------------------------------------------
+
+
+def _cfg_lock_violations(cfg: ControlFlowGraph) -> Iterator[LockViolation]:
+    for op in cfg.all_ops():
+        if not op.locks:
+            continue
+        if op.kind == "await" and op.unbounded:
+            yield LockViolation(
+                kind="unbounded-await",
+                lock=op.locks[-1],
+                what=op.unbounded,
+                lineno=op.lineno,
+                col=op.col,
+            )
+        elif op.kind == "call" and op.blocking:
+            yield LockViolation(
+                kind="blocking-call",
+                lock=op.locks[-1],
+                what=op.blocking,
+                lineno=op.lineno,
+                col=op.col,
+            )
+
+
+def _bare_acquires(
+    fn: ast.AsyncFunctionDef, lock_names: frozenset[str]
+) -> Iterator[LockViolation]:
+    """Manual ``await lock.acquire()`` without a guaranteed release.
+
+    Accepted shapes: the acquire sits inside a ``try`` whose ``finally``
+    releases the same lock, or is immediately followed by such a
+    ``try``.  Everything else — including release on the happy path
+    only — is a violation: an exception between acquire and release
+    deadlocks every other waiter."""
+
+    def visit(
+        stmts: list[ast.stmt], released: frozenset[str]
+    ) -> Iterator[LockViolation]:
+        for position, stmt in enumerate(stmts):
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            for lock, node in _acquires_in_stmt(stmt, lock_names):
+                follower = (
+                    stmts[position + 1] if position + 1 < len(stmts) else None
+                )
+                guarded = lock in released or (
+                    isinstance(follower, ast.Try)
+                    and lock in _finally_released(follower)
+                )
+                if not guarded:
+                    yield LockViolation(
+                        kind="unreleased-acquire",
+                        lock=lock,
+                        what="no release on every path",
+                        lineno=node.lineno,
+                        col=node.col_offset + 1,
+                    )
+            if isinstance(stmt, ast.Try):
+                inner = released | _finally_released(stmt)
+                yield from visit(stmt.body, inner)
+                yield from visit(stmt.orelse, inner)
+                for handler in stmt.handlers:
+                    yield from visit(handler.body, inner)
+                yield from visit(stmt.finalbody, released)
+            else:
+                for body in _stmt_bodies(stmt):
+                    yield from visit(body, released)
+
+    yield from visit(fn.body, frozenset())
+
+
+def _acquires_in_stmt(
+    stmt: ast.stmt, lock_names: frozenset[str]
+) -> Iterator[tuple[str, ast.Call]]:
+    for root in _stmt_exprs(stmt):
+        for node in ast.walk(root):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+            ):
+                lock = dotted_name(node.func.value)
+                if _lockish(lock, lock_names):
+                    yield (lock, node)
+
+
+def _finally_released(stmt: ast.Try) -> frozenset[str]:
+    released: set[str] = set()
+    for node in ast.walk(ast.Module(body=stmt.finalbody, type_ignores=[])):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "release"
+        ):
+            lock = dotted_name(node.func.value)
+            if lock:
+                released.add(lock)
+    return frozenset(released)
+
+
+def _stmt_bodies(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+    for name in ("body", "orelse", "finalbody"):
+        body = getattr(stmt, name, None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            yield body
+    for handler in getattr(stmt, "handlers", []) or []:
+        yield handler.body
+    for case in getattr(stmt, "cases", []) or []:
+        yield case.body
+
+
+def _stmt_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """The statement's *own* expressions, not those of nested statements."""
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            yield child
+        elif isinstance(child, ast.withitem):
+            yield child.context_expr
+            if child.optional_vars is not None:
+                yield child.optional_vars
+
+
+# -- spawn-site scan ---------------------------------------------------
+
+
+def _scan_spawns(
+    fn: ast.AsyncFunctionDef,
+    resolve: Callable[[ast.expr], str | None],
+) -> Iterator[SpawnSite]:
+    def visit(stmts: list[ast.stmt], in_loop: bool) -> Iterator[SpawnSite]:
+        for stmt in stmts:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield from _stmt_spawns(stmt, resolve, in_loop)
+            inner_loop = in_loop or isinstance(
+                stmt, (ast.For, ast.AsyncFor, ast.While)
+            )
+            for body in _stmt_bodies(stmt):
+                yield from visit(body, inner_loop)
+
+    yield from visit(fn.body, in_loop=False)
+
+
+def _stmt_spawns(
+    stmt: ast.stmt,
+    resolve: Callable[[ast.expr], str | None],
+    in_loop: bool,
+) -> Iterator[SpawnSite]:
+    for root in _stmt_exprs(stmt):
+        awaited = _awaited_ids(root)
+        spawns = [
+            node
+            for node in ast.walk(root)
+            if isinstance(node, ast.Call) and _spawn_via(resolve, node)
+        ]
+        spawn_ids = {id(node) for node in spawns}
+        for node in spawns:
+            via = _spawn_via(resolve, node)
+            direct_refs = _call_refs(node, resolve, exclude=spawn_ids)
+            refs = direct_refs
+            comp = _enclosing_comp(root, node)
+            if not refs:
+                # ``[spawn(c) for c in (self._a(), self._b())]``: the
+                # launched coroutines are named elsewhere in the
+                # statement — fall back to every other call in it.
+                refs = _call_refs(
+                    root, resolve, exclude=spawn_ids | {id(node)}
+                )
+            yield SpawnSite(
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+                via=via,
+                refs=refs,
+                multi=(
+                    in_loop
+                    or (comp is not None and bool(direct_refs))
+                    or len(direct_refs) != len(set(direct_refs))
+                ),
+                discarded=_is_discarded(stmt, root, node, awaited),
+            )
+
+
+def _spawn_via(
+    resolve: Callable[[ast.expr], str | None], node: ast.Call
+) -> str:
+    resolved = resolve(node.func)
+    if resolved in _SPAWN_CALLS:
+        return resolved
+    if (
+        resolved is None
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _SPAWN_ATTRS
+    ):
+        return f".{node.func.attr}()"
+    return ""
+
+
+def _supervised(node: ast.Call) -> bool:
+    """``tg.create_task(...)`` — a TaskGroup/nursery supervises its
+    tasks: exceptions propagate at scope exit, nothing leaks."""
+    if not isinstance(node.func, ast.Attribute):
+        return False
+    receiver = dotted_name(node.func.value).split(".")[-1].lower()
+    return any(frag in receiver for frag in _SUPERVISED_FRAGMENTS)
+
+
+def _is_discarded(
+    stmt: ast.stmt,
+    root: ast.expr,
+    spawn: ast.Call,
+    awaited: set[int],
+) -> bool:
+    if not isinstance(stmt, ast.Expr) or id(spawn) in awaited:
+        return False
+    if _supervised(spawn):
+        return False
+    value = stmt.value
+    if value is spawn:
+        return True
+    # A bare ``[spawn(c) for c in …]`` statement discards the list —
+    # and with it every handle it holds.
+    return (
+        isinstance(value, (ast.ListComp, ast.SetComp, ast.GeneratorExp))
+        and value.elt is spawn
+    )
+
+
+def _awaited_ids(root: ast.expr) -> set[int]:
+    ids: set[int] = set()
+    for node in ast.walk(root):
+        if isinstance(node, ast.Await):
+            ids.update(id(inner) for inner in ast.walk(node.value))
+    return ids
+
+
+def _enclosing_comp(root: ast.expr, spawn: ast.Call) -> ast.expr | None:
+    for node in ast.walk(root):
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ) and any(inner is spawn for inner in ast.walk(node)):
+            return node
+    return None
+
+
+def _call_refs(
+    root: ast.expr,
+    resolve: Callable[[ast.expr], str | None],
+    exclude: set[int],
+) -> tuple[str, ...]:
+    """References of the calls under ``root`` whose results look like
+    coroutines being handed to a spawn — in source order, excluding the
+    spawn calls themselves."""
+    refs: list[str] = []
+    scan = (
+        [a for arg in root.args for a in ast.walk(
+            arg.value if isinstance(arg, ast.Starred) else arg
+        )]
+        + [a for kw in root.keywords for a in ast.walk(kw.value)]
+        if isinstance(root, ast.Call)
+        else list(ast.walk(root))
+    )
+    for node in scan:
+        if not isinstance(node, ast.Call) or id(node) in exclude:
+            continue
+        ref = _ref_of(resolve, node)
+        if ref:
+            refs.append(ref)
+    return tuple(refs)
+
+
+def _ref_of(
+    resolve: Callable[[ast.expr], str | None], node: ast.Call
+) -> str:
+    """Same shape as the call-graph extractor's references — duplicated
+    here because :mod:`repro.checks.callgraph` imports *this* module."""
+    resolved = resolve(node.func)
+    if resolved is not None:
+        return f"abs:{resolved}"
+    if isinstance(node.func, ast.Name):
+        return f"local:{node.func.id}"
+    if isinstance(node.func, ast.Attribute):
+        return f"method:{node.func.attr}"
+    return ""
+
+
+# -- module-global mutation scan ---------------------------------------
+
+
+def _global_mutations(
+    fn: ast.AsyncFunctionDef, module_globals: frozenset[str]
+) -> Iterator[GlobalMutation]:
+    locals_, declared = _local_bindings(fn)
+
+    def is_global(name: str) -> bool:
+        return name in declared or (
+            name in module_globals and name not in locals_
+        )
+
+    emitted: set[tuple[str, int, int]] = set()
+
+    def emit(name: str, how: str, node: ast.AST) -> Iterator[GlobalMutation]:
+        site = (name, int(node.lineno), int(node.col_offset) + 1)
+        if site not in emitted:
+            emitted.add(site)
+            yield GlobalMutation(
+                name=name, how=how, lineno=site[1], col=site[2]
+            )
+
+    for node in _walk_own_scope(fn):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            how = (
+                "augmented assignment"
+                if isinstance(node, ast.AugAssign)
+                else "assignment"
+            )
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name) and leaf.id in declared:
+                        yield from emit(leaf.id, how, node)
+                    elif (
+                        isinstance(leaf, ast.Subscript)
+                        and isinstance(leaf.value, ast.Name)
+                        and is_global(leaf.value.id)
+                    ):
+                        yield from emit(
+                            leaf.value.id, "item assignment", node
+                        )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in declared:
+                    yield from emit(target.id, "deletion", node)
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and is_global(target.value.id)
+                ):
+                    yield from emit(target.value.id, "item deletion", node)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATOR_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and is_global(node.func.value.id)
+        ):
+            yield from emit(
+                node.func.value.id, f".{node.func.attr}() call", node
+            )
+
+
+# ----------------------------------------------------------------------
+# whole-program judgement
+# ----------------------------------------------------------------------
+
+
+class InterferenceEngine:
+    """Which coroutines may interleave, and who else writes what.
+
+    Built once per :class:`~repro.checks.project.ProjectModel` by the
+    concurrency project rules.  The *concurrent set* is every async
+    function reachable — through the call graph — from a coroutine
+    reference at some spawn site; those run as tasks and interleave at
+    every await with whatever else the loop holds.  A member is
+    *multi-instance* when two copies of it can be in flight at once:
+    spawned from a loop/duplicated site, spawned at two or more sites,
+    or reachable from a multi-instance root.
+    """
+
+    def __init__(self, model: "ProjectModel") -> None:
+        self.model = model
+        #: concurrent function -> may two instances interleave?
+        self.concurrent: dict["FunctionKey", bool] = {}
+        self._writers: dict[
+            tuple[str, str, str], list["FunctionKey"]
+        ] = {}
+        self._link()
+
+    # -- construction ---------------------------------------------------
+
+    def _async_functions(self) -> dict["FunctionKey", object]:
+        return {
+            key: fn
+            for key, fn in self.model.functions.items()
+            if fn.concurrency is not None
+        }
+
+    def _link(self) -> None:
+        async_fns = self._async_functions()
+        spawn_counts: dict["FunctionKey", int] = {}
+        for key, fn in async_fns.items():
+            summary = fn.concurrency
+            assert summary is not None
+            for site in summary.spawns:
+                for ref in site.refs:
+                    for target in self.model.resolve_ref(
+                        key[0], ref, methods=True
+                    ):
+                        if target not in async_fns:
+                            continue
+                        spawn_counts[target] = spawn_counts.get(
+                            target, 0
+                        ) + (2 if site.multi else 1)
+        # Propagate reachability (and multi-ness) through the call graph.
+        multi: dict["FunctionKey", bool] = {
+            key: count >= 2 for key, count in spawn_counts.items()
+        }
+        worklist = list(spawn_counts)
+        reached = set(worklist)
+        while worklist:
+            key = worklist.pop()
+            fn = self.model.functions[key]
+            for call in fn.calls:
+                for callee in self._resolve_call(key, call.ref):
+                    if callee not in async_fns:
+                        continue
+                    was_multi = multi.get(callee, False)
+                    now_multi = was_multi or multi[key]
+                    multi[callee] = now_multi
+                    if callee not in reached or now_multi != was_multi:
+                        reached.add(callee)
+                        worklist.append(callee)
+        self.concurrent = {key: multi[key] for key in reached}
+        for key in self.concurrent:
+            fn = self.model.functions[key]
+            summary = fn.concurrency
+            assert summary is not None
+            for var in summary.writes:
+                self._writers.setdefault(
+                    self._var_identity(key, var), []
+                ).append(key)
+        for writers in self._writers.values():
+            writers.sort()
+
+    def _resolve_call(
+        self, caller: "FunctionKey", ref: str
+    ) -> tuple["FunctionKey", ...]:
+        """``abs:``/``local:`` resolve as usual; ``method:`` only within
+        the caller's own class — name-global method matching would fuse
+        unrelated classes into one concurrent blob."""
+        if ref.startswith("method:"):
+            fn = self.model.functions[caller]
+            cls = getattr(fn, "cls", None)
+            if cls is None:
+                return ()
+            candidate = (caller[0], f"{cls}.{ref[len('method:'):]}")
+            return (candidate,) if candidate in self.model.functions else ()
+        return self.model.resolve_ref(caller[0], ref)
+
+    def _var_identity(
+        self, key: "FunctionKey", var: str
+    ) -> tuple[str, str, str]:
+        """Where a shared variable actually lives.
+
+        ``self.x`` is one variable per (module, class); a module global
+        is one per module.  Two classes using the same attribute name
+        never interfere."""
+        fn = self.model.functions[key]
+        cls = getattr(fn, "cls", None)
+        if var.startswith("self."):
+            return (key[0], cls or "", var[len("self.") :])
+        return (key[0], "", var)
+
+    # -- queries --------------------------------------------------------
+
+    def interference_witness(
+        self, key: "FunctionKey", var: str
+    ) -> "FunctionKey | None":
+        """A concurrent coroutine whose write of ``var`` can interleave
+        with ``key``'s read→await→write window, or ``None``."""
+        for writer in self._writers.get(self._var_identity(key, var), ()):
+            if writer != key:
+                return writer
+            if self.concurrent.get(writer, False):
+                return writer  # two instances of the same coroutine
+        return None
+
+
+# ----------------------------------------------------------------------
+# JSON-shape narrowing helpers (cache entries arrive untyped)
+# ----------------------------------------------------------------------
+
+
+def _i(value: object) -> int:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"expected a number, got {type(value).__name__}")
+    return int(value)
+
+
+def _l(value: object) -> list[object]:
+    if not isinstance(value, (list, tuple)):
+        raise TypeError(f"expected a list, got {type(value).__name__}")
+    return list(value)
+
+
+def _d(value: object) -> dict[str, object]:
+    if not isinstance(value, dict):
+        raise TypeError(f"expected an object, got {type(value).__name__}")
+    return value

@@ -24,6 +24,7 @@ evidence comes from the corpus regardless of the requested paths, so
 
 from __future__ import annotations
 
+import subprocess
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -45,6 +46,7 @@ __all__ = [
     "check_file",
     "check_paths",
     "lint_paths",
+    "changed_source_files",
 ]
 
 #: What ``repro lint`` checks when invoked with no paths.  Tests are
@@ -262,6 +264,50 @@ def lint_paths(
     return LintResult(
         diagnostics=sorted(diagnostics), stats=stats, root=root
     )
+
+
+def changed_source_files(cwd: str | Path | None = None) -> list[Path]:
+    """Python files touched since ``HEAD`` — the ``lint --changed`` scope.
+
+    The union of git's modified tracked files (staged or not) and
+    untracked non-ignored files, filtered to ``.py`` files that still
+    exist (a deleted file has nothing to lint).  Paths come back
+    absolute, resolved against the work-tree root, so the result is
+    independent of the invoking directory.  Raises ``RuntimeError``
+    when git is unavailable or the directory is not a work tree —
+    ``--changed`` outside a checkout is a usage error, not an empty
+    success.
+    """
+
+    def git(*args: str) -> str:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=None if cwd is None else str(cwd),
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        if proc.returncode != 0:
+            detail = proc.stderr.strip() or f"git {args[0]} failed"
+            raise RuntimeError(detail)
+        return proc.stdout
+
+    try:
+        top = Path(git("rev-parse", "--show-toplevel").strip())
+        listed = git("diff", "--name-only", "HEAD").splitlines()
+        listed += git(
+            "ls-files", "--others", "--exclude-standard"
+        ).splitlines()
+    except OSError as exc:  # git binary missing entirely
+        raise RuntimeError(f"git is not available: {exc}") from exc
+    changed: set[Path] = set()
+    for name in listed:
+        if not name.endswith(".py"):
+            continue
+        candidate = top / name
+        if candidate.is_file():
+            changed.add(candidate.resolve())
+    return sorted(changed)
 
 
 def _display_path(resolved: Path, root: Path | None) -> str:

@@ -13,6 +13,10 @@
   outside the sanctioned helpers (PERF001);
 * :mod:`.service` — event-loop discipline in the recovery service: no
   blocking calls inside ``repro.service`` coroutines (SVC001);
+* :mod:`.concurrency` — interleaving discipline over the whole-program
+  interference engine: await-interference on shared state (SVC010),
+  fire-and-forget tasks (SVC011), lock discipline (SVC012), coroutine
+  mutation of module globals (SVC013);
 * :mod:`.interproc` — whole-program rules over the linked project
   model: transitive seed taint (RNG010), payload reachability
   (PROC010), helper circuit mutation (CHS010), import cycles (IMP001),
@@ -27,6 +31,7 @@ rules — which is exactly what DEAD001 checks for.
 from __future__ import annotations
 
 from . import (
+    concurrency,
     controlplane,
     determinism,
     exceptions,
@@ -38,6 +43,7 @@ from . import (
 )
 
 __all__ = [
+    "concurrency",
     "controlplane",
     "determinism",
     "exceptions",

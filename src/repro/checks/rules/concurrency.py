@@ -1,0 +1,234 @@
+"""Interleaving discipline in the recovery control plane (SVC010–SVC013).
+
+:mod:`repro.service` recovers failures on one shared event loop, and its
+correctness claims — queue-counter conservation, one commit per failure
+group, decisions identical under replay — are *interleaving* invariants:
+they hold only if no coroutine observes another's half-finished update.
+asyncio makes the danger zone easy to name (code is atomic between
+awaits), and these rules police exactly that zone, over the
+whole-program model so the evidence includes who actually spawns whom:
+
+* **SVC010** — a shared variable is read, the coroutine suspends at an
+  await outside any lock region, and the *pre-await* value feeds a later
+  write while some concurrent coroutine also writes that variable: the
+  classic lost update, the static twin of the conservation law the
+  backpressure tests check dynamically.
+* **SVC011** — a task is spawned and its handle immediately discarded:
+  nothing will ever observe its exception, so a crashed ingest loop or
+  resolver turns into silent probe loss (asyncio only logs the error at
+  garbage-collection time, far from the cause).
+* **SVC012** — a lock is held across a blocking call or an unbounded
+  await, or manually acquired without a guaranteed release: every other
+  waiter inherits the stall, turning one slow coroutine into a
+  control-plane-wide outage.
+* **SVC013** — a coroutine mutates module-level state: invisible to the
+  replay harness's fresh-service-per-run isolation, and shared across
+  *every* service instance in the process.
+
+All four run over :class:`~repro.checks.concurrency.InterferenceEngine`
+facts extracted per file (and therefore cached); the rules themselves
+are pure joins, so warm lint pays nothing for them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..concurrency import InterferenceEngine
+from ..diagnostics import Diagnostic
+from ..registry import ProjectRule, register_project
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..callgraph import FunctionSummary
+    from ..project import FunctionKey, ProjectModel
+
+__all__ = [
+    "AwaitInterference",
+    "FireAndForgetTask",
+    "LockDiscipline",
+    "CoroutineGlobalMutation",
+]
+
+#: The async subsystems these rules police.  The checks engine and the
+#: runner are synchronous; applying interleaving rules there would only
+#: manufacture noise.
+_ASYNC_SCOPE = ("repro.service", "repro.chaos")
+
+
+def _async_items(
+    model: "ProjectModel",
+) -> Iterator[tuple["FunctionKey", "FunctionSummary"]]:
+    for key in sorted(model.functions):
+        fn = model.functions[key]
+        if fn.concurrency is not None:
+            yield key, fn
+
+
+def _location(
+    model: "ProjectModel", key: "FunctionKey", lineno: int, col: int
+) -> tuple[str, int, int]:
+    return (model.modules[key[0]].path, lineno, col)
+
+
+@register_project
+class AwaitInterference(ProjectRule):
+    """SVC010: read → await → write of shared state, outside a lock,
+    with a concurrent writer."""
+
+    code = "SVC010"
+    name = "await-interference"
+    rationale = (
+        "A coroutine that reads shared state, suspends at an await, and "
+        "then writes a value derived from the stale read loses every "
+        "update a concurrent task made in between — the conservation "
+        "laws the recovery service is built on break exactly here. "
+        "Re-read after the await, or hold a lock across the window."
+    )
+    scope = _ASYNC_SCOPE
+
+    def check(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        engine = InterferenceEngine(model)
+        for key, fn in _async_items(model):
+            summary = fn.concurrency
+            assert summary is not None
+            for stale in summary.stale_writes:
+                witness = engine.interference_witness(key, stale.var)
+                if witness is None:
+                    continue
+                path, line, col = _location(
+                    model, key, stale.lineno, stale.col
+                )
+                who = (
+                    "another instance of itself"
+                    if witness == key
+                    else f"{witness[0]}.{witness[1]}"
+                )
+                yield self.diagnostic(
+                    path,
+                    line,
+                    col,
+                    f"write of {stale.var} in {key[1]} may use a value "
+                    f"read on line {stale.read_line}, before an await "
+                    f"outside any lock region; {who} also writes "
+                    f"{stale.var} and can interleave at that await — "
+                    "re-read after awaiting or guard both with one lock",
+                )
+
+
+@register_project
+class FireAndForgetTask(ProjectRule):
+    """SVC011: spawned task whose handle (and exception) is discarded."""
+
+    code = "SVC011"
+    name = "fire-and-forget-task"
+    rationale = (
+        "A task spawned without keeping its handle is never awaited, "
+        "cancelled, or checked: if it crashes, asyncio reports the "
+        "exception only when the task is garbage-collected — the "
+        "service keeps serving with a dead ingest loop or resolver. "
+        "Keep the handle and await/cancel it on shutdown, or use a "
+        "supervised TaskGroup."
+    )
+    scope = _ASYNC_SCOPE
+
+    def check(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        for key, fn in _async_items(model):
+            summary = fn.concurrency
+            assert summary is not None
+            for site in summary.spawns:
+                if not site.discarded:
+                    continue
+                path, line, col = _location(
+                    model, key, site.lineno, site.col
+                )
+                yield self.diagnostic(
+                    path,
+                    line,
+                    col,
+                    f"task spawned via {site.via} in {key[1]} is "
+                    "fire-and-forget: no handle is kept, so its "
+                    "exceptions are never observed — store the task and "
+                    "await or cancel it during shutdown",
+                )
+
+
+@register_project
+class LockDiscipline(ProjectRule):
+    """SVC012: lock held across blocking/unbounded waits, or acquired
+    without a guaranteed release."""
+
+    code = "SVC012"
+    name = "lock-discipline"
+    rationale = (
+        "A lock held across a blocking call or an unbounded await "
+        "extends one coroutine's stall to every waiter; a manual "
+        "acquire without a finally-guarded release deadlocks them "
+        "outright on the first exception. Critical sections must be "
+        "short, bounded, and exception-safe."
+    )
+    scope = _ASYNC_SCOPE
+
+    def check(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        for key, fn in _async_items(model):
+            summary = fn.concurrency
+            assert summary is not None
+            for violation in summary.lock_violations:
+                path, line, col = _location(
+                    model, key, violation.lineno, violation.col
+                )
+                if violation.kind == "unbounded-await":
+                    message = (
+                        f"await of {violation.what} in {key[1]} while "
+                        f"holding {violation.lock} can park forever with "
+                        "the lock held — await it outside the critical "
+                        "section or bound it with asyncio.wait_for"
+                    )
+                elif violation.kind == "blocking-call":
+                    message = (
+                        f"{violation.what} in {key[1]} while holding "
+                        f"{violation.lock} stalls the event loop with "
+                        "the lock held — every waiter inherits the stall"
+                    )
+                else:
+                    message = (
+                        f"{violation.lock}.acquire() in {key[1]} has "
+                        f"{violation.what}: an exception before release "
+                        "deadlocks every other waiter — use 'async with' "
+                        "or release in a finally block"
+                    )
+                yield self.diagnostic(path, line, col, message)
+
+
+@register_project
+class CoroutineGlobalMutation(ProjectRule):
+    """SVC013: coroutine-side mutation of module-level state."""
+
+    code = "SVC013"
+    name = "coroutine-global-mutation"
+    rationale = (
+        "Module-level state mutated from a coroutine is shared by every "
+        "service instance in the process and survives across replay "
+        "runs, silently coupling tests, replays, and servers that are "
+        "supposed to be isolated. Keep mutable state on the service "
+        "object, injected at construction."
+    )
+    scope = _ASYNC_SCOPE
+
+    def check(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        for key, fn in _async_items(model):
+            summary = fn.concurrency
+            assert summary is not None
+            for mutation in summary.global_mutations:
+                path, line, col = _location(
+                    model, key, mutation.lineno, mutation.col
+                )
+                yield self.diagnostic(
+                    path,
+                    line,
+                    col,
+                    f"coroutine {key[1]} mutates module-level "
+                    f"{mutation.name} ({mutation.how}): module state is "
+                    "process-wide and outlives the service — move it "
+                    "onto the service object or pass it explicitly",
+                )

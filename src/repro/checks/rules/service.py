@@ -16,33 +16,12 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
+from ..cfg import blocking_call_reason
 from ..context import FileContext
 from ..diagnostics import Diagnostic
 from ..registry import Rule, register
 
 __all__ = ["BlockingCallInCoroutine"]
-
-#: Import-resolvable calls that block the calling thread.
-_BLOCKING_CALLS = frozenset(
-    {
-        "time.sleep",
-        "os.system", "os.wait", "os.waitpid",
-        "subprocess.run", "subprocess.call", "subprocess.check_call",
-        "subprocess.check_output", "subprocess.Popen",
-        "socket.create_connection", "socket.getaddrinfo",
-        "urllib.request.urlopen",
-        "http.client.HTTPConnection", "http.client.HTTPSConnection",
-    }
-)
-
-#: Builtins that block on the terminal or filesystem.
-_BLOCKING_BUILTINS = frozenset({"open", "input"})
-
-#: Method names that are synchronous filesystem I/O wherever they appear
-#: (the ``pathlib.Path`` read/write family).
-_BLOCKING_METHODS = frozenset(
-    {"read_text", "write_text", "read_bytes", "write_bytes"}
-)
 
 
 @register
@@ -80,18 +59,4 @@ class BlockingCallInCoroutine(Rule):
 
     @staticmethod
     def _blocking_call(ctx: FileContext, node: ast.Call) -> str | None:
-        resolved = ctx.resolve(node.func)
-        if resolved in _BLOCKING_CALLS:
-            return f"call to {resolved}()"
-        if (
-            isinstance(node.func, ast.Name)
-            and node.func.id in _BLOCKING_BUILTINS
-            and ctx.resolve(node.func) is None  # not an import-shadowed name
-        ):
-            return f"call to builtin {node.func.id}()"
-        if (
-            isinstance(node.func, ast.Attribute)
-            and node.func.attr in _BLOCKING_METHODS
-        ):
-            return f"synchronous file I/O via .{node.func.attr}()"
-        return None
+        return blocking_call_reason(ctx.resolve, node)

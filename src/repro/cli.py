@@ -204,6 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     p_lint.add_argument(
+        "--changed", action="store_true",
+        help="lint only Python files modified or untracked per git "
+             "(diff vs HEAD); mutually exclusive with explicit PATHs",
+    )
+    p_lint.add_argument(
         "--format", choices=("text", "json", "sarif"), default="text",
         dest="format", help="report format (default: text)",
     )
@@ -721,6 +726,7 @@ def cmd_lint(args) -> int:
     from repro.checks import (
         DEFAULT_TARGETS,
         all_rules,
+        changed_source_files,
         lint_paths,
         project_rules,
         render_json,
@@ -737,7 +743,23 @@ def cmd_lint(args) -> int:
             print(f"    {rule.rationale}")
         return 0
 
-    if args.paths:
+    if args.changed and args.paths:
+        print(
+            "error: --changed picks its own targets from git; "
+            "drop the explicit paths",
+            file=sys.stderr,
+        )
+        return 2
+    if args.changed:
+        try:
+            paths = changed_source_files()
+        except RuntimeError as exc:
+            print(f"error: --changed needs git: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print("clean: no changed Python files vs HEAD")
+            return 0
+    elif args.paths:
         paths = [Path(p) for p in args.paths]
         missing = [p for p in paths if not p.exists()]
         if missing:

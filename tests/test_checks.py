@@ -43,7 +43,10 @@ EXPECTED_CODES = {
     "SVC001",
 }
 
-PROJECT_CODES = {"RNG010", "PROC010", "CHS010", "IMP001", "DEAD001"}
+PROJECT_CODES = {
+    "RNG010", "PROC010", "CHS010", "IMP001", "DEAD001",
+    "SVC010", "SVC011", "SVC012", "SVC013",
+}
 
 
 def codes(diagnostics):
