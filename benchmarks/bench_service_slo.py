@@ -22,7 +22,12 @@ import json
 import os
 from pathlib import Path
 
-from repro.service import LoadTestConfig, run_load_test
+from repro.service import (
+    FailoverBenchConfig,
+    LoadTestConfig,
+    run_failover_benchmark,
+    run_load_test,
+)
 
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_service.json"
 
@@ -36,12 +41,32 @@ PROFILES = {
     ),
 }
 
+#: The failover round: crash the primary mid-batch, measure the
+#: crash→first-post-takeover-decision latency (election + WAL resume).
+FAILOVER = FailoverBenchConfig(
+    k=6, n=1, trials=5, failures_per_trial=32, crash_after=6, seed=0
+)
+
 ROUNDS = 5
 
 
 def _config():
     profile = os.environ.get("REPRO_BENCH_PROFILE", "quick")
     return PROFILES.get(profile, PROFILES["quick"]), profile
+
+
+def _check_failover(result):
+    """The qualitative bar for the failover round."""
+    config = result.config
+    assert result.errors == 0
+    assert len(result.latencies) == config.trials
+    assert all(latency >= 0.0 for latency in result.latencies)
+    # Every trial crashed once (epoch 1 → 2) and still decided every
+    # submitted failure: the takeover lost and doubled nothing.
+    assert result.final_epochs == (2,) * config.trials
+    assert result.decisions == config.trials * config.failures_per_trial
+    summary = result.summary()
+    assert summary["p50"] <= summary["p99"] <= summary["max"]
 
 
 def _check(result, config):
@@ -74,6 +99,11 @@ def test_perf_service_slo(benchmark):
         return result
 
     benchmark.pedantic(one_round, rounds=ROUNDS)
+    # The failover round runs (and is correctness-checked) even under
+    # --benchmark-disable: CI's smoke job must exercise the takeover
+    # path, it just leaves the artifact untouched.
+    failover = run_failover_benchmark(FAILOVER)
+    _check_failover(failover)
     stats = getattr(benchmark, "stats", None)
     if stats is None:
         return  # --benchmark-disable: correctness only, keep the artifact
@@ -97,6 +127,17 @@ def test_perf_service_slo(benchmark):
             }
             for r in rounds
         ],
+        "failover": {
+            "config": failover.config.to_dict(),
+            "slo": {
+                key: round(value, 6)
+                for key, value in failover.summary().items()
+            },
+            "latencies": [round(v, 6) for v in failover.latencies],
+            "decisions": failover.decisions,
+            "fencing_rejections": failover.fencing_rejections,
+            "final_epochs": list(failover.final_epochs),
+        },
         "decisions": representative.decisions,
         "outcomes": representative.outcomes,
         "fleet_heartbeats": representative.fleet_heartbeats,

@@ -1,0 +1,112 @@
+"""SLO regression gate: fresh p99 vs the committed baseline.
+
+CI's service-smoke job runs the SLO benchmark with
+``--benchmark-disable`` — correctness only, no timing artifact.  This
+script closes the loop: it re-runs the load test (and, when the
+committed ``BENCH_service.json`` carries a ``failover`` round, the
+failover benchmark) a few times on the CI host and fails the job when
+the *best* fresh p99 is more than ``REPRO_SLO_GATE`` times the
+committed p99 (default 2×).
+
+Best-of-N against a generous multiplier is deliberate: shared CI
+runners are noisy, and a gate that cries wolf gets deleted.  A genuine
+regression — an accidental O(n²) in the resolver, a blocking call on
+the event loop, a takeover that re-runs the whole log — blows through
+2× on every run; scheduler jitter does not survive best-of-3.
+
+Exit status: 0 when within the gate (or no baseline exists yet),
+1 on regression, with a one-line verdict per gated metric.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_slo.py
+    REPRO_SLO_GATE=3.0 PYTHONPATH=src python benchmarks/check_slo.py
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.service import (
+    FailoverBenchConfig,
+    LoadTestConfig,
+    run_failover_benchmark,
+    run_load_test,
+)
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_service.json"
+
+#: Fresh measurements per metric; the best one speaks for the host.
+ATTEMPTS = 3
+
+#: Default worsening multiplier that fails the gate.
+DEFAULT_GATE = 2.0
+
+
+def _gate() -> float:
+    raw = os.environ.get("REPRO_SLO_GATE", "")
+    if not raw:
+        return DEFAULT_GATE
+    value = float(raw)
+    if value <= 1.0:
+        raise SystemExit(f"REPRO_SLO_GATE must be > 1.0, got {value}")
+    return value
+
+
+def _fresh_slo_p99(config: LoadTestConfig) -> float:
+    return min(
+        run_load_test(config).latency["p99"] for _ in range(ATTEMPTS)
+    )
+
+
+def _fresh_failover_p99(config: FailoverBenchConfig) -> float:
+    return min(
+        run_failover_benchmark(config).summary()["p99"]
+        for _ in range(ATTEMPTS)
+    )
+
+
+def _verdict(name: str, fresh: float, committed: float, gate: float) -> bool:
+    """Print one gate line; returns True when the metric regressed."""
+    ratio = fresh / committed if committed > 0 else float("inf")
+    regressed = ratio >= gate
+    status = "REGRESSION" if regressed else "ok"
+    print(
+        f"{status}: {name} p99 {fresh * 1e3:.3f} ms vs committed "
+        f"{committed * 1e3:.3f} ms ({ratio:.2f}x, gate {gate:.1f}x)"
+    )
+    return regressed
+
+
+def main() -> int:
+    if not BENCH_JSON.exists():
+        print(f"no baseline at {BENCH_JSON}; nothing to gate")
+        return 0
+    baseline = json.loads(BENCH_JSON.read_text())
+    gate = _gate()
+    regressed = False
+
+    committed_p99 = float(baseline["slo"]["p99"])
+    config = LoadTestConfig(**baseline["config"])
+    regressed |= _verdict(
+        "service-slo", _fresh_slo_p99(config), committed_p99, gate
+    )
+
+    failover = baseline.get("failover")
+    if failover is not None:
+        fo_config = FailoverBenchConfig(**failover["config"])
+        regressed |= _verdict(
+            "failover",
+            _fresh_failover_p99(fo_config),
+            float(failover["slo"]["p99"]),
+            gate,
+        )
+    else:
+        print("no failover round in the baseline; skipping that gate")
+
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,13 @@ Fault kinds (all targets are names in the scenario's
 * ``heartbeat-loss`` — keep-alives from a healthy switch are lost for
   ``duration`` seconds; a loss outliving the miss threshold triggers a
   spurious failover.  Target: a logical switch.
+* ``service-primary-crash`` — the primary dies *mid-batch*: the crash is
+  armed to fire after ``count`` more failover decisions, synchronously
+  inside the service's decision callback, leaving the rest of an
+  in-flight resolver batch to be epoch-fenced and resumed by the new
+  primary from the write-ahead decision log.  In the call-driven
+  harness (no decision stream to trigger on) it degrades to a plain
+  ``controller-crash``.  Target: ``"primary"``.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ FAULT_KINDS: tuple[str, ...] = (
     "pool-drain",
     "controller-crash",
     "heartbeat-loss",
+    "service-primary-crash",
 )
 
 
@@ -143,15 +151,21 @@ def generate_schedule(
       flip per control-plane fault kind (the default campaign diet);
     * ``"recovery-storm"`` — silent failures only, several in quick
       succession (stresses pool sharing, not the control plane);
-    * ``"control-plane"`` — every control-plane fault kind once, plus
-      two silent failures (maximally hostile; the smoke profile).
+    * ``"control-plane"`` — every control-plane fault kind once
+      (including a mid-batch ``service-primary-crash``), plus two
+      silent failures (maximally hostile; the smoke profile);
+    * ``"controller-storm"`` — crash-heavy: repeated primary crashes
+      (with restores), one mid-batch ``service-primary-crash``, and a
+      heartbeat-loss window, over 2–5 silent failures.  Exercises
+      election churn, epoch fencing, and WAL takeover back to back.
 
     Silent failures target aggregation and core switches only: an edge
     switch is every downstream host's single point of attachment, so a
     dead edge slot makes traffic unroutable for *any* scheme and would
     conflate "the ladder stranded traffic" with "the topology did".
     """
-    if profile not in ("mixed", "recovery-storm", "control-plane"):
+    profiles = ("mixed", "recovery-storm", "control-plane", "controller-storm")
+    if profile not in profiles:
         raise ValueError(f"unknown chaos profile {profile!r}")
     if duration <= 0:
         raise ValueError(f"duration must be positive, got {duration}")
@@ -177,6 +191,8 @@ def generate_schedule(
         num_failures = int(rng.integers(2, 5))
     elif profile == "control-plane":
         num_failures = 2
+    elif profile == "controller-storm":
+        num_failures = int(rng.integers(2, 6))
     else:
         num_failures = int(rng.integers(1, 4))
     num_failures = min(num_failures, len(victims))
@@ -189,7 +205,9 @@ def generate_schedule(
     def flip(probability: float) -> bool:
         if profile == "control-plane":
             return True
-        if profile == "recovery-storm":
+        if profile in ("recovery-storm", "controller-storm"):
+            # Storm profiles take none of the mixed menu; controller-storm
+            # appends its own crash-heavy block below instead.
             return False
         return bool(rng.uniform(0.0, 1.0) < probability)
 
@@ -235,6 +253,46 @@ def generate_schedule(
         faults.append(
             ChaosFault(
                 hb_time, "heartbeat-loss", hb_victim, duration=hb_duration
+            )
+        )
+
+    # Profile-specific draws happen *after* the shared menu so the other
+    # profiles' streams (and therefore their schedules) stay untouched.
+    if profile == "control-plane":
+        # "Every control-plane fault kind once" includes the mid-batch
+        # primary crash; armed early so it catches the first decisions.
+        faults.append(
+            ChaosFault(
+                draw_time(0.0, 0.1), "service-primary-crash", "primary"
+            )
+        )
+
+    if profile == "controller-storm":
+        for _ in range(int(rng.integers(2, 4))):
+            crash_at = draw_time(0.05, 0.7)
+            restore_after = round(float(rng.uniform(0.05, 0.3)), 6)
+            faults.append(
+                ChaosFault(
+                    crash_at,
+                    "controller-crash",
+                    "primary",
+                    duration=restore_after,
+                )
+            )
+        faults.append(
+            ChaosFault(
+                draw_time(0.0, 0.1),
+                "service-primary-crash",
+                "primary",
+                count=int(rng.integers(1, 3)),
+            )
+        )
+        faults.append(
+            ChaosFault(
+                draw_time(0.2, 0.6),
+                "heartbeat-loss",
+                pick(victims),
+                duration=round(float(rng.uniform(0.001, 0.02)), 6),
             )
         )
 

@@ -208,6 +208,12 @@ class ChaosHarness:
             "pool-drain": self._install_pool_drain,
             "controller-crash": self._install_controller_crash,
             "heartbeat-loss": self._install_heartbeat_loss,
+            # The call-driven world has no decision stream to arm a
+            # mid-batch trigger on; the fault degrades to a plain
+            # primary crash at its scheduled time.  Decision identity
+            # with the service path holds either way — that is the A/B
+            # theorem the WAL + fencing machinery defends.
+            "service-primary-crash": self._install_controller_crash,
         }[fault.kind]
         installer(fault)
 

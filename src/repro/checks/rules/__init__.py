@@ -11,8 +11,10 @@
   (CHS001);
 * :mod:`.perf` — engine hot-path discipline: no full active-set sweeps
   outside the sanctioned helpers (PERF001);
-* :mod:`.service` — event-loop discipline in the recovery service: no
-  blocking calls inside ``repro.service`` coroutines (SVC001);
+* :mod:`.service` — event-loop and federation discipline in the
+  recovery service: no blocking calls inside ``repro.service``
+  coroutines (SVC001); controller commits and cluster mutation flow
+  through the WAL/federation seams (SVC014);
 * :mod:`.concurrency` — interleaving discipline over the whole-program
   interference engine: await-interference on shared state (SVC010),
   fire-and-forget tasks (SVC011), lock discipline (SVC012), coroutine

@@ -152,7 +152,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="workload duration per scenario (seconds)")
     p_chaos.add_argument("--coflows", type=int, default=12)
     p_chaos.add_argument("--profile",
-                         choices=("mixed", "recovery-storm", "control-plane"),
+                         choices=("mixed", "recovery-storm", "control-plane",
+                                  "controller-storm"),
                          default="mixed",
                          help="fault-schedule profile")
     p_chaos.add_argument("--smoke", action="store_true",
@@ -186,6 +187,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bounded heartbeat queue size (drop-oldest)")
     p_serve.add_argument("--report-queue", type=int, default=1024,
                          help="bounded failure-report queue size (reject)")
+    p_serve.add_argument("--wal", default=None, metavar="PATH",
+                         help="write-ahead decision log; federates the "
+                              "service behind a controller cluster (epoch "
+                              "fencing) and resumes any incomplete intents "
+                              "found at PATH on start")
     p_serve.add_argument("--smoke", action="store_true",
                          help="CI gate: deterministic virtual-clock chaos "
                               "replay plus a wall-clock HTTP round-trip, "
@@ -577,19 +583,37 @@ def cmd_serve(args) -> int:
     return 0
 
 
-async def _serve_forever(args) -> None:
-    from repro.core import ShareBackupController, ShareBackupNetwork
-    from repro.service import RecoveryService, ServiceAPI, ServiceConfig
-
-    import asyncio
+def _build_service(args, config):
+    """Build the service; ``--wal PATH`` federates it behind a cluster."""
+    from repro.core import (
+        ControllerCluster,
+        ShareBackupController,
+        ShareBackupNetwork,
+    )
+    from repro.service import DecisionWAL, RecoveryService
 
     net = ShareBackupNetwork(args.k, n=args.n)
     controller = ShareBackupController(
         net, degrade_to_reroute=True, rng=args.seed
     )
+    cluster = wal = None
+    if getattr(args, "wal", None):
+        cluster = ControllerCluster(controller=controller)
+        wal = DecisionWAL(args.wal)
     service = RecoveryService(
-        controller,
-        config=ServiceConfig(
+        controller, config=config, cluster=cluster, wal=wal
+    )
+    return net, service
+
+
+async def _serve_forever(args) -> None:
+    from repro.service import ServiceAPI, ServiceConfig
+
+    import asyncio
+
+    _net, service = _build_service(
+        args,
+        ServiceConfig(
             heartbeat_queue_size=args.heartbeat_queue,
             report_queue_size=args.report_queue,
         ),
@@ -597,6 +621,11 @@ async def _serve_forever(args) -> None:
     api = ServiceAPI(service, host=args.host, port=args.port)
     await service.start()
     await api.start()
+    if service.wal is not None:
+        stats = service.wal.stats()
+        print(f"decision WAL: {stats['path']}  (records={stats['records']} "
+              f"incomplete={stats['incomplete']} "
+              f"epoch={service.federation.epoch})")
     print(f"listening on {api.address}  (GET /healthz /metrics /decisions "
           "/events; POST /heartbeats /failures; Ctrl-C to stop)")
     try:
@@ -604,6 +633,8 @@ async def _serve_forever(args) -> None:
     finally:
         await api.stop()
         await service.stop()
+        if service.wal is not None:
+            service.wal.close()
 
 
 def _serve_smoke(args) -> int:
@@ -637,6 +668,10 @@ def _serve_smoke(args) -> int:
     print(f"http: decision for {result['logical']} via {result['address']} "
           f"latency={result['latency'] * 1e3:.3f} ms "
           f"stream_seq={result['stream_seq']}")
+    if result.get("wal"):
+        wal = result["wal"]
+        print(f"wal: {wal['path']}  records={wal['records']} "
+              f"commits={wal['commits']} incomplete={wal['incomplete']}")
     print("service smoke: OK")
     return 0
 
@@ -645,14 +680,9 @@ async def _smoke_http(args) -> dict:
     import asyncio
     import json
 
-    from repro.core import ShareBackupController, ShareBackupNetwork
-    from repro.service import RecoveryService, ServiceAPI, ServiceConfig
+    from repro.service import ServiceAPI, ServiceConfig
 
-    net = ShareBackupNetwork(args.k, n=args.n)
-    controller = ShareBackupController(
-        net, degrade_to_reroute=True, rng=args.seed
-    )
-    service = RecoveryService(controller, config=ServiceConfig())
+    net, service = _build_service(args, ServiceConfig())
     api = ServiceAPI(service, host=args.host, port=0)
     await service.start()
     await api.start()
@@ -688,15 +718,23 @@ async def _smoke_http(args) -> dict:
         decision = decisions["decisions"][0]
         metrics = await _http(api, "GET", "/metrics")
         assert metrics["decisions"] >= 1, metrics
+        if service.wal is not None:
+            # Federated smoke: the decision is durably committed and the
+            # federation surfaces in the metrics body.
+            assert metrics["wal"]["commits"] >= 1, metrics
+            assert metrics["federation"]["attached"], metrics
         return {
             "address": api.address,
             "logical": decision["logical"],
             "latency": decision["latency"],
             "stream_seq": stream_seq,
+            "wal": metrics.get("wal"),
         }
     finally:
         await api.stop()
         await service.stop()
+        if service.wal is not None:
+            service.wal.close()
 
 
 async def _http(api, method: str, path: str, body: dict | None = None) -> dict:

@@ -27,6 +27,7 @@ from .circuit_switch import (
 from .controller import (
     DEFAULT_CONTROLLER_RETRY,
     ControllerCluster,
+    EpochFencedError,
     HumanInterventionRequired,
     RecoveryReport,
     ShareBackupController,
@@ -63,6 +64,7 @@ __all__ = [
     "DEFAULT_TCAM_CAPACITY",
     "DegradationReport",
     "DegradationStep",
+    "EpochFencedError",
     "FailureDiagnosis",
     "FailureGroup",
     "ForwardingError",

@@ -62,6 +62,7 @@ from .sharebackup import ShareBackupNetwork
 __all__ = [
     "RecoveryReport",
     "HumanInterventionRequired",
+    "EpochFencedError",
     "ShareBackupController",
     "ControllerCluster",
     "DEFAULT_CONTROLLER_RETRY",
@@ -84,6 +85,26 @@ _DETECTION_EPS = 1e-9
 
 class HumanInterventionRequired(Exception):
     """Automatic recovery halted (suspected circuit-switch failure)."""
+
+
+class EpochFencedError(Exception):
+    """A commit attempted under a stale (or vacant) fencing epoch.
+
+    Raised by :meth:`ControllerCluster.check_fence` when a writer holds
+    an epoch older than the cluster's current one — i.e. a deposed
+    primary trying to land a late write after a new election — or when
+    no primary is available at all.
+    """
+
+    def __init__(self, holder_epoch: int, current_epoch: int, context: str = ""):
+        self.holder_epoch = holder_epoch
+        self.current_epoch = current_epoch
+        self.context = context
+        detail = f" ({context})" if context else ""
+        super().__init__(
+            f"commit fenced: holder epoch {holder_epoch} vs "
+            f"cluster epoch {current_epoch}{detail}"
+        )
 
 
 @dataclass(frozen=True)
@@ -636,7 +657,14 @@ class ControllerCluster:
             raise ValueError("need at least one controller replica")
         self.replicas: dict[str, bool] = {r: True for r in replica_ids}
         self.elections = 0
+        #: Monotonic fencing epoch: bumped on every primary change, never
+        #: reused.  A writer stamps the epoch it observed into each commit;
+        #: :meth:`check_fence` rejects any stamp that is no longer current.
+        self.epoch = 0
+        #: Audit trail of rejected late writes (deposed-primary commits).
+        self.fencing_rejections: list[dict] = []
         self._primary: Optional[str] = None
+        self._listeners: list = []
         # Attach before the initial election so the first primary starts
         # from a fresh intent snapshot like every later one.
         self._controller = controller
@@ -647,6 +675,7 @@ class ControllerCluster:
         new_primary = alive[0] if alive else None
         if new_primary != self._primary:
             self.elections += 1
+            self.epoch += 1
             self._primary = new_primary
             if new_primary is not None and self._controller is not None:
                 # A replica elected mid-recovery must not trust the intent
@@ -656,6 +685,8 @@ class ControllerCluster:
                 # a later circuit-switch reboot restores *current* wiring,
                 # not a pre-failover ghost.
                 self._controller.snapshot_intended_configs()
+            for listener in list(self._listeners):
+                listener(new_primary, self.epoch)
 
     @property
     def primary(self) -> Optional[str]:
@@ -664,6 +695,35 @@ class ControllerCluster:
     @property
     def available(self) -> bool:
         return self._primary is not None
+
+    def add_election_listener(self, callback) -> None:
+        """Call ``callback(new_primary, epoch)`` after every primary change.
+
+        Listeners run synchronously inside the election, so a takeover
+        hook observes the new epoch before any post-election commit can.
+        """
+        self._listeners.append(callback)
+
+    def check_fence(self, epoch: int, context: str = "") -> None:
+        """Admit a commit stamped with ``epoch``, or fence it off.
+
+        Passes iff ``epoch`` is the cluster's current epoch *and* a
+        primary is seated.  Anything else is a deposed primary's late
+        write (or a write into an empty cluster): the rejection is
+        recorded for audit and raised as :class:`EpochFencedError`.
+        """
+        if epoch == self.epoch and self._primary is not None:
+            return
+        self.fencing_rejections.append(
+            {
+                "type": "fencing-rejected",
+                "holder_epoch": epoch,
+                "current_epoch": self.epoch,
+                "primary": self._primary,
+                "context": context,
+            }
+        )
+        raise EpochFencedError(epoch, self.epoch, context)
 
     def fail_replica(self, replica_id: str) -> None:
         self.replicas[replica_id] = False

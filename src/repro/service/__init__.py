@@ -11,6 +11,7 @@ clock, and a wall-clock load-test harness behind
 from .api import ApiError, ServiceAPI
 from .clock import SETTLE_ROUNDS, ServiceClock, VirtualClock, WallClock
 from .events import EventBus, Subscription
+from .federation import ServiceFederation
 from .fleet import FleetRegistry
 from .ingest import (
     OVERFLOW_POLICIES,
@@ -21,7 +22,14 @@ from .ingest import (
     QueueCounters,
     QueueFullError,
 )
-from .loadgen import LoadTestConfig, LoadTestResult, run_load_test
+from .loadgen import (
+    FailoverBenchConfig,
+    FailoverBenchResult,
+    LoadTestConfig,
+    LoadTestResult,
+    run_failover_benchmark,
+    run_load_test,
+)
 from .replay import (
     DecisionKey,
     ReplayOutcome,
@@ -37,6 +45,7 @@ from .resolver import (
     report_outcome,
 )
 from .service import RecoveryService, ServiceConfig, percentile
+from .wal import DecisionWAL, WalCorruptionError, WalRecord
 
 __all__ = [
     "SETTLE_ROUNDS",
@@ -71,4 +80,11 @@ __all__ = [
     "LoadTestConfig",
     "LoadTestResult",
     "run_load_test",
+    "FailoverBenchConfig",
+    "FailoverBenchResult",
+    "run_failover_benchmark",
+    "ServiceFederation",
+    "DecisionWAL",
+    "WalCorruptionError",
+    "WalRecord",
 ]

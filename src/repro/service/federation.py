@@ -1,0 +1,118 @@
+"""The sanctioned federation surface between the service and the cluster.
+
+`repro.service` must never reach into :class:`ControllerCluster`
+internals directly — epoch bumps, primary swaps, and replica state all
+have to flow through one audited seam so a crash, an election, and a
+fencing check cannot race or diverge (the SVC014 lint rule enforces the
+boundary the same way CHS001 fences circuit-switch mutation out of
+application code).  :class:`ServiceFederation` is that seam:
+
+* it forwards fencing checks (:meth:`check_fence`) and election
+  listeners to the cluster,
+* it exposes chaos hooks — :meth:`crash_primary`, :meth:`restore`, and
+  the decision-triggered :meth:`arm_primary_crash` used by the
+  ``service-primary-crash`` fault — with an audit trail, and
+* it degrades to a no-op single-controller mode when no cluster is
+  attached, so the service keeps its PR 6 behaviour byte-for-byte when
+  federation is off.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.controller import ControllerCluster
+
+__all__ = ["ServiceFederation"]
+
+
+class ServiceFederation:
+    """Epoch-fenced view of an optional :class:`ControllerCluster`.
+
+    Without a cluster the federation reports epoch 0 forever and every
+    fence check passes — the degenerate single-controller deployment.
+    """
+
+    def __init__(self, cluster: Optional[ControllerCluster] = None) -> None:
+        self.cluster = cluster
+        #: Audit of chaos-induced primary crashes (replica id + epoch).
+        self.crashes: list[dict] = []
+        #: Armed decision-count triggers for ``service-primary-crash``.
+        self._crash_triggers: list[int] = []
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+
+    @property
+    def attached(self) -> bool:
+        return self.cluster is not None
+
+    @property
+    def epoch(self) -> int:
+        return self.cluster.epoch if self.cluster is not None else 0
+
+    @property
+    def primary(self) -> Optional[str]:
+        return self.cluster.primary if self.cluster is not None else None
+
+    def check_fence(self, epoch: int, context: str = "") -> None:
+        """Delegate to the cluster's fence; always passes un-federated."""
+        if self.cluster is not None:
+            self.cluster.check_fence(epoch, context)
+
+    def add_election_listener(
+        self, callback: Callable[[Optional[str], int], None]
+    ) -> None:
+        if self.cluster is not None:
+            self.cluster.add_election_listener(callback)
+
+    # ------------------------------------------------------------------
+    # chaos hooks (the only sanctioned cluster mutation in this package)
+    # ------------------------------------------------------------------
+
+    def crash_primary(self) -> Optional[str]:
+        """Crash the current primary; returns its id, or None."""
+        if self.cluster is None:
+            return None
+        old_epoch = self.cluster.epoch
+        failed = self.cluster.fail_primary()
+        if failed is not None:
+            self.crashes.append(
+                {
+                    "replica": failed,
+                    "deposed_epoch": old_epoch,
+                    "new_epoch": self.cluster.epoch,
+                }
+            )
+        return failed
+
+    def restore(self, replica_id: str) -> None:
+        """Bring a crashed replica back into the candidate set."""
+        if self.cluster is not None:
+            self.cluster.restore_replica(replica_id)
+
+    def arm_primary_crash(self, after_decisions: int = 1) -> None:
+        """Arm a crash that fires after ``after_decisions`` more decisions.
+
+        This is the ``service-primary-crash`` mechanism: the crash lands
+        *synchronously inside the decision callback* — i.e. genuinely
+        mid-batch, between two members of an in-flight resolver batch —
+        which is the exact window a wall-clock primary loss would hit.
+        """
+        if after_decisions < 1:
+            raise ValueError("after_decisions must be >= 1")
+        self._crash_triggers.append(after_decisions)
+
+    def note_decision(self) -> Optional[str]:
+        """Tick armed crash triggers; fire (at most) the head trigger.
+
+        Returns the crashed replica id when a trigger fires, else None.
+        """
+        if not self._crash_triggers or self.cluster is None:
+            return None
+        self._crash_triggers[0] -= 1
+        if self._crash_triggers[0] > 0:
+            return None
+        self._crash_triggers.pop(0)
+        return self.crash_primary()

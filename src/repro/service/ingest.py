@@ -22,10 +22,15 @@ somewhere, and the operator should get to choose where):
 Every submitted probe is accounted for, exactly once, by the
 :class:`QueueCounters` conservation law::
 
-    submitted == rejected + dropped_oldest + dequeued + len(queue)
+    submitted == rejected + dropped_oldest + dequeued
+                 + lost_on_crash + len(queue)
 
 which the hypothesis suite (``tests/test_service_backpressure.py``)
-enforces under arbitrary arrival/drain interleavings.
+enforces under arbitrary arrival/drain interleavings — including
+across a crash/restart boundary: :meth:`ProbeQueue.snapshot` captures
+the counters, :meth:`ProbeQueue.restore` rebuilds an *empty* queue from
+them, and the probes that were in flight at the crash move to the
+``lost_on_crash`` bucket instead of silently vanishing from the books.
 """
 
 from __future__ import annotations
@@ -105,21 +110,27 @@ Probe = Union[Heartbeat, FailureReport]
 class QueueCounters:
     """Exact accounting of one bounded queue's admissions.
 
-    ``submitted`` counts every ``offer``; the other four partition it:
-    ``rejected`` never entered, ``dropped_oldest`` entered and was
-    evicted, ``dequeued`` entered and was consumed, and the remainder is
-    still queued.
+    ``submitted`` counts every ``offer``; the other buckets partition
+    it: ``rejected`` never entered, ``dropped_oldest`` entered and was
+    evicted, ``dequeued`` entered and was consumed, ``lost_on_crash``
+    was in flight when the process died, and the remainder is still
+    queued.
     """
 
     submitted: int = 0
     rejected: int = 0
     dropped_oldest: int = 0
     dequeued: int = 0
+    lost_on_crash: int = 0
 
     def accounted(self, queued_now: int) -> int:
         """Left-hand side of the conservation law, for assertions."""
         return (
-            self.rejected + self.dropped_oldest + self.dequeued + queued_now
+            self.rejected
+            + self.dropped_oldest
+            + self.dequeued
+            + self.lost_on_crash
+            + queued_now
         )
 
     def to_dict(self) -> dict[str, int]:
@@ -128,7 +139,18 @@ class QueueCounters:
             "rejected": self.rejected,
             "dropped_oldest": self.dropped_oldest,
             "dequeued": self.dequeued,
+            "lost_on_crash": self.lost_on_crash,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "QueueCounters":
+        return cls(
+            submitted=int(data.get("submitted", 0)),
+            rejected=int(data.get("rejected", 0)),
+            dropped_oldest=int(data.get("dropped_oldest", 0)),
+            dequeued=int(data.get("dequeued", 0)),
+            lost_on_crash=int(data.get("lost_on_crash", 0)),
+        )
 
 
 class QueueFullError(Exception):
@@ -210,3 +232,42 @@ class ProbeQueue:
             if not waiter.done():  # skip cancelled consumers
                 return waiter
         return None
+
+    # ------------------------------------------------------------------
+    # the crash/restart boundary
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """Durable view of this queue at a crash instant.
+
+        Only the *accounting* survives a crash — queued probes are
+        process memory and die with it.  The snapshot therefore records
+        the depth (so :meth:`restore` can book it as ``lost_on_crash``)
+        alongside the counters and configuration.
+        """
+        return {
+            "maxsize": self.maxsize,
+            "policy": self.policy,
+            "depth": len(self._items),
+            "counters": self.counters.to_dict(),
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict[str, object]) -> "ProbeQueue":
+        """Rebuild an empty queue after a crash, conserving the books.
+
+        Probes queued at the crash were submitted but never dequeued,
+        rejected, or dropped; they land in ``lost_on_crash`` so the
+        conservation law ``submitted == accounted`` holds across the
+        restart exactly as it held before it.
+        """
+        queue = cls(
+            int(snapshot["maxsize"]),  # type: ignore[call-overload]
+            str(snapshot["policy"]),
+        )
+        counters = QueueCounters.from_dict(
+            snapshot["counters"]  # type: ignore[arg-type]
+        )
+        counters.lost_on_crash += int(snapshot["depth"])  # type: ignore[call-overload]
+        queue.counters = counters
+        return queue

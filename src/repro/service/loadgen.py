@@ -19,6 +19,14 @@ the harness distils them into the p50/p99/p999 SLO summary that
 Target order is a pure function of the seed
 (:func:`repro.rng.derive_seed` discipline); only the measured latencies
 depend on the host.
+
+The module also hosts the **failover benchmark**
+(:func:`run_failover_benchmark`): each trial drives a federated
+wall-clock service (controller cluster + decision WAL), arms a
+mid-batch primary crash, and measures the crash→first-post-takeover-
+decision latency — the service-path cost of an election plus a
+WAL-resumed commit.  It rides the same artifact as a ``failover``
+round and is regression-gated by ``benchmarks/check_slo.py``.
 """
 
 from __future__ import annotations
@@ -26,14 +34,22 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass
 
-from ..core.controller import ShareBackupController
+from ..core.controller import ControllerCluster, ShareBackupController
 from ..core.sharebackup import ShareBackupNetwork
 from ..rng import derive_seed, ensure_rng
 from .clock import WallClock
 from .ingest import FailureReport, Heartbeat
-from .service import RecoveryService, ServiceConfig
+from .service import RecoveryService, ServiceConfig, percentile
+from .wal import DecisionWAL
 
-__all__ = ["LoadTestConfig", "LoadTestResult", "run_load_test"]
+__all__ = [
+    "LoadTestConfig",
+    "LoadTestResult",
+    "run_load_test",
+    "FailoverBenchConfig",
+    "FailoverBenchResult",
+    "run_failover_benchmark",
+]
 
 #: Safety valve: a wave that produces no new decision for this many
 #: polls in a row aborts the run instead of hanging CI.
@@ -235,3 +251,179 @@ def _repair_all(
         for physical in sorted(group.offline):
             controller.repair(physical)
             service.mark_repaired(physical)
+
+
+# ======================================================================
+# the failover-latency benchmark (crash → first post-takeover decision)
+# ======================================================================
+
+
+@dataclass(frozen=True)
+class FailoverBenchConfig:
+    """One failover-latency benchmark run, fully specified.
+
+    Each trial drives a federated wall-clock service (cluster + WAL),
+    arms a mid-batch primary crash ``crash_after`` decisions in, and
+    measures the crash→first-post-takeover-decision latency — the
+    service-path cost of an election plus WAL-resumed commit.
+    """
+
+    k: int = 6
+    n: int = 1
+    trials: int = 5
+    failures_per_trial: int = 32
+    crash_after: int = 6
+    seed: int = 0
+    report_queue_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError("trials must be >= 1")
+        if self.crash_after < 1:
+            raise ValueError("crash_after must be >= 1")
+        if self.failures_per_trial <= self.crash_after:
+            raise ValueError(
+                "failures_per_trial must exceed crash_after "
+                "(the crash needs post-takeover work to resume)"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "k": self.k,
+            "n": self.n,
+            "trials": self.trials,
+            "failures_per_trial": self.failures_per_trial,
+            "crash_after": self.crash_after,
+            "seed": self.seed,
+            "report_queue_size": self.report_queue_size,
+        }
+
+
+@dataclass(frozen=True)
+class FailoverBenchResult:
+    """Distilled failover latencies across all trials (JSON-safe)."""
+
+    config: FailoverBenchConfig
+    latencies: tuple[float, ...]
+    decisions: int
+    errors: int
+    fencing_rejections: int
+    final_epochs: tuple[int, ...]
+
+    def summary(self) -> dict[str, float]:
+        values = list(self.latencies)
+        return {
+            "p50": percentile(values, 0.50),
+            "p99": percentile(values, 0.99),
+            "mean": sum(values) / len(values),
+            "max": max(values),
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "config": self.config.to_dict(),
+            "latencies": list(self.latencies),
+            "summary": self.summary(),
+            "decisions": self.decisions,
+            "errors": self.errors,
+            "fencing_rejections": self.fencing_rejections,
+            "final_epochs": list(self.final_epochs),
+        }
+
+
+def run_failover_benchmark(
+    config: FailoverBenchConfig | None = None,
+) -> FailoverBenchResult:
+    """Measure crash→first-post-takeover-decision latency over trials."""
+    config = config or FailoverBenchConfig()
+    latencies: list[float] = []
+    decisions = 0
+    errors = 0
+    fenced = 0
+    epochs: list[int] = []
+    for trial in range(config.trials):
+        outcome = asyncio.run(_failover_trial(config, trial))
+        latencies.append(outcome["latency"])  # type: ignore[arg-type]
+        decisions += int(outcome["decisions"])  # type: ignore[call-overload]
+        errors += int(outcome["errors"])  # type: ignore[call-overload]
+        fenced += int(outcome["fencing_rejections"])  # type: ignore[call-overload]
+        epochs.append(int(outcome["epoch"]))  # type: ignore[call-overload]
+    return FailoverBenchResult(
+        config=config,
+        latencies=tuple(latencies),
+        decisions=decisions,
+        errors=errors,
+        fencing_rejections=fenced,
+        final_epochs=tuple(epochs),
+    )
+
+
+async def _failover_trial(
+    config: FailoverBenchConfig, trial: int
+) -> dict[str, object]:
+    """One crash/takeover cycle on a fresh federated service."""
+    net = ShareBackupNetwork(config.k, config.n)
+    controller = ShareBackupController(
+        net,
+        degrade_to_reroute=True,
+        rng=derive_seed(config.seed, f"failover-controller-{trial}"),
+    )
+    cluster = ControllerCluster(controller=controller)
+    service = RecoveryService(
+        controller,
+        clock=WallClock(),
+        config=ServiceConfig(
+            report_queue_size=config.report_queue_size,
+            # Same rationale as the SLO load test: failures arrive by
+            # report, so the boundary scan is parked.
+            scan_interval=3600.0,
+        ),
+        cluster=cluster,
+        wal=DecisionWAL(),
+    )
+    await service.start()
+    service.federation.arm_primary_crash(after_decisions=config.crash_after)
+    rng = ensure_rng(derive_seed(config.seed, f"failover-targets-{trial}"))
+    slots = sorted(
+        slot
+        for group in net.groups.values()
+        for slot in group.logical_slots
+    )
+    order = rng.permutation(len(slots))
+    count = min(config.failures_per_trial, len(slots))
+    accepted = 0
+    for i in range(count):
+        report = FailureReport(
+            kind="node",
+            logical=slots[int(order[i])],
+            reported_at=service.clock.now(),
+        )
+        if service.submit_failure(report):
+            accepted += 1
+    try:
+        await _await_decisions(service, accepted)
+        if not service.primary_crashes:
+            raise RuntimeError(
+                "armed primary crash never fired "
+                f"({len(service.decisions)} decisions)"
+            )
+        crash = service.primary_crashes[0]
+        crash_now = float(crash["now"])  # type: ignore[arg-type]
+        crash_epoch = int(crash["epoch"])  # type: ignore[call-overload]
+        post = [
+            d.decided_at
+            for d in service.decisions
+            if d.epoch >= crash_epoch
+        ]
+        if not post:
+            raise RuntimeError("no post-takeover decision to measure")
+        latency = max(0.0, min(post) - crash_now)
+    finally:
+        await service.stop()
+    return {
+        "latency": latency,
+        "decisions": len(service.decisions),
+        "errors": len(service.errors),
+        "fencing_rejections": len(service.fencing_rejections),
+        "epoch": service.federation.epoch,
+    }

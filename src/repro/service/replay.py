@@ -19,7 +19,14 @@ faults play out against a running :class:`RecoveryService` under a
 * the hardware/control-plane kinds (``stuck-crosspoint``,
   ``transient-reconfig``, ``cs-reboot``, ``pool-drain``,
   ``controller-crash``) mutate the same state the chaos harness
-  mutates, on the virtual timeline.
+  mutates, on the virtual timeline — ``controller-crash`` through the
+  *service's own* :class:`~repro.service.federation.ServiceFederation`,
+  so chaos schedules exercise the same election code the REST service
+  runs;
+* ``service-primary-crash`` arms a decision-count trigger that deposes
+  the primary synchronously inside a decision callback — genuinely
+  mid-batch — proving the WAL + epoch-fencing takeover path keeps the
+  decision stream identical to an uncrashed run.
 
 Because the clock is virtual and every queue/batch boundary is settled
 between time advances, a replay is a pure function of
@@ -47,6 +54,7 @@ from .clock import VirtualClock
 from .ingest import Heartbeat
 from .resolver import FailoverDecision, report_outcome
 from .service import RecoveryService, ServiceConfig
+from .wal import DecisionWAL
 
 __all__ = [
     "DecisionKey",
@@ -114,6 +122,9 @@ class ReplayOutcome:
     errors: int
     events_published: int
     metrics: dict[str, object]
+    fencing_rejections: int = 0
+    primary_crashes: int = 0
+    final_epoch: int = 0
 
     def decision_keys(self) -> tuple[DecisionKey, ...]:
         """Sorted (order-insensitive) decision identities."""
@@ -134,6 +145,9 @@ class ReplayOutcome:
             "errors": self.errors,
             "events_published": self.events_published,
             "outcomes": self.outcome_counts(),
+            "fencing_rejections": self.fencing_rejections,
+            "primary_crashes": self.primary_crashes,
+            "final_epoch": self.final_epoch,
         }
 
 
@@ -164,10 +178,15 @@ class ServiceReplay:
         )
         self.cluster = ControllerCluster(controller=self.controller)
         self.clock = VirtualClock()
+        # The cluster and an (in-memory) WAL ride inside the service, so
+        # chaos-injected crashes run the same federation/takeover code a
+        # deployed service runs — not a detached side-channel cluster.
         self.service = RecoveryService(
             self.controller,
             clock=self.clock,
             config=service_config or ServiceConfig(),
+            cluster=self.cluster,
+            wal=DecisionWAL(),
         )
         #: Physical switches whose heartbeats stopped (dead switches).
         self.silenced: set[str] = set()
@@ -223,6 +242,9 @@ class ServiceReplay:
             errors=len(self.service.errors),
             events_published=self.service.bus.published,
             metrics=metrics,
+            fencing_rejections=len(self.service.fencing_rejections),
+            primary_crashes=len(self.service.primary_crashes),
+            final_epoch=self.cluster.epoch,
         )
 
     # ------------------------------------------------------------------
@@ -259,6 +281,7 @@ class ServiceReplay:
             "cs-reboot": self._cs_reboot,
             "pool-drain": self._pool_drain,
             "controller-crash": self._controller_crash,
+            "service-primary-crash": self._service_primary_crash,
         }[fault.kind]
         await handler(fault)
 
@@ -320,10 +343,22 @@ class ServiceReplay:
             self.net.physical_health[spare] = False
 
     async def _controller_crash(self, fault: ChaosFault) -> None:
-        failed = self.cluster.fail_primary()
+        # Routed through the service's federation (not the raw cluster)
+        # so the service observes the election: it publishes the event
+        # and replays any incomplete WAL intents on takeover.
+        failed = self.service.federation.crash_primary()
         if failed is not None and fault.duration > 0:
             await self.clock.sleep(fault.duration)
-            self.cluster.restore_replica(failed)
+            self.service.federation.restore(failed)
+
+    async def _service_primary_crash(self, fault: ChaosFault) -> None:
+        # The crash fires ``count`` decisions from now, synchronously
+        # inside the decision callback — mid-batch by construction.  No
+        # restore: the remaining replicas carry the rest of the replay,
+        # which is exactly the takeover path under test.
+        self.service.federation.arm_primary_crash(
+            after_decisions=max(1, fault.count)
+        )
 
 
 def run_service_replay(

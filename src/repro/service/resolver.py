@@ -33,9 +33,15 @@ import asyncio
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from ..core.controller import RecoveryReport, ShareBackupController
+from ..core.controller import (
+    EpochFencedError,
+    RecoveryReport,
+    ShareBackupController,
+)
 from .clock import ServiceClock
+from .federation import ServiceFederation
 from .ingest import FailureReport
+from .wal import DecisionWAL
 
 __all__ = [
     "PendingFailure",
@@ -72,6 +78,9 @@ class PendingFailure:
     true_faulty: tuple[tuple[str, tuple], ...] = ()
     detected_at: float = 0.0  # service-clock detection/report time
     source: str = "report"  # "scan" (watchdog path) | "report" (API)
+    #: Set on items re-derived from the WAL during takeover so the
+    #: replayed item reuses its original (group, decision_seq) key.
+    wal_key: tuple[str, int] | None = None
 
     @classmethod
     def from_report(
@@ -94,6 +103,48 @@ class PendingFailure:
     def sort_key(self) -> tuple[float, str]:
         return (self.detected_at, self.logical or str(self.end_a))
 
+    def to_payload(self) -> dict:
+        """JSON-safe form for a WAL ``intent`` record."""
+        def end(value: tuple[str, tuple] | None) -> list | None:
+            return [value[0], list(value[1])] if value is not None else None
+
+        return {
+            "kind": self.kind,
+            "logical": self.logical,
+            "end_a": end(self.end_a),
+            "end_b": end(self.end_b),
+            "true_faulty": [
+                [device, list(iface)] for device, iface in self.true_faulty
+            ],
+            "detected_at": self.detected_at,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, data: dict, wal_key: tuple[str, int] | None = None
+    ) -> "PendingFailure":
+        """Re-derive a pending failure from a WAL ``intent`` payload."""
+        def end(value: object) -> tuple[str, tuple] | None:
+            if value is None:
+                return None
+            device, iface = value  # type: ignore[misc]
+            return (str(device), tuple(iface))
+
+        return cls(
+            kind=str(data["kind"]),
+            logical=str(data.get("logical", "")),
+            end_a=end(data.get("end_a")),
+            end_b=end(data.get("end_b")),
+            true_faulty=tuple(
+                (str(device), tuple(iface))
+                for device, iface in data.get("true_faulty", [])
+            ),
+            detected_at=float(data.get("detected_at", 0.0)),
+            source=str(data.get("source", "report")),
+            wal_key=wal_key,
+        )
+
 
 @dataclass(frozen=True)
 class FailoverDecision:
@@ -113,6 +164,10 @@ class FailoverDecision:
     circuit_switches_touched: int
     recovery_time: float
     source: str = "report"
+    #: The fencing epoch the committing primary held.  Deliberately
+    #: *not* part of :data:`~repro.service.replay.DecisionKey`: a
+    #: takeover changes the stamp, never the decision.
+    epoch: int = 0
 
     @classmethod
     def from_report(
@@ -122,6 +177,7 @@ class FailoverDecision:
         group: str,
         report: RecoveryReport,
         decided_at: float,
+        epoch: int = 0,
     ) -> "FailoverDecision":
         return cls(
             seq=seq,
@@ -139,6 +195,7 @@ class FailoverDecision:
             circuit_switches_touched=report.circuit_switches_touched,
             recovery_time=report.recovery_time,
             source=pending.source,
+            epoch=epoch,
         )
 
     def to_dict(self) -> dict[str, object]:
@@ -158,6 +215,7 @@ class FailoverDecision:
             "circuit_switches_touched": self.circuit_switches_touched,
             "recovery_time": self.recovery_time,
             "source": self.source,
+            "epoch": self.epoch,
         }
 
 
@@ -178,6 +236,11 @@ class FailureGroupResolver:
         on_decision: Callable[[FailoverDecision], None],
         on_error: Callable[[PendingFailure, Exception], None],
         batch_window: float = 0.0,
+        wal: DecisionWAL | None = None,
+        federation: ServiceFederation | None = None,
+        on_fenced: Callable[
+            [PendingFailure, str, int, EpochFencedError], None
+        ] | None = None,
     ) -> None:
         if batch_window < 0:
             raise ValueError(f"batch_window must be >= 0, got {batch_window}")
@@ -186,9 +249,18 @@ class FailureGroupResolver:
         self.batch_window = batch_window
         self._on_decision = on_decision
         self._on_error = on_error
+        self._on_fenced = on_fenced
+        self.wal = wal
+        self.federation = federation
         self._batch = _Batch()
         self._wakeup: asyncio.Future[None] | None = None
-        self._seq = 0
+        # Replaying over an existing WAL resumes the sequence spaces
+        # where the previous incarnation left them, so resumed work
+        # reuses its original keys instead of minting colliding ones.
+        self._seq = len(wal.committed_keys()) if wal is not None else 0
+        self._group_seq: dict[str, int] = (
+            wal.next_seqs() if wal is not None else {}
+        )
         self.batches_resolved = 0
 
     # ------------------------------------------------------------------
@@ -234,8 +306,15 @@ class FailureGroupResolver:
 
     async def _resolve_batch(self, items: list[PendingFailure]) -> None:
         groups = self._correlate(items)
+        # Every commit in this batch is stamped with the epoch observed
+        # *here*: if the primary is deposed while the batch is in
+        # flight, the remaining members fail the fence check instead of
+        # landing as the deposed primary's late writes.
+        epoch = self.federation.epoch if self.federation is not None else 0
         tasks = [
-            asyncio.ensure_future(self._resolve_group(group_id, members))
+            asyncio.ensure_future(
+                self._resolve_group(group_id, members, epoch)
+            )
             for group_id, members in groups
         ]
         if tasks:
@@ -278,7 +357,7 @@ class FailureGroupResolver:
         return "+".join(sorted(parts)) or "hosts"
 
     async def _resolve_group(
-        self, group_id: str, members: list[PendingFailure]
+        self, group_id: str, members: list[PendingFailure], epoch: int = 0
     ) -> None:
         """Commit one group's failures in order.
 
@@ -286,19 +365,70 @@ class FailureGroupResolver:
         validate-then-commit plus the retry/degradation ladder); the
         ``sleep(0)`` between members keeps one exhausted group from
         starving the others of the event loop.
+
+        With a WAL attached each member is write-ahead logged: intents
+        for the whole group land *before* the first commit, every
+        commit is fence-checked against the batch epoch, and the commit
+        record is durable before the decision callback fires — so a
+        primary crash inside that callback can never lose the decision
+        it interrupts, and replaying an already-committed key is a
+        no-op rather than a double commit.
         """
+        keyed: list[tuple[PendingFailure, int]] = []
         for pending in members:
+            seq = self._wal_seq(group_id, pending)
+            keyed.append((pending, seq))
+            if self.wal is not None:
+                self.wal.append_intent(
+                    group_id, seq, epoch, pending.to_payload()
+                )
+        for pending, seq in keyed:
+            if self.wal is not None and self.wal.is_committed(group_id, seq):
+                # Idempotent replay: this key was durably decided by a
+                # previous incarnation (or an earlier duplicate submit).
+                continue
             try:
+                if self.federation is not None:
+                    self.federation.check_fence(
+                        epoch, context=f"{group_id}:{seq}"
+                    )
                 report = self._commit(pending)
+            except EpochFencedError as exc:
+                # A deposed primary's late write.  The controller was
+                # never touched; the intent stays incomplete for the
+                # fenced-in primary to resume.
+                if self.wal is not None:
+                    self.wal.append_fence(
+                        group_id, seq, epoch, {"error": str(exc)}
+                    )
+                if self._on_fenced is not None:
+                    self._on_fenced(pending, group_id, seq, exc)
+                continue
             # Every failure is journalled through the on_error callback
             # (service error log + event stream); one poisoned failure
             # must not kill the whole resolution loop.
             except Exception as exc:  # repro: noqa[EXC001]
+                # Tombstone the key so takeover replay does not retry a
+                # commit that terminally failed (at-most-once errors).
+                if self.wal is not None:
+                    self.wal.append_commit(
+                        group_id,
+                        seq,
+                        epoch,
+                        {"error": type(exc).__name__, "detail": str(exc)},
+                    )
                 self._on_error(pending, exc)
                 continue
             decision = FailoverDecision.from_report(
-                self._next_seq(), pending, group_id, report, self.clock.now()
+                self._next_seq(),
+                pending,
+                group_id,
+                report,
+                self.clock.now(),
+                epoch=epoch,
             )
+            if self.wal is not None:
+                self.wal.append_commit(group_id, seq, epoch, decision.to_dict())
             self._on_decision(decision)
             await asyncio.sleep(0)
 
@@ -320,3 +450,15 @@ class FailureGroupResolver:
         seq = self._seq
         self._seq += 1
         return seq
+
+    def _wal_seq(self, group_id: str, pending: PendingFailure) -> int:
+        """Allocate (or reuse) an item's per-group decision_seq.
+
+        Work re-derived from the WAL carries its original key; fresh
+        work draws the next sequence number for its group.
+        """
+        if pending.wal_key is not None and pending.wal_key[0] == group_id:
+            return pending.wal_key[1]
+        nxt = self._group_seq.get(group_id, 0)
+        self._group_seq[group_id] = nxt + 1
+        return nxt

@@ -27,14 +27,20 @@ from __future__ import annotations
 
 import asyncio
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from ..core.controller import ShareBackupController
+from ..core.controller import (
+    ControllerCluster,
+    EpochFencedError,
+    ShareBackupController,
+)
 from .clock import ServiceClock, WallClock
 from .events import EventBus
+from .federation import ServiceFederation
 from .fleet import FleetRegistry
 from .ingest import FailureReport, Heartbeat, ProbeQueue
 from .resolver import FailoverDecision, FailureGroupResolver, PendingFailure
+from .wal import DecisionWAL
 
 __all__ = ["ServiceConfig", "RecoveryService", "percentile"]
 
@@ -86,6 +92,8 @@ class RecoveryService:
         controller: ShareBackupController,
         clock: ServiceClock | None = None,
         config: ServiceConfig | None = None,
+        cluster: ControllerCluster | None = None,
+        wal: DecisionWAL | None = None,
     ) -> None:
         self.controller = controller
         self.clock: ServiceClock = clock if clock is not None else WallClock()
@@ -98,13 +106,23 @@ class RecoveryService:
         )
         self.bus = EventBus()
         self.fleet = FleetRegistry()
+        self.federation = ServiceFederation(cluster)
+        self.wal = wal
         self.resolver = FailureGroupResolver(
             controller,
             self.clock,
             on_decision=self._record_decision,
             on_error=self._record_error,
             batch_window=self.config.batch_window,
+            wal=wal,
+            federation=self.federation,
+            on_fenced=self._record_fenced,
         )
+        #: Audit of commits rejected by epoch fencing, service view.
+        self.fencing_rejections: list[dict[str, object]] = []
+        #: Chaos-induced primary crashes observed by this service.
+        self.primary_crashes: list[dict[str, object]] = []
+        self.federation.add_election_listener(self._on_election)
         self.decisions: list[FailoverDecision] = []
         self.errors: list[dict[str, object]] = []
         #: (physical switch, detection time) in scan order.
@@ -151,6 +169,22 @@ class RecoveryService:
         self.bus.publish(
             {"type": "service-started", "now": self.clock.now()}
         )
+        # Cold-start takeover: a restarted service replaying an existing
+        # WAL resumes every intent the previous incarnation logged but
+        # never committed.  Idempotent — committed keys are skipped at
+        # commit time, so starting over the same log twice re-emits
+        # nothing.
+        resumed = self._resume_incomplete()
+        if resumed:
+            self.bus.publish(
+                {
+                    "type": "takeover",
+                    "reason": "restart",
+                    "resumed": resumed,
+                    "epoch": self.federation.epoch,
+                    "now": self.clock.now(),
+                }
+            )
 
     async def stop(self) -> None:
         """Cancel the coroutines and end every event stream."""
@@ -262,6 +296,91 @@ class RecoveryService:
         self.decisions.append(decision)
         self.bus.publish(decision.to_dict())
         self._publish_new_degradations()
+        # Armed ``service-primary-crash`` faults fire here — synchronously
+        # inside the decision callback, i.e. genuinely mid-batch.  The
+        # WAL commit for *this* decision already landed (the resolver
+        # appends before calling us), so the interrupted decision
+        # survives; the batch's remaining members get fenced and resumed
+        # under the new epoch.
+        crashed = self.federation.note_decision()
+        if crashed is not None:
+            self.primary_crashes.append(
+                {
+                    "type": "primary-crashed",
+                    "replica": crashed,
+                    "epoch": self.federation.epoch,
+                    "now": self.clock.now(),
+                }
+            )
+            self.bus.publish(dict(self.primary_crashes[-1]))
+
+    def _record_fenced(
+        self,
+        pending: PendingFailure,
+        group_id: str,
+        seq: int,
+        exc: EpochFencedError,
+    ) -> None:
+        """Audit a fenced commit and requeue the work under the new epoch.
+
+        The resubmitted item carries its original WAL key, so when the
+        next batch (running under the fenced-in primary's epoch) reaches
+        it, the intent is recognised rather than re-minted — and if a
+        concurrent takeover already resumed and committed it, the
+        commit-time idempotency guard drops the duplicate.
+        """
+        record: dict[str, object] = {
+            "type": "fencing-rejected",
+            "group": group_id,
+            "decision_seq": seq,
+            "holder_epoch": exc.holder_epoch,
+            "current_epoch": exc.current_epoch,
+            "kind": pending.kind,
+            "logical": pending.logical,
+            "now": self.clock.now(),
+        }
+        self.fencing_rejections.append(record)
+        self.bus.publish(dict(record))
+        if self.federation.primary is not None:
+            self.resolver.submit(
+                replace(pending, wal_key=(group_id, seq))
+            )
+
+    def _on_election(self, primary: str | None, epoch: int) -> None:
+        """A new primary is seated: announce it and replay the WAL."""
+        self.bus.publish(
+            {
+                "type": "election",
+                "primary": primary,
+                "epoch": epoch,
+                "now": self.clock.now(),
+            }
+        )
+        if primary is None:
+            return
+        resumed = self._resume_incomplete()
+        if resumed:
+            self.bus.publish(
+                {
+                    "type": "takeover",
+                    "reason": "election",
+                    "resumed": resumed,
+                    "epoch": epoch,
+                    "now": self.clock.now(),
+                }
+            )
+
+    def _resume_incomplete(self) -> int:
+        """Resubmit every WAL intent that never reached a commit."""
+        if self.wal is None:
+            return 0
+        resumed = 0
+        for record in self.wal.incomplete():
+            self.resolver.submit(
+                PendingFailure.from_payload(record.data, wal_key=record.key)
+            )
+            resumed += 1
+        return resumed
 
     def _record_error(self, pending: PendingFailure, exc: Exception) -> None:
         record: dict[str, object] = {
@@ -331,6 +450,14 @@ class RecoveryService:
             "report_queue": self._queue_metrics(self.reports),
             "latency": self.latency_summary(),
             "outcomes": self.outcome_counts(),
+            "federation": {
+                "attached": self.federation.attached,
+                "primary": self.federation.primary,
+                "epoch": self.federation.epoch,
+                "fencing_rejections": len(self.fencing_rejections),
+                "primary_crashes": len(self.primary_crashes),
+            },
+            "wal": self.wal.stats() if self.wal is not None else None,
         }
 
     @staticmethod

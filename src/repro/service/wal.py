@@ -1,0 +1,287 @@
+"""The write-ahead decision log: append-before-commit durability.
+
+ShareBackup's §4 keeps multiple controller replicas so recovery
+survives the recovery machinery itself failing.  Replicas alone are not
+enough for the *service* path: a primary that crashes mid-batch in the
+:class:`~repro.service.resolver.FailureGroupResolver` would otherwise
+lose in-flight failures (never decided) or double-commit them (decided
+by both the deposed primary and its successor).  The
+:class:`DecisionWAL` closes that gap with three record types, one JSON
+line each:
+
+* ``intent`` — appended *before* the controller commit, carrying the
+  serialized :class:`~repro.service.resolver.PendingFailure` payload.
+  An intent without a matching commit is exactly the work a newly
+  elected primary must resume.
+* ``commit`` — appended after the controller commit succeeds and before
+  the decision is published, carrying the decision payload.  The pair
+  key ``(failure_group_id, decision_seq)`` makes replay idempotent:
+  a key that is committed is never re-executed.
+* ``fence`` — an audit record for a commit rejected by epoch fencing
+  (a deposed primary's late write).  Fences never resurrect work; the
+  intent they annotate stays incomplete until a fenced-in primary
+  resumes it.
+
+Every record carries a CRC-32 checksum over its canonical JSON body.
+Opening a log recovers it line by line: a corrupt *tail* (torn final
+write — the crash case) is truncated and forgotten; a corrupt record
+*followed by valid ones* is real corruption and raises
+:class:`WalCorruptionError` rather than silently dropping decisions
+from the middle of history.
+
+All I/O here is synchronous and runs from the resolver's synchronous
+commit path — never inside an ``await`` gap — so the append is ordered
+before the decision callback by construction (and SVC001's no-blocking-
+calls-in-coroutines rule does not apply to these plain methods).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["WalRecord", "WalCorruptionError", "DecisionWAL"]
+
+#: The record vocabulary; anything else fails checksum-independent decode.
+RECORD_TYPES: tuple[str, ...] = ("intent", "commit", "fence")
+
+
+class WalCorruptionError(Exception):
+    """A corrupt record *inside* the log (not a torn tail)."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable log entry, keyed by ``(group, group_seq)``."""
+
+    type: str  # "intent" | "commit" | "fence"
+    group: str  # failure-group id
+    group_seq: int  # per-group decision sequence number
+    epoch: int  # fencing epoch the writer held
+    data: dict
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.group, self.group_seq)
+
+
+def _canonical(body: dict) -> str:
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _encode(record: WalRecord) -> str:
+    """One JSON line: the record body plus a CRC over its canonical form."""
+    body = {
+        "type": record.type,
+        "group": record.group,
+        "group_seq": record.group_seq,
+        "epoch": record.epoch,
+        "data": record.data,
+    }
+    crc = zlib.crc32(_canonical(body).encode("utf-8")) & 0xFFFFFFFF
+    body["crc"] = crc
+    return _canonical(body)
+
+
+def _decode(line: str) -> WalRecord | None:
+    """Parse one line back into a record; ``None`` for anything torn."""
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(payload, dict) or "crc" not in payload:
+        return None
+    crc = payload.pop("crc")
+    try:
+        expected = zlib.crc32(_canonical(payload).encode("utf-8")) & 0xFFFFFFFF
+    except (TypeError, ValueError):
+        return None
+    if crc != expected:
+        return None
+    try:
+        record = WalRecord(
+            type=str(payload["type"]),
+            group=str(payload["group"]),
+            group_seq=int(payload["group_seq"]),
+            epoch=int(payload["epoch"]),
+            data=dict(payload["data"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+    if record.type not in RECORD_TYPES:
+        return None
+    return record
+
+
+class DecisionWAL:
+    """Append-before-commit decision log with idempotent replay.
+
+    ``path=None`` keeps the log purely in memory — same semantics, no
+    durability — which is what the deterministic chaos replays use (the
+    crash they simulate is a *primary* crash inside one process, not a
+    process crash).  With a path, records additionally persist as JSONL
+    and survive a process restart.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: list[WalRecord] = []
+        #: intents in append order (dict preserves insertion order).
+        self._intents: dict[tuple[str, int], WalRecord] = {}
+        self._commits: dict[tuple[str, int], WalRecord] = {}
+        self._fences: list[WalRecord] = []
+        self.truncated_bytes = 0
+        self._file = None
+        if self.path is not None:
+            self._recover()
+            self._file = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Load the log, truncating a torn tail; bail on mid-log damage."""
+        assert self.path is not None
+        if not self.path.exists():
+            return
+        raw = self.path.read_bytes()
+        good_bytes = 0
+        bad_at: int | None = None
+        offset = 0
+        for chunk in raw.split(b"\n"):
+            line_end = offset + len(chunk) + 1  # +1 for the newline
+            if chunk:
+                record = _decode(chunk.decode("utf-8", errors="replace"))
+                if record is None:
+                    # A record without a trailing newline is also treated
+                    # as torn: the write was cut mid-line.
+                    if bad_at is None:
+                        bad_at = offset
+                elif bad_at is not None:
+                    raise WalCorruptionError(
+                        f"{self.path}: valid record at byte {offset} after "
+                        f"corrupt record at byte {bad_at}; refusing to "
+                        "silently drop decisions from the middle of the log"
+                    )
+                elif line_end <= len(raw):  # complete line (newline present)
+                    self._admit(record)
+                    good_bytes = line_end
+                else:  # valid JSON but no newline: torn mid-flush
+                    if bad_at is None:
+                        bad_at = offset
+            offset = line_end
+        if good_bytes < len(raw):
+            self.truncated_bytes = len(raw) - good_bytes
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_bytes)
+
+    def _admit(self, record: WalRecord) -> None:
+        self._records.append(record)
+        if record.type == "intent":
+            self._intents.setdefault(record.key, record)
+        elif record.type == "commit":
+            self._commits.setdefault(record.key, record)
+        else:
+            self._fences.append(record)
+
+    # ------------------------------------------------------------------
+    # the append side (idempotent by key)
+    # ------------------------------------------------------------------
+
+    def append_intent(
+        self, group: str, group_seq: int, epoch: int, payload: dict
+    ) -> bool:
+        """Log intent to decide ``(group, group_seq)``; no-op if known."""
+        key = (group, group_seq)
+        if key in self._intents or key in self._commits:
+            return False
+        self._append(WalRecord("intent", group, group_seq, epoch, payload))
+        return True
+
+    def append_commit(
+        self, group: str, group_seq: int, epoch: int, payload: dict
+    ) -> bool:
+        """Log a committed decision; no-op if the key already committed."""
+        key = (group, group_seq)
+        if key in self._commits:
+            return False
+        self._append(WalRecord("commit", group, group_seq, epoch, payload))
+        return True
+
+    def append_fence(
+        self, group: str, group_seq: int, epoch: int, detail: dict
+    ) -> None:
+        """Audit one fencing rejection (always appended; never replayed)."""
+        self._append(WalRecord("fence", group, group_seq, epoch, detail))
+
+    def _append(self, record: WalRecord) -> None:
+        self._admit(record)
+        if self._file is not None:
+            self._file.write(_encode(record) + "\n")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    # ------------------------------------------------------------------
+    # the replay side
+    # ------------------------------------------------------------------
+
+    def is_committed(self, group: str, group_seq: int) -> bool:
+        return (group, group_seq) in self._commits
+
+    def incomplete(self) -> list[WalRecord]:
+        """Intents without commits, in original append order.
+
+        This is the takeover work list: everything a deposed primary
+        promised to decide but never durably decided.  Calling recovery
+        twice is safe — once a key commits it leaves this list, so a
+        second replay resumes nothing.
+        """
+        return [
+            record
+            for key, record in self._intents.items()
+            if key not in self._commits
+        ]
+
+    def committed_keys(self) -> list[tuple[str, int]]:
+        return list(self._commits)
+
+    def next_seqs(self) -> dict[str, int]:
+        """Per-group next decision_seq (max known + 1) for the resolver."""
+        highest: dict[str, int] = {}
+        for group, group_seq in (*self._intents, *self._commits):
+            highest[group] = max(highest.get(group, -1), group_seq)
+        return {group: seq + 1 for group, seq in highest.items()}
+
+    @property
+    def records(self) -> tuple[WalRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def fences(self) -> tuple[WalRecord, ...]:
+        return tuple(self._fences)
+
+    def stats(self) -> dict:
+        return {
+            "records": len(self._records),
+            "intents": len(self._intents),
+            "commits": len(self._commits),
+            "fences": len(self._fences),
+            "incomplete": len(self.incomplete()),
+            "truncated_bytes": self.truncated_bytes,
+            "path": str(self.path) if self.path is not None else None,
+        }
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "DecisionWAL":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()

@@ -40,7 +40,7 @@ EXPECTED_CODES = {
     "EXC001", "EXC002",
     "CHS001",
     "PERF001",
-    "SVC001",
+    "SVC001", "SVC014",
 }
 
 PROJECT_CODES = {
@@ -630,6 +630,86 @@ class TestRuleFixtures:
         )
         assert "SVC001" not in codes(
             check_source(dedent(source), module="repro.experiments.sweep")
+        )
+
+    def test_svc014_commit_outside_resolver_fires(self, tmp_path, capsys):
+        exit_code = lint_file(
+            tmp_path,
+            """\
+            def recover(controller, name):
+                return controller.handle_node_failure(name)
+            """,
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "SVC014" in out
+        assert "handle_node_failure" in out
+
+    def test_svc014_commit_sanctioned_in_resolver(self):
+        source = """\
+            def _commit(self, pending):
+                return self.controller.handle_node_failure(pending.logical)
+            """
+        assert "SVC014" not in codes(
+            check_source(dedent(source), module="repro.service.resolver")
+        )
+        assert "SVC014" in codes(
+            check_source(dedent(source), module="repro.service.service")
+        )
+
+    def test_svc014_cluster_mutation_outside_federation_fires(self):
+        source = """\
+            def chaos_step(self):
+                self.cluster.fail_primary()
+                self.cluster.restore_replica("c1")
+            """
+        diagnostics = [
+            d
+            for d in check_source(
+                dedent(source), module="repro.service.replay"
+            )
+            if d.code == "SVC014"
+        ]
+        assert len(diagnostics) == 2
+        assert "SVC014" not in codes(
+            check_source(dedent(source), module="repro.service.federation")
+        )
+
+    def test_svc014_direct_epoch_write_fires(self):
+        source = """\
+            def depose(cluster):
+                cluster.epoch += 1
+                cluster._primary = None
+            """
+        diagnostics = [
+            d
+            for d in check_source(
+                dedent(source), module="repro.service.service"
+            )
+            if d.code == "SVC014"
+        ]
+        assert len(diagnostics) == 2
+
+    def test_svc014_scoped_to_service_modules(self):
+        source = """\
+            def run(controller, cluster):
+                controller.handle_node_failure("A.0.0")
+                cluster.fail_primary()
+            """
+        assert "SVC014" not in codes(
+            check_source(dedent(source), module="repro.experiments.sweep")
+        )
+
+    def test_svc014_reading_cluster_state_is_fine(self):
+        source = """\
+            def metrics(self):
+                return {
+                    "epoch": self.cluster.epoch,
+                    "elections": self.cluster.elections,
+                }
+            """
+        assert "SVC014" not in codes(
+            check_source(dedent(source), module="repro.service.service")
         )
 
 

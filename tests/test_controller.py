@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import (
     ControllerCluster,
+    EpochFencedError,
     HumanInterventionRequired,
     RecoveryTimeModel,
     ShareBackupController,
@@ -241,3 +242,56 @@ class TestControllerCluster:
     def test_needs_replicas(self):
         with pytest.raises(ValueError):
             ControllerCluster(())
+
+    def test_epoch_is_monotonic_across_churn(self):
+        c = ControllerCluster()
+        assert c.epoch == 1  # the initial election seats an epoch
+        seen = [c.epoch]
+        for _ in range(3):
+            c.fail_primary()
+            seen.append(c.epoch)
+            c.restore_replica(sorted(c.replicas)[0])
+            seen.append(c.epoch)
+        assert seen == sorted(seen)  # never goes backwards
+        assert c.epoch == 7  # every primary change bumps it exactly once
+        c.fail_replica("ctrl-2")  # not primary: no election, no bump
+        assert c.epoch == 7
+
+    def test_check_fence_passes_then_rejects_deposed_holder(self):
+        c = ControllerCluster()
+        held = c.epoch
+        c.check_fence(held)  # current holder: passes silently
+        c.fail_primary()
+        with pytest.raises(EpochFencedError) as excinfo:
+            c.check_fence(held, context="g:0")
+        assert excinfo.value.holder_epoch == held
+        assert excinfo.value.current_epoch == c.epoch
+        # The rejection is audited, not just raised.
+        assert c.fencing_rejections == [{
+            "type": "fencing-rejected",
+            "holder_epoch": held,
+            "current_epoch": c.epoch,
+            "primary": c.primary,
+            "context": "g:0",
+        }]
+
+    def test_check_fence_rejects_when_no_primary(self):
+        c = ControllerCluster(("a", "b"))
+        c.fail_primary()
+        c.fail_primary()
+        assert c.primary is None
+        with pytest.raises(EpochFencedError):
+            c.check_fence(c.epoch)
+
+    def test_election_listener_sees_each_seating(self):
+        c = ControllerCluster()
+        seatings: list[tuple[str | None, int]] = []
+        c.add_election_listener(
+            lambda primary, epoch: seatings.append((primary, epoch))
+        )
+        c.fail_primary()
+        c.fail_primary()
+        c.restore_replica("ctrl-0")
+        assert seatings == [
+            ("ctrl-1", 2), ("ctrl-2", 3), ("ctrl-0", 4),
+        ]

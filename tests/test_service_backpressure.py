@@ -5,7 +5,10 @@ Two invariants, enforced under arbitrary arrival/drain interleavings:
 * the bound holds — a :class:`ProbeQueue` never holds more than
   ``maxsize`` items, whatever the policy does to achieve that;
 * the conservation law — every submitted probe is accounted for exactly
-  once: ``submitted == rejected + dropped_oldest + dequeued + queued``.
+  once: ``submitted == rejected + dropped_oldest + dequeued
+  + lost_on_crash + queued`` — including across crash/restart
+  boundaries, where the queue's in-flight probes die with the process
+  and must move to ``lost_on_crash`` rather than vanish from the books.
 
 Plus the policy semantics those invariants do not pin on their own:
 ``reject`` refuses the newcomer (FIFO of survivors intact), while
@@ -160,5 +163,57 @@ def test_counters_to_dict_round_trip():
                              dequeued=1)
     assert counters.to_dict() == {
         "submitted": 5, "rejected": 1, "dropped_oldest": 2, "dequeued": 1,
+        "lost_on_crash": 0,
     }
     assert counters.accounted(queued_now=1) == 5
+    assert QueueCounters.from_dict(counters.to_dict()) == counters
+
+
+# ----------------------------------------------------------------------
+# the crash/restart boundary
+# ----------------------------------------------------------------------
+
+# An interleaving that may also crash: the queue snapshots and restarts,
+# losing whatever was in flight — but never losing the accounting.
+crash_operations = st.lists(
+    st.sampled_from(["offer", "get", "crash"]), min_size=0, max_size=200
+)
+
+
+@given(bounds, policies, crash_operations)
+@settings(max_examples=200, deadline=None)
+def test_conservation_survives_crash_restart(maxsize, policy, ops):
+    queue = ProbeQueue(maxsize, policy)
+    expected_lost = 0
+    submitted = 0
+    for index, op in enumerate(ops):
+        if op == "offer":
+            queue.offer(Heartbeat(f"sw-{index}", float(index)))
+            submitted += 1
+        elif op == "get":
+            queue.get_nowait()
+        else:  # crash: snapshot the books, restart on an empty queue
+            expected_lost += len(queue)
+            queue = ProbeQueue.restore(queue.snapshot())
+            assert len(queue) == 0  # queued probes are process memory
+        # The law holds after *every* step, crashes included.
+        counters = queue.counters
+        assert counters.submitted == submitted
+        assert counters.submitted == counters.accounted(len(queue))
+        assert counters.lost_on_crash == expected_lost
+    # Restart preserves configuration alongside the books.
+    restored = ProbeQueue.restore(queue.snapshot())
+    assert (restored.maxsize, restored.policy) == (maxsize, policy)
+    assert restored.counters.submitted == submitted
+    assert restored.counters.submitted == restored.counters.accounted(0)
+
+
+def test_restore_books_in_flight_probes_as_lost():
+    queue = ProbeQueue(4, "drop-oldest")
+    for index in range(3):
+        queue.offer(Heartbeat(f"sw-{index}", float(index)))
+    queue.get_nowait()
+    restored = ProbeQueue.restore(queue.snapshot())
+    assert restored.counters.lost_on_crash == 2  # the two still queued
+    assert restored.counters.dequeued == 1
+    assert restored.counters.submitted == restored.counters.accounted(0)

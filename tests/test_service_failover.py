@@ -1,0 +1,247 @@
+"""Crash-tolerant takeover: the decision stream survives the primary.
+
+The acceptance theorem of the federation work: crash the primary *in
+the middle of a resolver batch* and the post-takeover decision stream
+is identical to the uncrashed run — same decision identities, same
+outcomes, same order within each failure group — differing only in the
+fencing-epoch stamps.  Alongside it, the two safety halves:
+
+* **at-most-once** — replaying the write-ahead log (takeover, restart,
+  or both) never commits a ``(failure_group, decision_seq)`` twice;
+* **fencing** — the deposed primary's late writes are *rejected*, and
+  the rejection is auditable at every layer (cluster audit list,
+  service event record, WAL fence record).
+"""
+
+import asyncio
+
+from repro.chaos.faults import ChaosFault, FaultSchedule
+from repro.chaos.harness import ChaosHarness, ChaosScenarioConfig
+from repro.core.controller import ControllerCluster, ShareBackupController
+from repro.core.sharebackup import ShareBackupNetwork
+from repro.rng import derive_seed
+from repro.service import (
+    DecisionWAL,
+    RecoveryService,
+    ServiceConfig,
+    ServiceReplay,
+    VirtualClock,
+    decision_key,
+    report_decision_key,
+)
+from repro.service.resolver import PendingFailure
+
+
+def storm_victims(k, n, count=5):
+    """``count`` distinct agg/core switches spread across failure groups."""
+    net = ShareBackupNetwork(k, n)
+    tree = net.logical
+    victims = [tree.agg_switches(pod)[0] for pod in range(k)]
+    victims.extend(tree.core_switches())
+    return victims[:count]
+
+
+def simultaneous_storm(seed, victims, crash_after=None):
+    """Every victim dies at the same instant → one resolver batch.
+
+    With ``crash_after`` the primary is armed to crash mid-batch, after
+    that many decisions have been committed.
+    """
+    faults = [
+        ChaosFault(0.01, "silent-node-failure", victim) for victim in victims
+    ]
+    if crash_after is not None:
+        faults.append(
+            ChaosFault(0.0, "service-primary-crash", "primary",
+                       count=crash_after)
+        )
+    return FaultSchedule(seed=seed, faults=tuple(faults))
+
+
+def grouped_keys(decisions):
+    """Per-failure-group decision identities, in commit order."""
+    streams = {}
+    for decision in decisions:
+        streams.setdefault(decision.group, []).append(decision_key(decision))
+    return streams
+
+
+class TestMidBatchTakeover:
+    def run_pair(self, crash_after=2):
+        config = ChaosScenarioConfig(k=6, n=1, seed=3, duration=0.3)
+        victims = storm_victims(6, 1)
+        baseline = ServiceReplay(
+            config, schedule=simultaneous_storm(3, victims)
+        )
+        crashed = ServiceReplay(
+            config,
+            schedule=simultaneous_storm(3, victims, crash_after=crash_after),
+        )
+        return baseline, baseline.run(), crashed, crashed.run()
+
+    def test_decision_stream_identical_modulo_epoch(self):
+        _, a, replay_b, b = self.run_pair()
+        # The crash really happened, mid-batch, and fenced the rest of
+        # the in-flight batch.
+        assert b.primary_crashes == 1
+        assert b.fencing_rejections >= 1
+        assert a.elections == 1 and b.elections == 2
+        assert a.final_epoch == 1 and b.final_epoch == 2
+        # The theorem: identical decisions (identity, outcome, and order
+        # within each failure group) — nothing lost, nothing doubled.
+        assert len(b.decisions) == len(a.decisions) == 5
+        assert b.decision_keys() == a.decision_keys()
+        assert grouped_keys(b.decisions) == grouped_keys(a.decisions)
+        assert b.errors == a.errors == 0
+        # ...modulo the epoch stamps: the baseline commits everything
+        # under the first epoch, the crashed run finishes under the
+        # successor's.
+        assert {d.epoch for d in a.decisions} == {1}
+        assert {d.epoch for d in b.decisions} == {1, 2}
+        # Epoch is deliberately not part of the decision identity.
+        assert all(
+            len(decision_key(d)) == 6 for d in b.decisions
+        )
+
+    def test_deposed_primary_rejection_is_audited(self):
+        _, _, replay, outcome = self.run_pair()
+        cluster = replay.cluster
+        service = replay.service
+        # Layer 1: the cluster's own fencing audit.
+        assert cluster.fencing_rejections
+        for record in cluster.fencing_rejections:
+            assert record["type"] == "fencing-rejected"
+            assert record["holder_epoch"] < record["current_epoch"]
+        # Layer 2: the service event record (published on the bus too).
+        assert len(service.fencing_rejections) == outcome.fencing_rejections
+        for record in service.fencing_rejections:
+            assert record["type"] == "fencing-rejected"
+            assert record["holder_epoch"] == 1
+            assert record["current_epoch"] == 2
+        # Layer 3: the WAL's durable fence records, one per rejection.
+        assert len(service.wal.fences) == outcome.fencing_rejections
+        for fence in service.wal.fences:
+            assert fence.epoch == 1  # the epoch the deposed writer held
+        # And the fenced work was still decided — by the successor.
+        assert service.wal.incomplete() == []
+        assert len(service.wal.committed_keys()) == len(outcome.decisions)
+
+    def test_crash_depth_does_not_change_the_stream(self):
+        # Wherever in the batch the crash lands, the stream converges.
+        reference = None
+        for crash_after in (1, 3, 4):
+            _, a, _, b = self.run_pair(crash_after=crash_after)
+            assert b.decision_keys() == a.decision_keys()
+            assert b.primary_crashes == 1
+            if reference is None:
+                reference = b.decision_keys()
+            assert b.decision_keys() == reference
+
+    def test_takeover_replay_is_idempotent(self):
+        # The successor resumes via the WAL; the commit-time guard makes
+        # duplicate resubmissions (fence path + takeover path both
+        # requeue) collapse to one commit per key.
+        _, a, replay, b = self.run_pair()
+        wal = replay.service.wal
+        keys = wal.committed_keys()
+        assert len(keys) == len(set(keys)) == len(b.decisions)
+        # A second recovery pass over the same log finds nothing to do.
+        assert wal.incomplete() == []
+
+
+class TestRestartTakeover:
+    """Cold-start recovery: a new process over an existing WAL file."""
+
+    @staticmethod
+    def build_service(path, seed=11):
+        net = ShareBackupNetwork(4, 1)
+        controller = ShareBackupController(
+            net,
+            degrade_to_reroute=True,
+            rng=derive_seed(seed, "controller"),
+        )
+        cluster = ControllerCluster(controller=controller)
+        clock = VirtualClock()
+        service = RecoveryService(
+            controller,
+            clock=clock,
+            config=ServiceConfig(scan_interval=3600.0),
+            cluster=cluster,
+            wal=DecisionWAL(path),
+        )
+        return service, clock
+
+    @staticmethod
+    def run_service(path, seed=11):
+        async def scenario():
+            service, clock = TestRestartTakeover.build_service(path, seed)
+            await service.start()
+            await clock.run_all(1.0)
+            decisions = list(service.decisions)
+            await service.stop()
+            service.wal.close()
+            return decisions, service
+
+        return asyncio.run(scenario())
+
+    def test_restart_resumes_incomplete_intents_once(self, tmp_path):
+        path = tmp_path / "decisions.wal"
+        # A previous incarnation logged three intents and crashed before
+        # committing any of them.
+        net = ShareBackupNetwork(4, 1)
+        tree = net.logical
+        with DecisionWAL(path) as wal:
+            for index, victim in enumerate(
+                [tree.agg_switches(0)[0], tree.agg_switches(1)[0],
+                 tree.core_switches()[0]]
+            ):
+                pending = PendingFailure(
+                    kind="node", logical=victim, detected_at=0.0,
+                    source="scan",
+                )
+                group = net.group_of(victim).group_id
+                wal.append_intent(group, 0, 1, pending.to_payload())
+        # First restart: the cold-start takeover resumes all three.
+        decisions, service = self.run_service(path)
+        assert len(decisions) == 3
+        assert {d.logical for d in decisions} == {
+            tree.agg_switches(0)[0], tree.agg_switches(1)[0],
+            tree.core_switches()[0],
+        }
+        assert service.wal.incomplete() == []
+        # Second restart over the same log: nothing left to resume —
+        # recovery twice yields zero duplicate commits.
+        again, service = self.run_service(path)
+        assert again == []
+        assert len(service.wal.committed_keys()) == 3
+
+    def test_unwritten_wal_restart_is_a_noop(self, tmp_path):
+        decisions, service = self.run_service(tmp_path / "fresh.wal")
+        assert decisions == []
+        assert service.wal.stats()["records"] == 0
+
+
+class TestControllerStormProfile:
+    def test_storm_ab_identity_and_churn(self):
+        # The crash-heavy generated profile: repeated primary crashes
+        # (with restores), a mid-batch service-primary-crash, and a
+        # heartbeat-loss window.  Decision identity with the call-driven
+        # harness must survive all of it, and the churn must be real.
+        config = ChaosScenarioConfig(
+            k=4, n=1, seed=5, duration=0.2, profile="controller-storm"
+        )
+        harness = ChaosHarness(config)
+        harness.run()
+        ab_keys = tuple(
+            sorted(report_decision_key(r) for r in harness.sim.reports)
+        )
+        replay = ServiceReplay(config)
+        outcome = replay.run()
+        assert outcome.decision_keys() == ab_keys
+        assert outcome.decisions, "storm produced no decisions at all"
+        assert outcome.errors == 0
+        assert outcome.elections >= 3  # initial + crash churn
+        assert outcome.final_epoch == outcome.elections
+        assert outcome.primary_crashes >= 1  # the armed mid-batch crash
+        # Determinism: a pure function of (config, schedule).
+        assert ServiceReplay(config).run().to_dict() == outcome.to_dict()
