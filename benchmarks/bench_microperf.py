@@ -9,11 +9,15 @@ regressions (the allocator once cost 2.6× end-to-end before its segment
 hash was fixed; see docs/simulator.md).
 """
 
+import numpy as np
+import pytest
+
 from repro.core import ImpersonationTables, ShareBackupNetwork
 from repro.rng import ensure_rng
 from repro.routing import EcmpSelector, Packet
 from repro.routing.paths import enumerate_edge_paths
 from repro.simulation import allocate_dense, max_min_rates
+from repro.simulation.columnar import ColumnarWorkspace, pack_paths, waterfill
 from repro.simulation.fairshare import AllocatorWorkspace
 from repro.topology import FatTree
 
@@ -96,6 +100,50 @@ def test_perf_allocate_dense_many_components(benchmark):
     workspace = AllocatorWorkspace(len(caps))
     rates = benchmark(allocate_dense, pairs, caps, workspace)
     assert len(rates) == num_comps * flows_per
+
+
+def _columnar_problem(num_flows: int, seed: int = 7):
+    """The same instance again, packed the way the vectorized backend
+    holds it: padded segment matrix, capacity array, reused workspace,
+    and the incrementally-maintained incidence."""
+    pairs, caps = _dense_problem(num_flows, seed)
+    caps_arr = np.asarray(caps, dtype=np.float64)
+    matrix = pack_paths([path for _, path in pairs], len(caps))
+    workspace = ColumnarWorkspace(len(caps))
+    incidence = np.bincount(matrix.ravel(), minlength=len(caps) + 1)
+    return matrix, caps_arr, workspace, incidence
+
+
+def test_perf_waterfill_large(benchmark):
+    """The batched water-fill kernel alone on the 2000-flow instance —
+    the vectorized engine's per-reallocation cost floor."""
+    matrix, caps, workspace, incidence = _columnar_problem(2000)
+    rates = benchmark(waterfill, matrix, caps, workspace, incidence)
+    assert rates.shape[0] == 2000
+
+
+@pytest.mark.parametrize("backend", ["oracle", "incremental", "vectorized"])
+def test_perf_reallocation_backend(benchmark, backend):
+    """One full reallocation of the 2000-flow instance per backend, in
+    exactly the shape each engine mode feeds its allocator: the oracle
+    re-interns from dicts, the incremental solves the dense pre-interned
+    problem with a reused workspace, the vectorized one runs the batched
+    kernel over the packed matrix.  All three produce bit-identical
+    rates; the spread between their rounds is the engine-mode tradeoff
+    quantified in docs/simulator.md."""
+    if backend == "oracle":
+        flow_segments, capacities = _allocation_problem(2000)
+        rates = benchmark(max_min_rates, flow_segments, capacities)
+        assert len(rates) == 2000
+    elif backend == "incremental":
+        pairs, caps = _dense_problem(2000)
+        workspace = AllocatorWorkspace(len(caps))
+        rates = benchmark(allocate_dense, pairs, caps, workspace)
+        assert len(rates) == 2000
+    else:
+        matrix, caps, workspace, incidence = _columnar_problem(2000)
+        rates = benchmark(waterfill, matrix, caps, workspace, incidence)
+        assert rates.shape[0] == 2000
 
 
 def test_perf_ecmp_selection(benchmark):

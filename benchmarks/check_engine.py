@@ -1,0 +1,108 @@
+"""Engine regression gate: fresh Fig-1(c) replay vs the committed round.
+
+CI's bench-smoke job runs the replay benchmarks with
+``--benchmark-disable`` — correctness only, no timing artifact.  This
+script closes the loop the same way ``check_slo.py`` does for the
+service: it re-runs the Figure 1(c) failure replay a few times on the
+CI host, once per backend round committed in ``BENCH_engine.json``
+(``current`` is the incremental backend; ``vectorized`` the columnar
+one), and fails the job when the *best* fresh median is more than
+``REPRO_ENGINE_GATE`` times the committed median (default 2×).
+
+Best-of-N against a generous multiplier is deliberate: shared CI
+runners are noisy, and a gate that cries wolf gets deleted.  A genuine
+regression — a quadratic sweep creeping back into the event loop, a
+kernel falling off its no-copy path — blows through 2× on every run;
+scheduler jitter does not survive best-of-3.
+
+Exit status: 0 when within the gate (or no baseline exists yet),
+1 on regression, with a one-line verdict per gated backend.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_engine.py
+    REPRO_ENGINE_GATE=3.0 PYTHONPATH=src python benchmarks/check_engine.py
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from bench_engine_replay import _replay
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_engine.json"
+
+#: Fresh measurements per backend; the best one speaks for the host.
+ATTEMPTS = 3
+
+#: Default worsening multiplier that fails the gate.
+DEFAULT_GATE = 2.0
+
+
+def _gate() -> float:
+    raw = os.environ.get("REPRO_ENGINE_GATE", "")
+    if not raw:
+        return DEFAULT_GATE
+    value = float(raw)
+    if value <= 1.0:
+        raise SystemExit(f"REPRO_ENGINE_GATE must be > 1.0, got {value}")
+    return value
+
+
+def _fresh_replay_s(allocator: str) -> float:
+    best = float("inf")
+    for _ in range(ATTEMPTS):
+        start = time.perf_counter()
+        result = _replay(allocator)
+        elapsed = time.perf_counter() - start
+        assert result.flows and all(
+            r.completed for r in result.flows.values()
+        ), f"{allocator} replay did not complete"
+        best = min(best, elapsed)
+    return best
+
+
+def _verdict(name: str, fresh: float, committed: float, gate: float) -> bool:
+    """Print one gate line; returns True when the backend regressed."""
+    ratio = fresh / committed if committed > 0 else float("inf")
+    regressed = ratio >= gate
+    status = "REGRESSION" if regressed else "ok"
+    print(
+        f"{status}: {name} fig1c replay {fresh:.3f} s vs committed "
+        f"{committed:.3f} s ({ratio:.2f}x, gate {gate:.1f}x)"
+    )
+    return regressed
+
+
+def main() -> int:
+    if not BENCH_JSON.exists():
+        print(f"no baseline at {BENCH_JSON}; nothing to gate")
+        return 0
+    baseline = json.loads(BENCH_JSON.read_text())
+    gate = _gate()
+    regressed = False
+
+    gated = False
+    for key, name in (("current", "incremental"), ("vectorized", "vectorized")):
+        committed = baseline.get(key)
+        if committed is None:
+            print(f"no {key!r} round in the baseline; skipping that gate")
+            continue
+        allocator = committed.get("allocator", name)
+        gated = True
+        regressed |= _verdict(
+            allocator,
+            _fresh_replay_s(allocator),
+            float(committed["median_s"]),
+            gate,
+        )
+    if not gated:
+        print("no replay rounds committed; nothing to gate")
+
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

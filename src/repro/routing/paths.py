@@ -22,6 +22,7 @@ matter: a full-duplex link congested host-bound may be idle core-bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
 
 from ..topology.base import NodeKind, Topology
 from ..topology.fattree import FatTree
@@ -135,23 +136,81 @@ class Path:
         return "Path(" + " > ".join(self.nodes) + ")"
 
 
+class _TopoMemo:
+    """Per-topology memo for the neighbour/hop queries path enumeration
+    hammers.
+
+    Large replays call :func:`enumerate_edge_paths` once per flow
+    arrival (the per-edge-pair ECMP cache stops hitting once there are
+    hundreds of edge switches), and each enumeration re-derives the
+    same operational neighbour sets hundreds of times — at k=32 that
+    was ~390k :func:`_up_switches` evaluations walking 12.7M adjacency
+    entries for ~1.3k distinct keys.  Memoising per query key collapses
+    that, and because the memo only caches (it never reorders), the
+    enumerated path lists — and therefore every replay decision
+    downstream — are byte-for-byte what the uncached walk produces.
+
+    Invalidation is by :attr:`~repro.topology.base.Topology.state_rev`
+    comparison: any construction or failure-state mutation bumps the
+    revision and the next query starts a fresh memo.  Entries are held
+    via a ``WeakKeyDictionary`` so caching never extends a topology's
+    lifetime.
+    """
+
+    __slots__ = ("rev", "up", "all", "hop")
+
+    def __init__(self, rev: int) -> None:
+        self.rev = rev
+        self.up: dict[tuple[str, NodeKind], list[str]] = {}
+        self.all: dict[tuple[str, NodeKind], list[str]] = {}
+        self.hop: dict[tuple[str, str], bool] = {}
+
+
+_MEMOS: WeakKeyDictionary[Topology, _TopoMemo] = WeakKeyDictionary()
+
+
+def _memo_for(topo: Topology) -> _TopoMemo:
+    rev = topo.state_rev
+    memo = _MEMOS.get(topo)
+    if memo is None or memo.rev != rev:
+        memo = _TopoMemo(rev)
+        _MEMOS[topo] = memo
+    return memo
+
+
 def _up_switches(topo: Topology, name: str, kind: NodeKind) -> list[str]:
     """Operational neighbours of ``name`` having ``kind``, sorted."""
-    out = {
-        other
-        for other, _link in topo.up_neighbors(name)
-        if topo.nodes[other].kind is kind and not topo.nodes[other].is_backup
-    }
-    return sorted(out)
+    memo = _memo_for(topo).up
+    key = (name, kind)
+    hit = memo.get(key)
+    if hit is None:
+        hit = sorted(
+            {
+                other
+                for other, _link in topo.up_neighbors(name)
+                if topo.nodes[other].kind is kind
+                and not topo.nodes[other].is_backup
+            }
+        )
+        memo[key] = hit
+    return hit
 
 
 def _all_switch_neighbors(topo: Topology, name: str, kind: NodeKind) -> list[str]:
-    out = {
-        other
-        for other in topo.neighbors(name)
-        if topo.nodes[other].kind is kind and not topo.nodes[other].is_backup
-    }
-    return sorted(out)
+    memo = _memo_for(topo).all
+    key = (name, kind)
+    hit = memo.get(key)
+    if hit is None:
+        hit = sorted(
+            {
+                other
+                for other in topo.neighbors(name)
+                if topo.nodes[other].kind is kind
+                and not topo.nodes[other].is_backup
+            }
+        )
+        memo[key] = hit
+    return hit
 
 
 def enumerate_edge_paths(
@@ -220,7 +279,13 @@ def enumerate_paths(
 
 
 def _hop_ok(topo: Topology, a: str, b: str) -> bool:
-    return bool(topo.operational_links_between(a, b))
+    memo = _memo_for(topo).hop
+    key = (a, b)
+    hit = memo.get(key)
+    if hit is None:
+        hit = bool(topo.operational_links_between(a, b))
+        memo[key] = hit
+    return hit
 
 
 def operational_paths(tree: FatTree, src_host: str, dst_host: str) -> list[Path]:

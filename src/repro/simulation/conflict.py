@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+import numpy as np
+
 __all__ = ["ConflictGraph"]
 
 
@@ -55,6 +57,33 @@ class ConflictGraph:
         if old is not None:
             for s in old:
                 del self._members[s][fid]
+
+    def incidence_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Snapshot the incidence as CSR arrays: ``(flow_ids, indptr,
+        indices)`` with one row per placed flow in placement order;
+        row ``i``'s path is ``indices[indptr[i]:indptr[i + 1]]``.
+
+        This is the bridge between the object-graph view and the
+        columnar backend's :class:`~repro.simulation.columnar.FlowTable`
+        — ``np.bincount(indices)`` is the same per-segment incidence the
+        table maintains incrementally, a correspondence property-tested
+        in ``tests/test_fairshare_properties.py``.
+        """
+        n = len(self._placed)
+        flow_ids = np.fromiter(self._placed.keys(), dtype=np.int64, count=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.fromiter(
+                (len(p) for p in self._placed.values()), dtype=np.int64, count=n
+            ),
+            out=indptr[1:],
+        )
+        indices = np.fromiter(
+            (s for path in self._placed.values() for s in path),
+            dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        return flow_ids, indptr, indices
 
     # ------------------------------------------------------------------
 

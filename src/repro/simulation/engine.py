@@ -32,6 +32,16 @@ and the two modes produce bit-identical results, which the test suite
 enforces.  :data:`ENGINE_REV` names the revision of this machinery; the
 sweep-result cache folds it into every key so cached numbers can never
 outlive the allocator that produced them.
+
+A third backend (``allocator="vectorized"``) keeps the allocation
+problem resident as numpy arrays (:mod:`repro.simulation.columnar`):
+arrivals append rows, completions compact them out, topology changes
+rebuild, and every reallocation is one batched water-fill over the
+whole padded path matrix.  The solve is bit-identical to the scalar
+solver by construction (shared ripe-pass semantics), and only flows
+whose rate actually changed are touched, so records and monitor
+streams match the other two backends to the last bit — the three-way
+A/B harness in ``tests/test_engine_incremental.py`` enforces it.
 """
 
 from __future__ import annotations
@@ -62,14 +72,16 @@ __all__ = [
 #: Revision of the engine/allocator implementation.  Bump whenever the
 #: (trace → results) map can change — the runner's content-addressed
 #: cache folds this into every key (see :mod:`repro.runner.cache`).
-ENGINE_REV = 2
+ENGINE_REV = 3
 
 #: Allocator mode used when :class:`FluidSimulation` is not told one.
 #: "incremental" re-solves only dirty conflict components; "oracle" is
-#: the from-scratch reference.  They are bit-identical by construction.
+#: the from-scratch reference; "vectorized" solves the full problem as
+#: one batched numpy water-fill over a persistent columnar flow table.
+#: All three are bit-identical by construction.
 DEFAULT_ALLOCATOR = "incremental"
 
-_ALLOCATORS = ("incremental", "oracle")
+_ALLOCATORS = ("incremental", "oracle", "vectorized")
 
 #: A flow is done when fewer bits than this remain (≈ one-millionth of a bit).
 _COMPLETION_EPS = 1e-6
@@ -162,7 +174,9 @@ class FluidSimulation:
         allocator: "incremental" (default, via :data:`DEFAULT_ALLOCATOR`)
             re-solves only the conflict-graph components an event
             touched; "oracle" recomputes the full allocation from
-            scratch.  Results are bit-identical either way.
+            scratch; "vectorized" batch-solves a persistent columnar
+            flow table with numpy.  Results are bit-identical in all
+            three modes.
     """
 
     def __init__(
@@ -205,6 +219,21 @@ class FluidSimulation:
             self._caps_dense.append(cap)
         self._conflicts = ConflictGraph(len(self._caps_dense))
         self._alloc_ws = AllocatorWorkspace(len(self._caps_dense))
+        if self.allocator == "vectorized":
+            # Deferred import: the scalar backends never pay numpy's
+            # startup cost, and environments without numpy can still
+            # run them.
+            from . import columnar
+
+            self._columnar = columnar
+            self._table = columnar.FlowTable(len(self._caps_dense))
+            self._columnar_ws = columnar.ColumnarWorkspace(len(self._caps_dense))
+            self._caps_arr = columnar.np.asarray(
+                self._caps_dense, dtype=columnar.np.float64
+            )
+        #: Vectorized mode: the flow table no longer reflects the active
+        #: set (paths or stall states changed) and must be rebuilt.
+        self._table_stale = True
         #: Flows whose allocation inputs changed since the last solve,
         #: mapped to the segment ids they were registered on at the time
         #: (the seeds for the affected-component search).
@@ -360,6 +389,7 @@ class FluidSimulation:
         so this is a sanctioned O(active) site (PERF001) — it runs only
         on topology changes, never on the per-event hot path.
         """
+        self._table_stale = True
         now = self.clock.now
         # Current load per segment from flows whose paths are intact.
         load: dict[DirectedSegment, int] = {}
@@ -418,6 +448,8 @@ class FluidSimulation:
     def _reallocate(self) -> None:
         if self.allocator == "oracle":
             self._reallocate_oracle()
+        elif self.allocator == "vectorized":
+            self._reallocate_vectorized()
         else:
             self._reallocate_incremental()
         self._reallocations += 1
@@ -469,6 +501,90 @@ class FluidSimulation:
             )
             for fid in comp:
                 self._apply_rate(active[fid], rates[fid], now)
+
+    def _reallocate_vectorized(self) -> None:
+        """Batch-solve the persistent columnar flow table.
+
+        Outside topology changes the table is patched in place: dirty
+        flows are only ever completions (rows compacted out) or
+        arrivals (rows appended in ``seq`` order) — paths and stall
+        states change *only* inside :meth:`_repath_flows`, which sets
+        ``_table_stale`` to force a rebuild.  The whole problem is then
+        re-solved in one batched water-fill; untouched flows re-solve
+        to the same bits (the kernel is deterministic and separable),
+        so filtering on ``rates != installed`` applies exactly the same
+        rate changes, at the same instants, as the other backends.
+        """
+        now = self.clock.now
+        table = self._table
+        if self._table_stale:
+            self._rebuild_table()
+        elif self._dirty:
+            active = self.active
+            gone: list[int] = []
+            added: list[tuple[int, int, tuple[int, ...]]] = []
+            for fid in self._dirty:
+                state = active.get(fid)
+                if (
+                    state is not None
+                    and state.phase is FlowPhase.ACTIVE
+                    and state.ipath
+                ):
+                    if fid not in table:
+                        added.append((state.seq, fid, state.ipath))
+                elif fid in table:
+                    gone.append(fid)
+            self._dirty.clear()
+            if gone:
+                table.discard(gone)
+            added.sort()
+            for _, fid, path in added:
+                table.append(fid, path)
+        if not len(table):
+            return
+        np = self._columnar.np
+        rates = self._columnar.waterfill(
+            table.seg_matrix, self._caps_arr, self._columnar_ws, table.incidence
+        )
+        installed = table.rates_view
+        changed = np.nonzero(rates != installed)[0]
+        if changed.shape[0]:
+            active = self.active
+            heap = self._finish_heap
+            push = heapq.heappush
+            # Inlined _apply_rate body: the mirror guarantees rate !=
+            # state.rate for every changed row, and .tolist()
+            # round-trips float64 → Python float exactly, so this is
+            # the same arithmetic minus per-flow dispatch.
+            for fid, rate in zip(
+                table.flow_ids[changed].tolist(), rates[changed].tolist()
+            ):
+                state = active[fid]
+                state.settle(now)
+                state.rate = rate
+                gen = state.gen + 1
+                state.gen = gen
+                if rate > 0.0:
+                    push(heap, (now + state.remaining_bits / rate, fid, gen))
+            installed[changed] = rates[changed]
+
+    def _rebuild_table(self) -> None:
+        """Reconstruct the columnar table after a topology change.
+
+        Sanctioned O(active) site (PERF001): rebuilds fire on the same
+        trigger (re-pathing) as the ``_repath_flows`` sweep itself, never
+        on the per-event hot path.
+        """
+        self._table_stale = False
+        self._dirty.clear()
+        active = self.active
+        entries = [
+            (fid, state.ipath, state.rate)
+            for fid, state in active.items()
+            if state.phase is FlowPhase.ACTIVE and state.ipath
+        ]
+        entries.sort(key=lambda e: active[e[0]].seq)
+        self._table.rebuild(entries)
 
     def _apply_rate(self, state: FlowState, rate: float, now: float) -> None:
         """Install a new rate iff it differs bit-for-bit from the old one,

@@ -27,26 +27,42 @@ a bottleneck freeze in one component never touches capacity or counts
 in another — so the decomposition is exact, and it is what lets the
 engine recompute only the components an event touched
 (:mod:`repro.simulation.conflict`): solving a component alone produces
-*bit-identical* rates to solving it inside the full problem, because
-each component gets its own heap, its own tie counter, and iterates its
-flows in the same relative order either way.
+*bit-identical* rates to solving it inside the full problem.
 
 The core (:func:`allocate_dense`) works on dense integer ids: flows are
 positions in the input list, segments index a flat capacity array, and
 the per-component state (remaining capacity, unfrozen counts, frozen
-flags) lives in flat lists instead of dict-of-sets.  Bottleneck
-selection uses a lazy-deletion heap.  This is sound because the fair
-share of any segment is *non-decreasing* as flows freeze (a frozen
-flow's rate is never above the segment's old share, so
-``(cap − r) / (n − 1) ≥ cap / n``); a popped entry whose recorded share
-is stale is simply re-pushed with its current value.  That brings a
-full reallocation to O(P log S) for P total path segments, which is
-what makes trace-scale replays fast enough in pure Python.
+flags) lives in flat lists instead of dict-of-sets.
+
+Bottleneck selection is *ripe-pass* progressive filling, the canonical
+semantics shared bit-for-bit with the vectorized kernel
+(:func:`repro.simulation.columnar.waterfill`).  Each pass:
+
+1. every live segment's fair share is ``remaining / count``;
+2. every unfrozen flow's level is the minimum share along its path;
+3. a segment is **ripe** when every unfrozen flow crossing it sits at
+   that segment's share (i.e. the segment is the genuine bottleneck of
+   everything it carries);
+4. every flow touching a ripe segment at its own level freezes there —
+   one pass freezes *all* current bottleneck levels at once, not just
+   the global minimum;
+5. the frozen flows' consumption is accumulated per segment in
+   ascending flow order and subtracted once, counts are decremented,
+   and negative float residue is clamped to zero at pass end.
+
+At least one flow freezes per pass (the globally minimal segment is
+always ripe), so the loop terminates in at most ``levels`` passes and
+usually far fewer.  Every arithmetic step — the division, the ordered
+minimum, the per-segment accumulation order, the single subtraction,
+the end-of-pass clamp — is specified exactly so that this scalar
+solver, solved per component, reproduces the vectorized full-problem
+kernel bit-for-bit: IEEE-754 minimum is exact (order-free), and both
+sides accumulate each segment's per-pass delta in ascending flow
+order before one subtraction.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Hashable, Mapping, Sequence
 
 __all__ = [
@@ -66,8 +82,10 @@ class AllocatorWorkspace:
 
     One of these per engine avoids re-allocating O(num_segments) arrays
     on every reallocation.  Between calls every ``members`` list is
-    empty and ``seg_mark`` is all-zero; ``remaining``/``counts`` carry
-    stale values that the next call overwrites for the segments it uses.
+    empty, ``seg_mark`` is all-zero, and every ``delta`` slot is zero;
+    ``remaining``/``counts``/``share``/``tightcnt`` carry stale values
+    that the next call overwrites for the segments it uses before
+    reading them.
     """
 
     def __init__(self, num_segments: int) -> None:
@@ -75,67 +93,88 @@ class AllocatorWorkspace:
         self.remaining: list[float] = [0.0] * num_segments
         self.counts: list[int] = [0] * num_segments
         self.seg_mark = bytearray(num_segments)
+        #: Per-pass scratch for :func:`_solve_component`.
+        self.share: list[float] = [0.0] * num_segments
+        self.tightcnt: list[int] = [0] * num_segments
+        self.delta: list[float] = [0.0] * num_segments
 
 
 def _solve_component(
     comp_segs: list[int],
+    comp_flows: list[int],
     paths: list[tuple[int, ...]],
-    members: list[list[int]],
     remaining: list[float],
     counts: list[int],
     frozen: bytearray,
-    seg_mark: bytearray,
     rates: list[float],
+    share: list[float],
+    tightcnt: list[int],
+    delta: list[float],
 ) -> None:
-    """Progressive filling over one connected component.
+    """Ripe-pass progressive filling over one connected component.
 
-    ``comp_segs`` must be in first-seen order over the component's flows
-    taken in ascending problem order; the heap and its tie counter are
-    component-local, so the result is a pure function of the component —
-    the separability guarantee the engine relies on.  ``seg_mark`` is
-    shared scratch, all-zero on entry and on exit.
+    ``comp_flows`` must be the component's flow indices in ascending
+    problem order — the order fixes the per-segment delta accumulation
+    and therefore the exact floats.  ``share``/``tightcnt``/``delta``
+    are shared dense scratch; ``delta`` is all-zero on entry and on
+    exit, the other two are overwritten before being read.
+
+    The result is a pure function of the component, and — because the
+    pass structure of one component is untouched by any other — solving
+    it alone is bit-identical to solving it inside the full problem.
+    This is the same guarantee the vectorized kernel
+    (:func:`repro.simulation.columnar.waterfill`) leans on: it solves
+    the full problem in one batch and must agree with the incremental
+    path's per-component solves to the last bit.
     """
-    # Lazy-deletion min-heap of (share, tie, segment).
-    tie = 0
-    heap: list[tuple[float, int, int]] = []
-    for s in comp_segs:
-        heap.append((remaining[s] / counts[s], tie, s))
-        tie += 1
-    heapq.heapify(heap)
-
-    while heap:
-        share, _, seg = heapq.heappop(heap)
-        count = counts[seg]
-        if not count:
-            continue  # everything on it froze via other bottlenecks
-        current = remaining[seg] / count
-        if current > share + 1e-12 * (current if current > 1.0 else 1.0):
-            # Stale entry: the share grew since it was pushed; re-queue.
-            heapq.heappush(heap, (current, tie, seg))
-            tie += 1
-            continue
-
-        fair = current
-        touched: list[int] = []
-        for flow in members[seg]:
-            if frozen[flow]:
-                continue
-            frozen[flow] = 1
-            rates[flow] = fair
-            for fseg in paths[flow]:
-                remaining[fseg] -= fair
-                counts[fseg] -= 1
-                if not seg_mark[fseg]:
-                    seg_mark[fseg] = 1
-                    touched.append(fseg)
-        remaining[seg] = 0.0
-        for fseg in touched:
-            seg_mark[fseg] = 0
-            if remaining[fseg] < 0:  # float residue
-                remaining[fseg] = 0.0
-            if fseg != seg and counts[fseg]:
-                heapq.heappush(heap, (remaining[fseg] / counts[fseg], tie, fseg))
-                tie += 1
+    live = comp_segs
+    unfrozen = comp_flows
+    while unfrozen:
+        for s in live:
+            share[s] = remaining[s] / counts[s]
+            tightcnt[s] = 0
+        # Pass 1: every unfrozen flow's level is the min share on its
+        # path; count how many unfrozen flows sit exactly at each
+        # segment's share ("tight" crossings).
+        levels: list[float] = []
+        for f in unfrozen:
+            path = paths[f]
+            fm = share[path[0]]
+            for s in path[1:]:
+                v = share[s]
+                if v < fm:
+                    fm = v
+            levels.append(fm)
+            for s in path:
+                if share[s] == fm:
+                    tightcnt[s] += 1
+        # Pass 2: a segment is ripe when *all* its unfrozen crossings
+        # are tight; flows at a ripe segment's share freeze there.
+        progressed = False
+        for f, fm in zip(unfrozen, levels):
+            for s in paths[f]:
+                if tightcnt[s] == counts[s] and share[s] == fm:
+                    frozen[f] = 1
+                    rates[f] = fm
+                    progressed = True
+                    break
+        if not progressed:  # pragma: no cover - the min segment is always ripe
+            raise FairShareError("progressive filling stalled")
+        # Pass 3: accumulate the frozen flows' consumption per segment
+        # in ascending flow order, subtract once, clamp at pass end —
+        # exactly the float schedule the vectorized kernel follows.
+        for f, fm in zip(unfrozen, levels):
+            if frozen[f]:
+                for s in paths[f]:
+                    delta[s] += fm
+                    counts[s] -= 1
+        for s in live:
+            remaining[s] -= delta[s]
+            delta[s] = 0.0
+            if remaining[s] < 0.0:  # float residue
+                remaining[s] = 0.0
+        unfrozen = [f for f in unfrozen if not frozen[f]]
+        live = [s for s in live if counts[s]]
 
 
 def allocate_dense(
@@ -201,7 +240,16 @@ def allocate_dense(
 
         if assume_connected:
             _solve_component(
-                used, paths, members, remaining, counts, frozen, seg_mark, rates
+                used,
+                list(range(nflows)),
+                paths,
+                remaining,
+                counts,
+                frozen,
+                rates,
+                ws.share,
+                ws.tightcnt,
+                ws.delta,
             )
         else:
             visited = bytearray(nflows)
@@ -236,13 +284,15 @@ def allocate_dense(
                             comp_segs.append(s)
                 _solve_component(
                     comp_segs,
+                    comp_flows,
                     paths,
-                    members,
                     remaining,
                     counts,
                     frozen,
-                    seg_mark,
                     rates,
+                    ws.share,
+                    ws.tightcnt,
+                    ws.delta,
                 )
     finally:
         for s in used:

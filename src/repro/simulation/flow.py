@@ -110,6 +110,10 @@ class FlowState:
     #: every rate change, so stale heap entries identify themselves.
     gen: int = 0
     #: Path as dense engine-interned segment ids (mirrors ``segments``).
+    #: The vectorized backend's :class:`~repro.simulation.columnar.FlowTable`
+    #: packs exactly these ids into its segment matrix; ``rate`` is
+    #: likewise mirrored by the table's ``installed`` column, updated in
+    #: the same reallocation step that settles this state.
     ipath: tuple[int, ...] = ()
     _stall_began: Optional[float] = None
 

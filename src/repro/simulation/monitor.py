@@ -7,6 +7,13 @@ without sampling error.  :class:`UtilizationMonitor` is the standard
 implementation; experiments use it to report offered load, bottleneck
 hot spots, and concurrency (the quantity that bounds CCT slowdowns under
 max-min sharing — see EXPERIMENTS.md's Figure 1(c) discussion).
+
+The callback stream is part of the allocator backends' bit-identity
+contract: oracle, incremental, and vectorized engines must hand every
+monitor the same ``(now, flow_segments, rates)`` sequence, floats and
+all (``tests/test_engine_incremental.py`` captures and compares full
+streams three ways).  Monitors can therefore assume their statistics
+are backend-independent.
 """
 
 from __future__ import annotations

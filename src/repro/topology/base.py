@@ -197,6 +197,18 @@ class Topology:
         self.links: dict[int, Link] = {}
         self._adj: dict[str, dict[str, set[int]]] = {}
         self._link_ids = itertools.count()
+        self._state_rev = 0
+
+    @property
+    def state_rev(self) -> int:
+        """Monotone counter bumped by every mutation that can change
+        reachability — construction (add/remove) and failure state.
+
+        Per-topology caches (path enumeration memoises operational
+        neighbour sets against this) compare revisions instead of
+        subscribing to events: a stale revision means recompute.
+        """
+        return self._state_rev
 
     # ------------------------------------------------------------------
     # construction
@@ -208,6 +220,7 @@ class Topology:
             raise TopologyError(f"duplicate node name {node.name!r}")
         self.nodes[node.name] = node
         self._adj[node.name] = {}
+        self._state_rev += 1
         return node
 
     def add_link(
@@ -230,6 +243,7 @@ class Topology:
         self.links[link.link_id] = link
         self._adj[a].setdefault(b, set()).add(link.link_id)
         self._adj[b].setdefault(a, set()).add(link.link_id)
+        self._state_rev += 1
         return link
 
     def remove_link(self, link_id: int) -> None:
@@ -241,6 +255,7 @@ class Topology:
         self._adj[link.b][link.a].discard(link_id)
         if not self._adj[link.b][link.a]:
             del self._adj[link.b][link.a]
+        self._state_rev += 1
 
     # ------------------------------------------------------------------
     # lookup
@@ -303,15 +318,19 @@ class Topology:
 
     def fail_node(self, name: str) -> None:
         self.nodes[name].up = False
+        self._state_rev += 1
 
     def restore_node(self, name: str) -> None:
         self.nodes[name].up = True
+        self._state_rev += 1
 
     def fail_link(self, link_id: int) -> None:
         self.links[link_id].up = False
+        self._state_rev += 1
 
     def restore_link(self, link_id: int) -> None:
         self.links[link_id].up = True
+        self._state_rev += 1
 
     def node_is_up(self, name: str) -> bool:
         return self.nodes[name].up
@@ -352,6 +371,7 @@ class Topology:
             node.up = True
         for link in self.links.values():
             link.up = True
+        self._state_rev += 1
 
     # ------------------------------------------------------------------
     # interop & utilities

@@ -39,7 +39,7 @@ EXPECTED_CODES = {
     "PROC001", "PROC002",
     "EXC001", "EXC002",
     "CHS001",
-    "PERF001",
+    "PERF001", "PERF002",
     "SVC001", "SVC014",
 }
 
@@ -549,6 +549,82 @@ class TestRuleFixtures:
         assert "PERF001" not in codes(
             check_source(dedent(source), module="repro.experiments.slowdown")
         )
+
+    def test_perf002_per_row_loop_fires(self):
+        source = """\
+            def waterfill(seg_matrix, capacities):
+                total = 0.0
+                for row in seg_matrix:
+                    total += row.min()
+                return total
+            """
+        diags = check_source(
+            dedent(source), module="repro.simulation.columnar"
+        )
+        matches = [d for d in diags if d.code == "PERF002"]
+        assert len(matches) == 1
+        assert "waterfill" in matches[0].message
+
+    def test_perf002_catches_comprehensions_and_module_level(self):
+        source = """\
+            levels = [row.min() for row in ALIVE]
+
+            def extract(table, rates):
+                return {fid: r for fid, r in zip(table.flow_ids, rates)}
+            """
+        diags = check_source(
+            dedent(source), module="repro.simulation.columnar"
+        )
+        assert len([d for d in diags if d.code == "PERF002"]) == 2
+
+    def test_perf002_range_loops_are_fine(self):
+        source = """\
+            def _reduce_columns(op, matrix):
+                out = matrix[:, 0].copy()
+                for column in range(1, matrix.shape[1]):
+                    op(out, matrix[:, column], out=out)
+                return out
+            """
+        assert "PERF002" not in codes(
+            check_source(dedent(source), module="repro.simulation.columnar")
+        )
+
+    def test_perf002_sanctioned_patch_helpers_are_fine(self):
+        source = """\
+            class FlowTable:
+                def append(self, flow_id, path):
+                    for seg in path:
+                        self.incidence[seg] += 1
+
+                def discard(self, flow_ids):
+                    gone = [fid for fid in flow_ids if fid in self._members]
+
+                def rebuild(self, entries):
+                    for row, (fid, path, rate) in enumerate(entries):
+                        pass
+
+            def pack_paths(paths, num_segments):
+                for row, path in enumerate(paths):
+                    pass
+            """
+        assert "PERF002" not in codes(
+            check_source(dedent(source), module="repro.simulation.columnar")
+        )
+
+    def test_perf002_scoped_to_the_columnar_module(self):
+        source = """\
+            def solve(rows):
+                return [r.min() for r in rows]
+            """
+        assert "PERF002" in codes(
+            check_source(dedent(source), module="repro.simulation.columnar")
+        )
+        assert "PERF002" not in codes(
+            check_source(dedent(source), module="repro.simulation.engine")
+        )
+        # No structural anchor means no firing on unresolved modules
+        # (the CLI lints benchmarks/ and examples/ with module=None).
+        assert "PERF002" not in codes(check_source(dedent(source)))
 
     def test_chs001_exempt_inside_repro_core(self):
         source = """\

@@ -1,13 +1,14 @@
-"""Oracle/incremental equivalence and event-loop regression tests.
+"""Oracle/incremental/vectorized equivalence and event-loop regressions.
 
-The incremental allocator's contract (``docs/simulator.md``) is exact:
-for any trace and failure schedule the incremental engine must be
-*bit-identical* to the from-scratch oracle — same flow and coflow
-records, same event counts, and the same full rate map after every
-single reallocation.  These tests enforce that contract on randomized
-workloads, through the Figure 1(c) experiment pipeline, and pin down
-the event-loop hazard the overhaul fixed (recursive completion
-draining blowing the stack on long same-instant chains).
+The allocator backends' contract (``docs/simulator.md``) is exact: for
+any trace and failure schedule the incremental engine *and* the
+vectorized columnar engine must be *bit-identical* to the from-scratch
+oracle — same flow and coflow records, same event counts, and the same
+full rate map after every single reallocation.  These tests enforce
+that three-way contract on randomized workloads, through the
+Figure 1(c) experiment pipeline, and pin down the event-loop hazard the
+overhaul fixed (recursive completion draining blowing the stack on long
+same-instant chains).
 """
 
 import sys
@@ -77,22 +78,26 @@ def run_mode(trace, allocator, fail=None):
     return sim.run(), monitor
 
 
+CHALLENGER_ALLOCATORS = ("incremental", "vectorized")
+
+
 def assert_bit_identical(trace, fail=None):
     oracle, oracle_mon = run_mode(trace, "oracle", fail)
-    incr, incr_mon = run_mode(trace, "incremental", fail)
-    # Dataclass equality on float fields is exact, so any drift —
-    # however small — fails here, not just "close enough".
-    assert incr.flows == oracle.flows
-    assert incr.coflows == oracle.coflows
-    assert incr.end_time == oracle.end_time
-    assert incr.events_processed == oracle.events_processed
-    assert incr.reallocations == oracle.reallocations
-    assert incr_mon.events == oracle_mon.events
+    for allocator in CHALLENGER_ALLOCATORS:
+        got, got_mon = run_mode(trace, allocator, fail)
+        # Dataclass equality on float fields is exact, so any drift —
+        # however small — fails here, not just "close enough".
+        assert got.flows == oracle.flows, allocator
+        assert got.coflows == oracle.coflows, allocator
+        assert got.end_time == oracle.end_time, allocator
+        assert got.events_processed == oracle.events_processed, allocator
+        assert got.reallocations == oracle.reallocations, allocator
+        assert got_mon.events == oracle_mon.events, allocator
 
 
 @given(workloads())
 @settings(max_examples=25, deadline=None)
-def test_incremental_matches_oracle(trace):
+def test_challengers_match_oracle(trace):
     assert_bit_identical(trace)
 
 
@@ -103,7 +108,7 @@ def test_incremental_matches_oracle(trace):
     st.floats(min_value=1.5, max_value=4.0),
 )
 @settings(max_examples=25, deadline=None)
-def test_incremental_matches_oracle_under_failure(trace, victim, t_fail, t_fix):
+def test_challengers_match_oracle_under_failure(trace, victim, t_fail, t_fix):
     assert_bit_identical(trace, fail=(victim, t_fail, t_fix))
 
 
@@ -113,15 +118,16 @@ def test_incremental_matches_oracle_under_failure(trace, victim, t_fail, t_fix):
     st.floats(min_value=0.0, max_value=1.0),
 )
 @settings(max_examples=15, deadline=None)
-def test_incremental_matches_oracle_unrepaired(trace, victim, t_fail):
+def test_challengers_match_oracle_unrepaired(trace, victim, t_fail):
     """No repair: stalled flows stay stalled and the horizon cuts the
     run short — the modes must agree on unfinished flows too."""
     a, a_mon = run_mode(trace, "oracle", fail=(victim, t_fail, 20_000.0))
-    b, b_mon = run_mode(trace, "incremental", fail=(victim, t_fail, 20_000.0))
-    assert b.flows == a.flows
-    assert b.coflows == a.coflows
-    assert b.end_time == a.end_time
-    assert b_mon.events == a_mon.events
+    for allocator in CHALLENGER_ALLOCATORS:
+        b, b_mon = run_mode(trace, allocator, fail=(victim, t_fail, 20_000.0))
+        assert b.flows == a.flows, allocator
+        assert b.coflows == a.coflows, allocator
+        assert b.end_time == a.end_time, allocator
+        assert b_mon.events == a_mon.events, allocator
 
 
 def test_unknown_allocator_rejected():
@@ -195,10 +201,10 @@ def _pipeline_payloads():
 
 
 def test_pipeline_results_identical_across_allocators(monkeypatch):
-    """Full experiment-pipeline A/B: every slowdown sample — including
-    the memoised clean baselines — must match exactly between modes."""
+    """Full experiment-pipeline A/B/C: every slowdown sample — including
+    the memoised clean baselines — must match exactly across modes."""
     outputs = {}
-    for mode in ("oracle", "incremental"):
+    for mode in ("oracle", *CHALLENGER_ALLOCATORS):
         monkeypatch.setattr(engine_mod, "DEFAULT_ALLOCATOR", mode)
         # The clean baselines are memoised per worker; rebuild them
         # under each allocator so the comparison covers them too.
@@ -210,4 +216,5 @@ def test_pipeline_results_identical_across_allocators(monkeypatch):
     slowdown._rerouting_context.cache_clear()
     slowdown._sharebackup_context.cache_clear()
     assert outputs["incremental"] == outputs["oracle"]
+    assert outputs["vectorized"] == outputs["oracle"]
     assert all(out["slowdowns"] for out in outputs["incremental"])

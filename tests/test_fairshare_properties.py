@@ -6,14 +6,26 @@ feasibility / Pareto / fairness cover both layers.  The second half of
 the file pins down the array core's own contracts: wrapper/core
 bit-identity, component separability (the property the engine's
 incremental mode is built on), workspace reuse, and the
-``assume_connected`` fast path.
+``assume_connected`` fast path.  The final section holds the vectorized
+columnar kernel (:mod:`repro.simulation.columnar`) to the same bar:
+scalar/batched bit-identity, CSR incidence round-trips against the
+object conflict graph, water-fill saturation invariants, and columnar
+workspace purity.
 """
 
 import hypothesis.strategies as st
+import numpy as np
 import pytest
 from hypothesis import given, settings
 
 from repro.simulation import allocate_dense, max_min_rates
+from repro.simulation.columnar import (
+    ColumnarWorkspace,
+    FlowTable,
+    pack_paths,
+    waterfill,
+)
+from repro.simulation.conflict import ConflictGraph
 from repro.simulation.fairshare import AllocatorWorkspace, FairShareError
 
 
@@ -228,3 +240,100 @@ def test_workspace_survives_input_errors(problem):
     with pytest.raises(FairShareError):
         allocate_dense(bad, caps, ws)
     assert allocate_dense(pairs, caps, ws) == allocate_dense(pairs, caps)
+
+
+# ----------------------------------------------------------------------
+# columnar kernel contracts: bit-identity, CSR round-trip, saturation
+# ----------------------------------------------------------------------
+
+
+def columnar_setup(problem):
+    """Interned pairs → (pairs, caps array, padded matrix)."""
+    pairs, caps = intern(*problem)
+    caps_arr = np.asarray(caps, dtype=np.float64)
+    matrix = pack_paths([path for _, path in pairs], len(caps))
+    return pairs, caps_arr, matrix
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_waterfill_matches_scalar_core_bitwise(problem):
+    """The batched kernel reproduces allocate_dense to the last bit —
+    the identity the vectorized engine backend is built on."""
+    pairs, caps_arr, matrix = columnar_setup(problem)
+    scalar = allocate_dense(pairs, list(caps_arr))
+    batched = waterfill(matrix, caps_arr)
+    for row, (key, _) in enumerate(pairs):
+        assert batched[row] == scalar[key]  # float ==: bitwise
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_waterfill_saturation_invariants(problem):
+    """Feasibility and Pareto efficiency, checked on the kernel's own
+    output: no segment over capacity, and every flow crosses at least
+    one saturated segment (else its rate could be raised for free)."""
+    pairs, caps_arr, matrix = columnar_setup(problem)
+    rates = waterfill(matrix, caps_arr)
+    num_segments = caps_arr.shape[0]
+    width = matrix.shape[1]
+    usage = np.bincount(
+        matrix.ravel(),
+        weights=np.repeat(rates, width),
+        minlength=num_segments + 1,
+    )[:num_segments]
+    assert np.all(usage <= caps_arr * (1 + 1e-9) + 1e-9)
+    saturated = usage >= caps_arr * (1 - 1e-6) - 1e-6
+    padded = np.concatenate([saturated, [False]])  # sentinel never saturates
+    assert np.all(padded[matrix].any(axis=1)), "a flow has slack on its path"
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_csr_incidence_roundtrip_vs_object_graph(problem):
+    """ConflictGraph.incidence_csr() and the columnar FlowTable agree:
+    same rows, same paths, same per-segment incidence counts."""
+    pairs, caps = intern(*problem)
+    num_segments = len(caps)
+    graph = ConflictGraph(num_segments)
+    table = FlowTable(num_segments)
+    for fid, path in pairs:
+        graph.place(fid, path)
+        table.append(fid, path)
+    flow_ids, indptr, indices = graph.incidence_csr()
+    # Row-by-row: the CSR slices round-trip the original paths, and the
+    # table's matrix rows match them (ignoring sentinel padding).
+    assert flow_ids.tolist() == [fid for fid, _ in pairs]
+    assert table.flow_ids[: len(table)].tolist() == [fid for fid, _ in pairs]
+    for row, (_, path) in enumerate(pairs):
+        assert tuple(indices[indptr[row] : indptr[row + 1]]) == path
+        matrix_row = table.seg_matrix[row]
+        assert tuple(matrix_row[matrix_row != num_segments]) == path
+    # Aggregate: bincount over the CSR indices equals the incidence the
+    # table maintains incrementally (real segments; the sentinel slot
+    # only counts padding).
+    csr_incidence = np.bincount(indices, minlength=num_segments)
+    assert np.array_equal(csr_incidence, table.incidence[:num_segments])
+
+
+@given(allocation_problems(), allocation_problems())
+@settings(max_examples=100, deadline=None)
+def test_columnar_workspace_reuse_is_pure(problem_a, problem_b):
+    """Back-to-back waterfills through one shared workspace match fresh
+    solves bit-for-bit — the workspace carries no state between calls.
+    Both problems are interned into one capacity space (the workspace
+    is sized to the segment universe, exactly as in the engine)."""
+    flows_a, caps_a = problem_a
+    flows_b, caps_b = problem_b
+    shared = {**caps_b, **caps_a}
+    pairs_a, caps = intern(flows_a, shared)
+    pairs_b, _ = intern(flows_b, shared)
+    caps_arr = np.asarray(caps, dtype=np.float64)
+    matrix_a = pack_paths([path for _, path in pairs_a], len(caps))
+    matrix_b = pack_paths([path for _, path in pairs_b], len(caps))
+    ws = ColumnarWorkspace(len(caps))
+    first = waterfill(matrix_a, caps_arr, ws)
+    assert np.array_equal(first, waterfill(matrix_a, caps_arr))
+    second = waterfill(matrix_b, caps_arr, ws)
+    assert np.array_equal(second, waterfill(matrix_b, caps_arr))
+    assert np.array_equal(waterfill(matrix_a, caps_arr, ws), first)
