@@ -1,0 +1,66 @@
+"""Shared best-of-N regression-gate plumbing for the check scripts.
+
+``check_engine.py`` (Fig-1(c) replay medians) and ``check_slo.py``
+(service p99s) gate the same way: take the best of a few fresh
+measurements on the CI host, compare it against the committed
+baseline, and fail the job only past a generous multiplier read from
+an environment variable.  Best-of-N against a loose gate is
+deliberate — shared CI runners are noisy, and a gate that cries wolf
+gets deleted; a genuine regression blows through 2× on every attempt,
+scheduler jitter does not survive best-of-3.
+
+This module holds the one copy of that policy: the attempt count, the
+default multiplier, the env-var parsing (with its ``> 1.0`` sanity
+check), and the one-line verdict format the CI log greps for.
+"""
+
+import os
+
+__all__ = ["ATTEMPTS", "DEFAULT_GATE", "gate_from_env", "verdict"]
+
+#: Fresh measurements per metric; the best one speaks for the host.
+ATTEMPTS = 3
+
+#: Default worsening multiplier that fails a gate.
+DEFAULT_GATE = 2.0
+
+
+def gate_from_env(var: str, default: float = DEFAULT_GATE) -> float:
+    """The gate multiplier from environment variable ``var``.
+
+    Empty/unset falls back to ``default``; a value ≤ 1.0 would fail
+    every measurement (or none meaningfully) and aborts instead.
+    """
+    raw = os.environ.get(var, "")
+    if not raw:
+        return default
+    value = float(raw)
+    if value <= 1.0:
+        raise SystemExit(f"{var} must be > 1.0, got {value}")
+    return value
+
+
+def verdict(
+    label: str,
+    fresh: float,
+    committed: float,
+    gate: float,
+    unit: str = "s",
+    scale: float = 1.0,
+) -> bool:
+    """Print one gate line; returns True when the metric regressed.
+
+    ``fresh``/``committed`` are in base units (seconds); ``scale`` and
+    ``unit`` only affect the printed figures (``1e3``/``"ms"`` for the
+    service p99s).  A non-positive committed baseline can never pass —
+    it means the baseline artifact is corrupt, not that the code is
+    infinitely fast.
+    """
+    ratio = fresh / committed if committed > 0 else float("inf")
+    regressed = ratio >= gate
+    status = "REGRESSION" if regressed else "ok"
+    print(
+        f"{status}: {label} {fresh * scale:.3f} {unit} vs committed "
+        f"{committed * scale:.3f} {unit} ({ratio:.2f}x, gate {gate:.1f}x)"
+    )
+    return regressed

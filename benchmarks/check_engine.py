@@ -25,30 +25,14 @@ Usage::
 """
 
 import json
-import os
 import sys
 import time
 from pathlib import Path
 
+from _gate import ATTEMPTS, gate_from_env, verdict
 from bench_engine_replay import _replay
 
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_engine.json"
-
-#: Fresh measurements per backend; the best one speaks for the host.
-ATTEMPTS = 3
-
-#: Default worsening multiplier that fails the gate.
-DEFAULT_GATE = 2.0
-
-
-def _gate() -> float:
-    raw = os.environ.get("REPRO_ENGINE_GATE", "")
-    if not raw:
-        return DEFAULT_GATE
-    value = float(raw)
-    if value <= 1.0:
-        raise SystemExit(f"REPRO_ENGINE_GATE must be > 1.0, got {value}")
-    return value
 
 
 def _fresh_replay_s(allocator: str) -> float:
@@ -64,24 +48,12 @@ def _fresh_replay_s(allocator: str) -> float:
     return best
 
 
-def _verdict(name: str, fresh: float, committed: float, gate: float) -> bool:
-    """Print one gate line; returns True when the backend regressed."""
-    ratio = fresh / committed if committed > 0 else float("inf")
-    regressed = ratio >= gate
-    status = "REGRESSION" if regressed else "ok"
-    print(
-        f"{status}: {name} fig1c replay {fresh:.3f} s vs committed "
-        f"{committed:.3f} s ({ratio:.2f}x, gate {gate:.1f}x)"
-    )
-    return regressed
-
-
 def main() -> int:
     if not BENCH_JSON.exists():
         print(f"no baseline at {BENCH_JSON}; nothing to gate")
         return 0
     baseline = json.loads(BENCH_JSON.read_text())
-    gate = _gate()
+    gate = gate_from_env("REPRO_ENGINE_GATE")
     regressed = False
 
     gated = False
@@ -92,8 +64,8 @@ def main() -> int:
             continue
         allocator = committed.get("allocator", name)
         gated = True
-        regressed |= _verdict(
-            allocator,
+        regressed |= verdict(
+            f"{allocator} fig1c replay",
             _fresh_replay_s(allocator),
             float(committed["median_s"]),
             gate,

@@ -24,10 +24,10 @@ Usage::
 """
 
 import json
-import os
 import sys
 from pathlib import Path
 
+from _gate import ATTEMPTS, gate_from_env, verdict
 from repro.service import (
     FailoverBenchConfig,
     LoadTestConfig,
@@ -36,22 +36,6 @@ from repro.service import (
 )
 
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_service.json"
-
-#: Fresh measurements per metric; the best one speaks for the host.
-ATTEMPTS = 3
-
-#: Default worsening multiplier that fails the gate.
-DEFAULT_GATE = 2.0
-
-
-def _gate() -> float:
-    raw = os.environ.get("REPRO_SLO_GATE", "")
-    if not raw:
-        return DEFAULT_GATE
-    value = float(raw)
-    if value <= 1.0:
-        raise SystemExit(f"REPRO_SLO_GATE must be > 1.0, got {value}")
-    return value
 
 
 def _fresh_slo_p99(config: LoadTestConfig) -> float:
@@ -67,40 +51,35 @@ def _fresh_failover_p99(config: FailoverBenchConfig) -> float:
     )
 
 
-def _verdict(name: str, fresh: float, committed: float, gate: float) -> bool:
-    """Print one gate line; returns True when the metric regressed."""
-    ratio = fresh / committed if committed > 0 else float("inf")
-    regressed = ratio >= gate
-    status = "REGRESSION" if regressed else "ok"
-    print(
-        f"{status}: {name} p99 {fresh * 1e3:.3f} ms vs committed "
-        f"{committed * 1e3:.3f} ms ({ratio:.2f}x, gate {gate:.1f}x)"
-    )
-    return regressed
-
-
 def main() -> int:
     if not BENCH_JSON.exists():
         print(f"no baseline at {BENCH_JSON}; nothing to gate")
         return 0
     baseline = json.loads(BENCH_JSON.read_text())
-    gate = _gate()
+    gate = gate_from_env("REPRO_SLO_GATE")
     regressed = False
 
     committed_p99 = float(baseline["slo"]["p99"])
     config = LoadTestConfig(**baseline["config"])
-    regressed |= _verdict(
-        "service-slo", _fresh_slo_p99(config), committed_p99, gate
+    regressed |= verdict(
+        "service-slo p99",
+        _fresh_slo_p99(config),
+        committed_p99,
+        gate,
+        unit="ms",
+        scale=1e3,
     )
 
     failover = baseline.get("failover")
     if failover is not None:
         fo_config = FailoverBenchConfig(**failover["config"])
-        regressed |= _verdict(
-            "failover",
+        regressed |= verdict(
+            "failover p99",
             _fresh_failover_p99(fo_config),
             float(failover["slo"]["p99"]),
             gate,
+            unit="ms",
+            scale=1e3,
         )
     else:
         print("no failover round in the baseline; skipping that gate")

@@ -63,6 +63,7 @@ from .engine import (
     iter_source_files,
     lint_paths,
 )
+from .numeric import KernelCall, NumericIssue, NumericSummary, analyze_kernels
 from .project import ProjectModel
 from .registry import (
     ProjectRule,
@@ -97,15 +98,19 @@ __all__ = [
     "Diagnostic",
     "FileContext",
     "InterferenceEngine",
+    "KernelCall",
     "LintCache",
     "LintResult",
     "LintStats",
+    "NumericIssue",
+    "NumericSummary",
     "ProjectModel",
     "ProjectRule",
     "Rule",
     "SYNTAX_ERROR_CODE",
     "all_rule_codes",
     "all_rules",
+    "analyze_kernels",
     "build_cfg",
     "category_for",
     "changed_source_files",

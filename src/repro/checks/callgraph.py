@@ -39,6 +39,7 @@ from .concurrency import (
     module_global_names,
 )
 from .context import FileContext
+from .numeric import NumericSummary, analyze_kernels
 from .rules.controlplane import _ALWAYS_FLAGGED, _CS_ONLY_FLAGGED, _looks_like_cs
 from .rules.process import _non_json_nodes, _payload_expressions
 from .rules.rng import _accepts_seed, _is_draw, _threads_seed_state
@@ -188,6 +189,9 @@ class FunctionSummary:
     is_async: bool = False
     #: Present only for ``async def`` — the concurrency-rule facts.
     concurrency: ConcurrencySummary | None = None
+    is_kernel: bool = False
+    #: Present only for ``@kernel`` functions — the numeric-rule facts.
+    numeric: NumericSummary | None = None
 
     def to_json(self) -> dict[str, object]:
         return {
@@ -210,12 +214,17 @@ class FunctionSummary:
             "concurrency": (
                 None if self.concurrency is None else self.concurrency.to_json()
             ),
+            "is_kernel": self.is_kernel,
+            "numeric": (
+                None if self.numeric is None else self.numeric.to_json()
+            ),
         }
 
     @classmethod
     def from_json(cls, data: dict[str, object]) -> "FunctionSummary":
         raw_cls = data["cls"]
         raw_concurrency = data.get("concurrency")
+        raw_numeric = data.get("numeric")
         return cls(
             qualname=str(data["qualname"]),
             cls=None if raw_cls is None else str(raw_cls),
@@ -251,6 +260,12 @@ class FunctionSummary:
                 None
                 if raw_concurrency is None
                 else ConcurrencySummary.from_json(_d(raw_concurrency))
+            ),
+            is_kernel=bool(data.get("is_kernel", False)),
+            numeric=(
+                None
+                if raw_numeric is None
+                else NumericSummary.from_json(_d(raw_numeric))
             ),
         )
 
@@ -580,10 +595,17 @@ def _collect_refs(tree: ast.Module) -> set[str]:
 
 def _summarize_functions(ctx: FileContext) -> Iterator[FunctionSummary]:
     module_globals = module_global_names(ctx.tree)
+    # ``name -> NumericSummary`` for the file's @kernel functions; empty
+    # for the (vast) majority of files with no registered kernels.
+    kernel_facts = analyze_kernels(ctx)
     for stmt in ctx.tree.body:
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             yield _summarize_function(
-                ctx, stmt, cls=None, module_globals=module_globals
+                ctx,
+                stmt,
+                cls=None,
+                module_globals=module_globals,
+                numeric=kernel_facts.get(stmt.name),
             )
         elif isinstance(stmt, ast.ClassDef):
             lock_names = lock_attribute_names(stmt, ctx.resolve)
@@ -604,6 +626,7 @@ def _summarize_function(
     cls: str | None,
     module_globals: frozenset[str] = frozenset(),
     lock_names: frozenset[str] = frozenset(),
+    numeric: NumericSummary | None = None,
 ) -> FunctionSummary:
     params = tuple(
         arg.arg
@@ -704,6 +727,8 @@ def _summarize_function(
         mutates_circuit=mutates_circuit,
         is_async=is_async,
         concurrency=concurrency,
+        is_kernel=numeric is not None,
+        numeric=numeric,
     )
 
 

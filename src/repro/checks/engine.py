@@ -211,7 +211,18 @@ def lint_paths(
         display = _display_path(resolved, root)
         module = module_name_for(resolved)
         category = category_for(resolved)
-        content = resolved.read_text(encoding="utf-8")
+        try:
+            content = resolved.read_text(encoding="utf-8")
+        except OSError:
+            # A corpus entry can vanish between discovery and read:
+            # ``--changed`` hands over paths from a git diff that may
+            # include files deleted or renamed since, and the corpus
+            # walk itself races editors/checkouts.  A missing file has
+            # nothing to lint — skip it rather than crash the run.
+            stats.corpus_files -= 1
+            if resolved in linted_set:
+                stats.linted_files -= 1
+            continue
         entry = (
             cache.get(content, module, category, display)
             if cache is not None

@@ -22,7 +22,11 @@
 * :mod:`.interproc` — whole-program rules over the linked project
   model: transitive seed taint (RNG010), payload reachability
   (PROC010), helper circuit mutation (CHS010), import cycles (IMP001),
-  dead exports (DEAD001).
+  dead exports (DEAD001);
+* :mod:`.numeric` — numeric contracts of the ``@kernel`` water-fill
+  core: silent dtype narrowing (NUM001), shape incompatibility
+  (NUM002), aliasing hazards on in-place passes (NUM003), constructs
+  outside the numba nopython subset (NUM004).
 
 Importing a module registers its rules as a side effect of the
 ``@register`` / ``@register_project`` decorators.  A module listed in
@@ -38,6 +42,7 @@ from . import (
     determinism,
     exceptions,
     interproc,
+    numeric,
     perf,
     process,
     rng,
@@ -50,6 +55,7 @@ __all__ = [
     "determinism",
     "exceptions",
     "interproc",
+    "numeric",
     "perf",
     "process",
     "rng",

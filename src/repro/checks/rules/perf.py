@@ -114,8 +114,8 @@ class ColumnarPythonLoop(Rule):
                 continue
             if _is_range_call(iter_expr):
                 # Loops over range() are bounded by a shape dimension
-                # (the column unroll in _reduce_columns), not by the
-                # number of flows; whole-array calls run inside them.
+                # (the column unroll in the _column_min kernel), not by
+                # the number of flows; whole-array calls run inside them.
                 continue
             yield self.diagnostic(
                 ctx,

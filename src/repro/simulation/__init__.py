@@ -17,6 +17,7 @@ from .engine import (
 from .events import Event, EventQueue, SimClock
 from .fairshare import FairShareError, allocate_dense, max_min_rates
 from .flow import CoflowSpec, FlowPhase, FlowSpec, FlowState
+from .kernels import KERNEL_REGISTRY, KernelSpec, kernel
 from .monitor import SimMonitor, UtilizationMonitor, UtilizationReport
 from .packetsim import PacketFlow, PacketLevelSimulator
 
@@ -34,6 +35,8 @@ __all__ = [
     "FlowSpec",
     "FlowState",
     "FluidSimulation",
+    "KERNEL_REGISTRY",
+    "KernelSpec",
     "SimClock",
     "PacketFlow",
     "PacketLevelSimulator",
@@ -42,5 +45,6 @@ __all__ = [
     "UtilizationReport",
     "SimulationResult",
     "allocate_dense",
+    "kernel",
     "max_min_rates",
 ]

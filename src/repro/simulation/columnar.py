@@ -46,6 +46,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from .kernels import kernel
+
 __all__ = ["ColumnarWorkspace", "FlowTable", "waterfill", "pack_paths"]
 
 _INF = float("inf")
@@ -74,14 +76,13 @@ class ColumnarWorkspace:
     def __init__(self, num_segments: int) -> None:
         self.num_segments = num_segments
         size = num_segments + 1
-        # remaining and counts are rows of one (2, size) block so the
-        # end-of-pass clamp is a single np.maximum over both.
-        self._state = np.empty((2, size), dtype=np.float64)
-        self.remaining = self._state[0]
-        self.counts = self._state[1]
-        self._floor = np.empty((2, size), dtype=np.float64)
-        self._floor[0] = 0.0
-        self._floor[1] = _DEAD_COUNT
+        # Three independent buffers, deliberately *not* views of one
+        # fused block: the water-fill kernel's separability argument
+        # (and the NUM003 aliasing rule that polices it) requires that
+        # an in-place write to one vector can never be observed through
+        # a read of another.
+        self.remaining = np.empty(size, dtype=np.float64)
+        self.counts = np.empty(size, dtype=np.float64)
         self.share = np.empty(size, dtype=np.float64)
 
 
@@ -154,13 +155,45 @@ def waterfill(
     ws = workspace if workspace is not None else ColumnarWorkspace(num_segments)
     remaining = ws.remaining
     counts = ws.counts
-    share = ws.share
     remaining[:num_segments] = capacities
     remaining[num_segments] = _INF
     np.copyto(counts, incidence)
     np.maximum(counts, _DEAD_COUNT, out=counts)
 
     rates = np.empty(rows, dtype=np.float64)
+    _waterfill_passes(seg_matrix, remaining, counts, ws.share, rates)
+    return rates
+
+
+@kernel(
+    arrays={
+        "seg_matrix": ("int64", ("rows", "width")),
+        "remaining": ("float64", ("segments+1",)),
+        "counts": ("float64", ("segments+1",)),
+        "share": ("float64", ("segments+1",)),
+        "rates": ("float64", ("rows",)),
+    },
+)
+def _waterfill_passes(
+    seg_matrix: np.ndarray,
+    remaining: np.ndarray,
+    counts: np.ndarray,
+    share: np.ndarray,
+    rates: np.ndarray,
+) -> None:
+    """The ripe-pass loop over plain arrays — the JIT-candidate kernel.
+
+    ``remaining``/``counts`` arrive initialised (sentinel slot last,
+    dead counts already clamped); ``share`` is scratch and ``rates`` is
+    filled in place, one slot per row.  Everything object-shaped —
+    workspace management, compaction, incidence bookkeeping — stays in
+    :func:`waterfill`; this function touches nothing but the arrays it
+    is handed, which is what the ``@kernel`` contract (checked by
+    NUM001–NUM004, :mod:`repro.checks.numeric`) demands of a
+    ``nopython`` candidate.
+    """
+    rows, width = seg_matrix.shape
+    num_segments = remaining.shape[0] - 1
     alive = seg_matrix
     alive_rows = np.arange(rows, dtype=np.int64)
     while alive_rows.shape[0]:
@@ -169,11 +202,11 @@ def waterfill(
         # Column-by-column unrolls: IEEE-754 min and logical-or are
         # exact and order-free, and ``width`` in-place ufunc calls on
         # contiguous 1-D slices beat numpy's slow small-axis reductions.
-        level = _reduce_columns(np.minimum, shares)
+        level = _column_min(shares)
         tight = shares == level[:, None]
         tight_count = np.bincount(alive[tight], minlength=num_segments + 1)
         newly = tight & (tight_count == counts)[alive]
-        frozen = _reduce_columns(np.logical_or, newly)
+        frozen = _column_any(newly)
         frozen_levels = level[frozen]
         if not frozen_levels.shape[0]:  # pragma: no cover - min seg is always ripe
             raise RuntimeError("progressive filling stalled")
@@ -186,18 +219,22 @@ def waterfill(
             minlength=num_segments + 1,
         )
         counts -= np.bincount(frozen_segs, minlength=num_segments + 1)
-        # One fused clamp over the (2, size) state block: remaining
-        # floors at 0.0 (float residue), counts at the dead marker.
-        np.maximum(ws._state, ws._floor, out=ws._state)
+        # End-of-pass clamps: remaining floors at 0.0 (float residue),
+        # counts at the dead marker.
+        np.maximum(remaining, 0.0, out=remaining)
+        np.maximum(counts, _DEAD_COUNT, out=counts)
         rates[alive_rows[frozen]] = frozen_levels
         keep = ~frozen
         alive = alive[keep]
         alive_rows = alive_rows[keep]
-    return rates
 
 
-def _reduce_columns(op: np.ufunc, matrix: np.ndarray) -> np.ndarray:
-    """Column-unrolled row reduction for exact, order-free binary ufuncs.
+@kernel(
+    arrays={"matrix": ("float64", ("rows", "width"))},
+    returns=("float64", ("rows",)),
+)
+def _column_min(matrix: np.ndarray) -> np.ndarray:
+    """Column-unrolled row minimum: exact and order-free under IEEE-754.
 
     ``width - 1`` in-place ufunc calls, each writing a contiguous 1-D
     accumulator — measurably faster in situ than pairwise halving trees
@@ -207,7 +244,25 @@ def _reduce_columns(op: np.ufunc, matrix: np.ndarray) -> np.ndarray:
     """
     out = matrix[:, 0].copy()
     for column in range(1, matrix.shape[1]):
-        op(out, matrix[:, column], out=out)
+        np.minimum(out, matrix[:, column], out=out)
+    return out
+
+
+@kernel(
+    arrays={"matrix": ("bool", ("rows", "width"))},
+    returns=("bool", ("rows",)),
+)
+def _column_any(matrix: np.ndarray) -> np.ndarray:
+    """Column-unrolled row logical-or, same unroll as :func:`_column_min`.
+
+    Specialised per ufunc (rather than taking the ufunc as a parameter)
+    so each kernel's call graph is closed over numpy and other kernels —
+    a call through a function-valued argument is exactly the untyped
+    dispatch NUM004 exists to keep out of ``nopython`` candidates.
+    """
+    out = matrix[:, 0].copy()
+    for column in range(1, matrix.shape[1]):
+        np.logical_or(out, matrix[:, column], out=out)
     return out
 
 

@@ -65,6 +65,8 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Mapping, Sequence
 
+from .kernels import kernel
+
 __all__ = [
     "max_min_rates",
     "allocate_dense",
@@ -99,6 +101,7 @@ class AllocatorWorkspace:
         self.delta: list[float] = [0.0] * num_segments
 
 
+@kernel()
 def _solve_component(
     comp_segs: list[int],
     comp_flows: list[int],

@@ -1,0 +1,99 @@
+"""The shared regression-gate helper (benchmarks/_gate.py).
+
+One copy of the best-of-N gate policy serves both check scripts
+(``check_engine.py``, ``check_slo.py``); these tests pin the env-var
+parsing, the regressed/ok decision, and the verdict-line format the CI
+log greps for.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "_gate.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_gate", _GATE_PATH)
+gate_mod = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_gate", gate_mod)
+_spec.loader.exec_module(gate_mod)
+
+
+class TestGateFromEnv:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_GATE", raising=False)
+        assert gate_mod.gate_from_env("REPRO_TEST_GATE") == (
+            gate_mod.DEFAULT_GATE
+        )
+
+    def test_default_when_empty(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_GATE", "")
+        assert gate_mod.gate_from_env("REPRO_TEST_GATE") == (
+            gate_mod.DEFAULT_GATE
+        )
+
+    def test_explicit_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_GATE", "3.5")
+        assert gate_mod.gate_from_env("REPRO_TEST_GATE") == 3.5
+
+    def test_custom_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_GATE", raising=False)
+        assert gate_mod.gate_from_env("REPRO_TEST_GATE", default=4.0) == 4.0
+
+    @pytest.mark.parametrize("bad", ["1.0", "0.5", "-2"])
+    def test_rejects_gates_at_or_below_one(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_TEST_GATE", bad)
+        with pytest.raises(SystemExit, match="must be > 1.0"):
+            gate_mod.gate_from_env("REPRO_TEST_GATE")
+
+    def test_garbage_raises_value_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_GATE", "fast")
+        with pytest.raises(ValueError):
+            gate_mod.gate_from_env("REPRO_TEST_GATE")
+
+
+class TestVerdict:
+    def test_within_gate_is_ok(self, capsys):
+        assert gate_mod.verdict("replay", 1.5, 1.0, 2.0) is False
+        out = capsys.readouterr().out
+        assert out == (
+            "ok: replay 1.500 s vs committed 1.000 s (1.50x, gate 2.0x)\n"
+        )
+
+    def test_at_gate_regresses(self, capsys):
+        assert gate_mod.verdict("replay", 2.0, 1.0, 2.0) is True
+        assert capsys.readouterr().out.startswith("REGRESSION: replay")
+
+    def test_ms_scaling_only_affects_display(self, capsys):
+        assert (
+            gate_mod.verdict(
+                "service-slo p99", 0.0015, 0.001, 2.0, unit="ms", scale=1e3
+            )
+            is False
+        )
+        out = capsys.readouterr().out
+        assert out == (
+            "ok: service-slo p99 1.500 ms vs committed 1.000 ms "
+            "(1.50x, gate 2.0x)\n"
+        )
+
+    def test_corrupt_baseline_always_regresses(self, capsys):
+        assert gate_mod.verdict("replay", 0.1, 0.0, 2.0) is True
+        assert "infx" in capsys.readouterr().out
+
+    def test_faster_than_committed_is_ok(self, capsys):
+        assert gate_mod.verdict("replay", 0.4, 1.0, 2.0) is False
+        assert "(0.40x" in capsys.readouterr().out
+
+
+class TestCheckScriptsShareTheHelper:
+    """The two check scripts must not regrow private copies."""
+
+    @pytest.mark.parametrize("script", ["check_engine.py", "check_slo.py"])
+    def test_scripts_import_the_shared_gate(self, script):
+        source = (_GATE_PATH.parent / script).read_text(encoding="utf-8")
+        assert "from _gate import" in source
+        assert "def _gate(" not in source
+        assert "def _verdict(" not in source

@@ -46,6 +46,7 @@ EXPECTED_CODES = {
 PROJECT_CODES = {
     "RNG010", "PROC010", "CHS010", "IMP001", "DEAD001",
     "SVC010", "SVC011", "SVC012", "SVC013",
+    "NUM001", "NUM002", "NUM003", "NUM004",
 }
 
 

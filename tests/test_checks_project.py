@@ -518,6 +518,20 @@ class TestLintPipeline:
         assert warm.stats.cache_hits == 1
         assert warm.diagnostics == []
 
+    def test_stale_path_skipped_not_fatal(self, tmp_path):
+        # ``lint --changed`` feeds paths from a git diff; a file
+        # deleted or renamed since the diff must be skipped, not crash
+        # the run, and must not distort the file accounting.
+        src = _mini_repo(tmp_path)
+        gone = src / "gone.py"
+        result = lint_paths(
+            [src, gone], cache_dir=tmp_path / "cache"
+        )
+        assert result.stats.corpus_files == 2
+        assert result.stats.linted_files == 2
+        assert result.stats.parsed_files == 2
+        assert [d.code for d in result.diagnostics] == ["RNG001"]
+
     def test_cache_disabled_always_parses(self, tmp_path):
         src = _mini_repo(tmp_path)
         lint_paths([src], cache_dir=tmp_path / "cache")
